@@ -1,0 +1,46 @@
+// Ablation: the 2D tile-size-selection family the paper's Section 3.3
+// builds on (cf. Rivera & Tseng, CC'99): Lam/Rothberg/Wolf square tiles,
+// Esseghir whole-column tiles, and Euclidean non-conflicting rectangles —
+// what tile would each pick for a 2D array of leading dimension N in a
+// 2048-element direct-mapped cache, and at what cost?
+
+#include <iostream>
+#include <vector>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/table.hpp"
+#include "rt/core/conflict.hpp"
+#include "rt/core/tiling2d.hpp"
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const std::vector<long> sizes = bo.sweep(200, 400, 20, 5);
+  const long cs = 2048;
+
+  std::vector<std::string> header{"N",        "LRW",  "cost", "Esseghir",
+                                  "cost",     "Euc2D", "cost", "Euc conflict-free"};
+  std::vector<std::vector<std::string>> rows;
+  const auto tile_str = [](const rt::core::IterTile& t) {
+    return "(" + std::to_string(t.ti) + "," + std::to_string(t.tj) + ")";
+  };
+  for (long n : sizes) {
+    const auto lrw = rt::core::lrw_tile(cs, n);
+    const auto ess = rt::core::esseghir_tile(cs, n);
+    const auto euc = rt::core::euc2d(cs, n);
+    const bool cf = rt::core::is_conflict_free(cs, n, /*dj=*/n, euc.tile.ti,
+                                               euc.tile.tj, 1);
+    rows.push_back({std::to_string(n), tile_str(lrw),
+                    rt::bench::fmt(rt::core::cost2d(lrw), 4), tile_str(ess),
+                    rt::bench::fmt(rt::core::cost2d(ess), 4),
+                    tile_str(euc.tile),
+                    rt::bench::fmt(euc.tile_cost, 4), cf ? "yes" : "NO"});
+  }
+  std::cout << "Ablation: 2D tile-size selection algorithms (CC'99 family), "
+               "2048-element cache\n\n";
+  rt::bench::print_table(header, rows);
+  std::cout << "\nLRW squares shrink badly on unfriendly N; Esseghir's tall "
+               "tiles have high cost\nfor small N; Euc2D picks the cheapest "
+               "conflict-free rectangle — the approach\nEuc3D generalises "
+               "to three dimensions.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: compile-time cost of the tile-selection algorithms themselves
+// (paper Section 3.3 argues Euc3D is O(log Cs) and cheap enough to run at
+// runtime for multigrid codes with dynamically sized grids; GcdPad is
+// cheaper still; Pad is the most expensive but "still very small in
+// practice").  Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "rt/core/euc3d.hpp"
+#include "rt/core/euclid.hpp"
+#include "rt/core/gcdpad.hpp"
+#include "rt/core/pad.hpp"
+#include "rt/core/square_tile.hpp"
+
+namespace {
+
+const rt::core::StencilSpec kSpec = rt::core::StencilSpec::jacobi3d();
+
+void BM_Euc3d(benchmark::State& state) {
+  const long cs = state.range(0);
+  const long di = 341;  // pathological size: worst case for enumeration
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::euc3d(cs, di, di, kSpec));
+  }
+}
+BENCHMARK(BM_Euc3d)->Arg(512)->Arg(2048)->Arg(8192)->Arg(32768)->Arg(131072);
+
+void BM_GcdPad(benchmark::State& state) {
+  const long cs = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::gcd_pad(cs, 341, 341, kSpec));
+  }
+}
+BENCHMARK(BM_GcdPad)->Arg(512)->Arg(2048)->Arg(8192)->Arg(32768)->Arg(131072);
+
+void BM_Pad(benchmark::State& state) {
+  const long cs = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::pad(cs, 341, 341, kSpec));
+  }
+}
+BENCHMARK(BM_Pad)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_SquareTile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::square_tile(2048, kSpec));
+  }
+}
+BENCHMARK(BM_SquareTile);
+
+void BM_EucPareto(benchmark::State& state) {
+  const long cs = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::euc_pareto(cs, 341));
+  }
+}
+BENCHMARK(BM_EucPareto)->Arg(2048)->Arg(32768)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces paper Figures 20 and 21: RESID at larger problem sizes
+// (400-700), demonstrating the transformations stay effective as problem
+// sizes grow (paper Section 4.6 used a 450MHz UltraSparc2 for these).
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const std::vector<long> sizes = bo.sweep(400, 700, 50, 10);
+
+  rt::bench::RunOptions ro;
+  ro.time_steps = bo.steps;
+  ro.perf = rt::cachesim::PerfModelParams::ultrasparc2_450();
+
+  const std::vector<Transform> all = {
+      Transform::kOrig,   Transform::kTile, Transform::kEuc3d,
+      Transform::kGcdPad, Transform::kPad,  Transform::kGcdPadNT};
+
+  std::map<Transform, std::vector<double>> l1, l2, mf;
+  for (long n : sizes) {
+    for (Transform t : all) {
+      const auto r = rt::bench::run_kernel(KernelId::kResid, t, n, ro);
+      l1[t].push_back(r.l1_miss_pct);
+      l2[t].push_back(r.l2_miss_pct);
+      mf[t].push_back(r.sim_mflops);
+    }
+  }
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> y_l1, y_l2, y_mf;
+  for (Transform t : all) {
+    names.push_back(std::string(rt::core::transform_name(t)));
+    y_l1.push_back(l1[t]);
+    y_l2.push_back(l2[t]);
+    y_mf.push_back(mf[t]);
+  }
+  rt::bench::print_series("Figure 20: larger RESID sizes, L1 miss rate %",
+                          "N", sizes, names, y_l1);
+  rt::bench::print_series("Figure 20: larger RESID sizes, L2 miss rate %",
+                          "N", sizes, names, y_l2);
+  rt::bench::print_series(
+      "Figure 21: larger RESID sizes, MFlops (sim UltraSparc2 450MHz)", "N",
+      sizes, names, y_mf, 1);
+  return 0;
+}

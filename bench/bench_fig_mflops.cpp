@@ -1,0 +1,71 @@
+// Reproduces paper Figures 15, 17 and 19: performance in MFlops vs problem
+// size for JACOBI, REDBLACK and RESID.  The primary series use the
+// simulated-cycle model of the 360MHz UltraSparc2 (see DESIGN.md for why
+// host timing cannot show direct-mapped conflict behaviour); pass --host to
+// append wall-clock MFlops series measured on this machine.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const std::vector<long> sizes = bo.sweep(200, 400, 20, 4);
+
+  rt::bench::RunOptions ro;
+  ro.time_steps = bo.steps;
+  ro.time_host = bo.host;
+
+  const std::vector<Transform> all = {
+      Transform::kOrig,   Transform::kTile, Transform::kEuc3d,
+      Transform::kGcdPad, Transform::kPad,  Transform::kGcdPadNT};
+
+  struct Fig {
+    KernelId kid;
+    const char* title;
+  };
+  const Fig figs[] = {
+      {KernelId::kJacobi, "Figure 15: JACOBI MFlops (sim UltraSparc2 360MHz)"},
+      {KernelId::kRedBlack, "Figure 17: REDBLACK MFlops (sim)"},
+      {KernelId::kResid, "Figure 19: RESID MFlops (sim)"}};
+
+  for (const Fig& f : figs) {
+    std::map<Transform, std::vector<double>> mf, host;
+    for (long n : sizes) {
+      for (Transform t : all) {
+        const auto r = rt::bench::run_kernel(f.kid, t, n, ro);
+        mf[t].push_back(r.sim_mflops);
+        host[t].push_back(r.host_mflops);
+      }
+    }
+    const auto group = [&](const char* which,
+                           std::map<Transform, std::vector<double>>& m,
+                           std::vector<Transform> ts) {
+      std::vector<std::string> names;
+      std::vector<std::vector<double>> ys;
+      for (Transform t : ts) {
+        names.push_back(std::string(rt::core::transform_name(t)));
+        ys.push_back(m[t]);
+      }
+      rt::bench::print_series(std::string(f.title) + " — " + which, "N",
+                              sizes, names, ys, 1);
+    };
+    group("tiling only", mf,
+          {Transform::kOrig, Transform::kTile, Transform::kEuc3d});
+    group("tiling + padding", mf,
+          {Transform::kOrig, Transform::kGcdPad, Transform::kPad});
+    group("padding alone", mf,
+          {Transform::kOrig, Transform::kGcdPadNT, Transform::kGcdPad});
+    if (bo.host) {
+      group("host wall-clock MFlops (this machine)", host, all);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Figures 14, 16 and 18: L1 and L2 cache miss rates vs
+// problem size (N x N x 30) for JACOBI, REDBLACK and RESID, in the paper's
+// three panel groups:
+//   top:    Orig vs Tile vs Euc3D        (tiling without padding: spiky)
+//   middle: Orig vs GcdPad vs Pad        (tiling + padding: low and stable)
+//   bottom: Orig vs GcdPadNT vs GcdPad   (padding alone vs both)
+//
+// 16K/2M direct-mapped simulated caches (UltraSparc2).
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const std::vector<long> sizes = bo.sweep(200, 400, 20, 4);
+
+  rt::bench::RunOptions ro;
+  ro.time_steps = bo.steps;
+
+  const std::vector<Transform> all = {
+      Transform::kOrig,   Transform::kTile, Transform::kEuc3d,
+      Transform::kGcdPad, Transform::kPad,  Transform::kGcdPadNT};
+
+  struct Fig {
+    KernelId kid;
+    const char* title;
+  };
+  const Fig figs[] = {{KernelId::kJacobi, "Figure 14: JACOBI miss rates"},
+                      {KernelId::kRedBlack, "Figure 16: REDBLACK miss rates"},
+                      {KernelId::kResid, "Figure 18: RESID miss rates"}};
+
+  for (const Fig& f : figs) {
+    std::map<Transform, std::vector<double>> l1, l2;
+    for (long n : sizes) {
+      for (Transform t : all) {
+        const auto r = rt::bench::run_kernel(f.kid, t, n, ro);
+        l1[t].push_back(r.l1_miss_pct);
+        l2[t].push_back(r.l2_miss_pct);
+      }
+    }
+    const auto group = [&](const char* which,
+                           std::map<Transform, std::vector<double>>& m,
+                           std::vector<Transform> ts) {
+      std::vector<std::string> names;
+      std::vector<std::vector<double>> ys;
+      for (Transform t : ts) {
+        names.push_back(std::string(rt::core::transform_name(t)));
+        ys.push_back(m[t]);
+      }
+      rt::bench::print_series(std::string(f.title) + " — " + which, "N",
+                              sizes, names, ys);
+    };
+    group("L1 %, tiling only", l1,
+          {Transform::kOrig, Transform::kTile, Transform::kEuc3d});
+    group("L1 %, tiling + padding", l1,
+          {Transform::kOrig, Transform::kGcdPad, Transform::kPad});
+    group("L1 %, padding alone", l1,
+          {Transform::kOrig, Transform::kGcdPadNT, Transform::kGcdPad});
+    group("L2 %, all", l2,
+          {Transform::kOrig, Transform::kTile, Transform::kEuc3d,
+           Transform::kGcdPad, Transform::kPad, Transform::kGcdPadNT});
+  }
+  return 0;
+}

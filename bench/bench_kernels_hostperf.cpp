@@ -1,0 +1,118 @@
+// Host-machine kernel throughput (google-benchmark): the secondary,
+// wall-clock signal.  On a modern associative-cache host the paper's
+// conflict effects are absent (see bench_ablation_assoc), but tiling can
+// still help or at least must not hurt; this microbenchmark tracks that.
+
+#include <benchmark/benchmark.h>
+
+#include "rt/array/array3d.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/kernel_info.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/kernels/resid.hpp"
+
+namespace {
+
+using rt::array::Array3D;
+using rt::array::Dims3;
+using rt::core::Transform;
+
+Dims3 dims_for(Transform tr, long n, long kd,
+               const rt::core::StencilSpec& spec, rt::core::TilingPlan* plan) {
+  *plan = rt::core::plan_for(tr, 2048, n, n, spec);
+  return Dims3::padded(n, n, kd, plan->dip, plan->djp);
+}
+
+void init(Array3D<double>& a) {
+  for (long k = 0; k < a.n3(); ++k)
+    for (long j = 0; j < a.n2(); ++j)
+      for (long i = 0; i < a.n1(); ++i)
+        a(i, j, k) = 0.001 * static_cast<double>(i + 2 * j + 3 * k);
+}
+
+void BM_Jacobi(benchmark::State& state) {
+  const long n = state.range(0);
+  const auto tr = static_cast<Transform>(state.range(1));
+  rt::core::TilingPlan plan;
+  const Dims3 d = dims_for(tr, n, 30, rt::core::StencilSpec::jacobi3d(), &plan);
+  Array3D<double> a(d), b(d);
+  init(b);
+  for (auto _ : state) {
+    if (plan.tiled) {
+      rt::kernels::jacobi3d_tiled(a, b, 1.0 / 6.0, plan.tile);
+    } else {
+      rt::kernels::jacobi3d(a, b, 1.0 / 6.0);
+    }
+    rt::kernels::copy_interior(b, a);
+    benchmark::ClobberMemory();
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      6.0 * static_cast<double>((n - 2) * (n - 2) * 28) *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Jacobi)
+    ->ArgsProduct({{200, 300, 400},
+                   {static_cast<long>(Transform::kOrig),
+                    static_cast<long>(Transform::kGcdPad)}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RedBlack(benchmark::State& state) {
+  const long n = state.range(0);
+  const auto tr = static_cast<Transform>(state.range(1));
+  rt::core::TilingPlan plan;
+  const Dims3 d =
+      dims_for(tr, n, 30, rt::core::StencilSpec::redblack3d(), &plan);
+  Array3D<double> a(d);
+  init(a);
+  for (auto _ : state) {
+    if (plan.tiled) {
+      rt::kernels::redblack_tiled(a, 0.4, 0.1, plan.tile);
+    } else {
+      rt::kernels::redblack_naive(a, 0.4, 0.1);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      8.0 * static_cast<double>((n - 2) * (n - 2) * 28) *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RedBlack)
+    ->ArgsProduct({{200, 300, 400},
+                   {static_cast<long>(Transform::kOrig),
+                    static_cast<long>(Transform::kGcdPad)}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Resid(benchmark::State& state) {
+  const long n = state.range(0);
+  const auto tr = static_cast<Transform>(state.range(1));
+  rt::core::TilingPlan plan;
+  const Dims3 d = dims_for(tr, n, 30, rt::core::StencilSpec::resid27(), &plan);
+  Array3D<double> r(d), v(d), u(d);
+  init(v);
+  init(u);
+  const auto a = rt::kernels::nas_mg_a();
+  for (auto _ : state) {
+    if (plan.tiled) {
+      rt::kernels::resid_tiled(r, v, u, a, plan.tile);
+    } else {
+      rt::kernels::resid(r, v, u, a);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.counters["MFlops"] = benchmark::Counter(
+      31.0 * static_cast<double>((n - 2) * (n - 2) * 28) *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Resid)
+    ->ArgsProduct({{200, 300, 400},
+                   {static_cast<long>(Transform::kOrig),
+                    static_cast<long>(Transform::kGcdPad)}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

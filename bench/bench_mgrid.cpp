@@ -1,0 +1,148 @@
+// Reproduces paper Section 4.6: the MGRID application experiment — tile
+// RESID (with GcdPad padding) at the finest grid only, and measure the
+// whole-application effect.  The paper reports 6% total execution time
+// improvement at the SPEC reference size 130x130x130, noting that this
+// size "initially encounters a modest L1 miss rate of only 6.8%", and
+// expects "additional improvements ... from tiling the remaining
+// subroutines" — so we also report the RESID+PSINV-tiled variant.
+//
+// Inter-variable padding (Section 3.5) staggers the solver's array bases:
+// without it a back-to-back layout of the padded 160x144x130 arrays puts
+// V(i,j,k) exactly on top of U(i,j,k) in the 16K L1 and *destroys* the
+// benefit (see docs/THEORY.md Section 5 and EXPERIMENTS.md).
+//
+// Setup/initialisation is excluded from the measured statistics, and the
+// solver runs 4 V-cycles (the MGRID reference iteration count).
+// Correctness: all variants must produce bitwise-identical residual norms.
+
+#include <chrono>
+#include <iostream>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+#include "rt/cachesim/perf_model.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/multigrid/mg_solver.hpp"
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const int lt = bo.nmax > 0 ? static_cast<int>(bo.nmax) : 7;
+  const int iters = bo.steps > 2 ? bo.steps : 4;
+  const long n = (1L << lt) + 2;
+
+  const auto resid_spec = rt::core::StencilSpec::resid27();
+  const auto gcd_plan =
+      rt::core::plan_for(rt::core::Transform::kGcdPad, 2048, n, n, resid_spec);
+
+  std::cout << "MGRID experiment (paper Section 4.6): " << n << "^3 finest "
+            << "grid, " << iters << " V-cycle iterations\n"
+            << "  GcdPad plan: tile (" << gcd_plan.tile.ti << ","
+            << gcd_plan.tile.tj << "), finest arrays padded to "
+            << gcd_plan.dip << "x" << gcd_plan.djp
+            << ", bases staggered (Section 3.5)\n\n";
+
+  struct Cfg {
+    const char* name;
+    bool tiled;
+    bool psinv;
+  } cfgs[] = {{"Orig", false, false},
+              {"GcdPad RESID", true, false},
+              {"GcdPad RESID+PSINV", true, true}};
+
+  std::vector<std::vector<std::string>> rows;
+  double base_cycles = 0, base_cycles_rd = 0, base_host = 0, base_rn = -1;
+  for (const Cfg& c : cfgs) {
+    rt::multigrid::MgOptions o;
+    o.lt = lt;
+    if (c.tiled) o.resid_plan = gcd_plan;
+    o.tile_psinv = c.psinv;
+
+    rt::cachesim::CacheHierarchy hier =
+        rt::cachesim::CacheHierarchy::ultrasparc2();
+    rt::multigrid::MgSolver sim(o, &hier);
+    sim.setup();
+    hier.reset_stats();
+    double rn = 0;
+    for (int i = 0; i < iters; ++i) rn = sim.iterate();
+    auto st = hier.stats();
+    st.flops = sim.flops();
+    rt::cachesim::PerfModelParams rd;
+    rd.read_stalls_only = true;
+    const double cyc = rt::cachesim::PerfModel().cycles(st);
+    const double cyc_rd = rt::cachesim::PerfModel(rd).cycles(st);
+
+    rt::multigrid::MgSolver nat(o);
+    nat.setup();
+    const double t0 = now_seconds();
+    double rn_host = 0;
+    for (int i = 0; i < iters; ++i) rn_host = nat.iterate();
+    const double host = now_seconds() - t0;
+    if (rn_host != rn) {
+      std::cerr << "ERROR: traced and native runs disagree\n";
+      return 1;
+    }
+    if (base_rn < 0) {
+      base_rn = rn;
+      base_cycles = cyc;
+      base_cycles_rd = cyc_rd;
+      base_host = host;
+    } else if (rn != base_rn) {
+      std::cerr << "ERROR: tiled solver changed the numerics\n";
+      return 1;
+    }
+
+    const auto impr = [](double base, double v) {
+      return rt::bench::fmt(100.0 * (base - v) / base, 1) + "%";
+    };
+    rows.push_back(
+        {c.name,
+         rt::bench::fmt(100.0 * st.l1.miss_rate(), 2),
+         rt::bench::fmt(100.0 * st.l1.read_misses /
+                            static_cast<double>(st.l1.read_accesses),
+                        2),
+         rt::bench::fmt(100.0 * st.l2_global_miss_rate(), 2),
+         rt::bench::fmt(cyc / 1e6, 0), impr(base_cycles, cyc),
+         rt::bench::fmt(cyc_rd / 1e6, 0), impr(base_cycles_rd, cyc_rd),
+         rt::bench::fmt(host, 2), impr(base_host, host)});
+  }
+
+  rt::bench::print_table({"version", "L1 miss %", "L1 read miss %",
+                          "L2 miss % (global)", "Mcycles", "impr",
+                          "Mcycles (read-stall)", "impr", "host sec",
+                          "impr"},
+                         rows);
+
+  // Kernel-level context: RESID alone at the reference size, so the
+  // app-level number can be related to the paper's Table 3 row.
+  rt::bench::RunOptions ro;
+  ro.k_dim = n;
+  ro.time_steps = 1;
+  const auto r_orig = rt::bench::run_kernel(rt::kernels::KernelId::kResid,
+                                            rt::core::Transform::kOrig, n, ro);
+  const auto r_gcd = rt::bench::run_kernel(rt::kernels::KernelId::kResid,
+                                           rt::core::Transform::kGcdPad, n,
+                                           ro);
+  std::cout << "\nRESID kernel alone at " << n << "^3: L1 "
+            << rt::bench::fmt(r_orig.l1_miss_pct, 2) << "% -> "
+            << rt::bench::fmt(r_gcd.l1_miss_pct, 2) << "%, sim MFlops "
+            << rt::bench::fmt(r_orig.sim_mflops, 1) << " -> "
+            << rt::bench::fmt(r_gcd.sim_mflops, 1) << "\n";
+
+  std::cout << "\nPaper: 6% total-time improvement at 130^3 (hardware).  "
+               "Simulated cycles land\nwithin a few percent of neutral at "
+               "this size — the L1 gain is real (see the\nread-miss "
+               "column) but partially offset in-model by tiled RESID's "
+               "deeper K-sweeps\ncosting some L2 plane reuse at K=130; "
+               "EXPERIMENTS.md discusses the deviation.\n"
+            << "Residual norms bitwise identical across variants: yes\n";
+  return 0;
+}

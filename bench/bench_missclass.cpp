@@ -1,0 +1,109 @@
+// Conflict-miss decomposition (the paper's Section 3 narrative made
+// quantitative): split each transformation's L1 misses into compulsory /
+// capacity / conflict components using a fully-associative shadow cache.
+//
+// Expected shape:
+//   Orig   — large capacity component (plane reuse lost) + conflicts;
+//   Tile   — capacity component gone, but conflicts remain (spiky in N);
+//   Euc3D/GcdPad/Pad — conflicts gone too;
+//   GcdPadNT — conflicts reduced, capacity loss remains.
+
+#include <iostream>
+#include <vector>
+
+#include "rt/array/address_space.hpp"
+#include "rt/array/array3d.hpp"
+#include "rt/bench/options.hpp"
+#include "rt/bench/table.hpp"
+#include "rt/cachesim/classify.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/kernel_info.hpp"
+
+using rt::array::Array3D;
+using rt::array::Dims3;
+using rt::core::Transform;
+
+namespace {
+
+/// Minimal accessor feeding a ClassifyingCache.
+class ClassAcc {
+ public:
+  ClassAcc(Array3D<double>& a, std::uint64_t base,
+           rt::cachesim::ClassifyingCache& c)
+      : a_(&a), base_(base), c_(&c) {}
+  long n1() const { return a_->n1(); }
+  long n2() const { return a_->n2(); }
+  long n3() const { return a_->n3(); }
+  double load(long i, long j, long k) const {
+    c_->access(base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * 8,
+               false);
+    return (*a_)(i, j, k);
+  }
+  void store(long i, long j, long k, double v) {
+    c_->access(base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * 8,
+               true);
+    (*a_)(i, j, k) = v;
+  }
+
+ private:
+  Array3D<double>* a_;
+  std::uint64_t base_;
+  rt::cachesim::ClassifyingCache* c_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const std::vector<long> sizes = bo.sweep(200, 400, 100, 50);
+  const long kd = 30;
+  const auto spec = rt::core::StencilSpec::jacobi3d();
+
+  std::vector<std::string> header{"N",          "version",   "miss %",
+                                  "compulsory %", "capacity %", "conflict %"};
+  std::vector<std::vector<std::string>> rows;
+  for (long n : sizes) {
+    for (Transform tr :
+         {Transform::kOrig, Transform::kTile, Transform::kEuc3d,
+          Transform::kGcdPad, Transform::kPad, Transform::kGcdPadNT}) {
+      const auto plan = rt::core::plan_for(tr, 2048, n, n, spec);
+      const Dims3 dims = Dims3::padded(n, n, kd, plan.dip, plan.djp);
+      Array3D<double> a(dims), b(dims);
+      for (long k = 0; k < kd; ++k)
+        for (long j = 0; j < n; ++j)
+          for (long i = 0; i < n; ++i) b(i, j, k) = 0.001 * (i + j + k);
+
+      rt::cachesim::ClassifyingCache cc(
+          rt::cachesim::CacheConfig::ultrasparc2_l1());
+      rt::array::AddressSpace space(0, 64);
+      const auto ba =
+          space.place("a", static_cast<std::uint64_t>(dims.alloc_elems()));
+      const auto bb =
+          space.place("b", static_cast<std::uint64_t>(dims.alloc_elems()));
+      ClassAcc ca(a, ba, cc), cb(b, bb, cc);
+      for (int t = 0; t < bo.steps; ++t) {
+        if (plan.tiled) {
+          rt::kernels::jacobi3d_tiled(ca, cb, 1.0 / 6.0, plan.tile);
+        } else {
+          rt::kernels::jacobi3d(ca, cb, 1.0 / 6.0);
+        }
+        rt::kernels::copy_interior(cb, ca);
+      }
+      const auto& m = cc.classes();
+      rows.push_back({std::to_string(n),
+                      std::string(rt::core::transform_name(tr)),
+                      rt::bench::fmt(m.pct(m.total_misses()), 1),
+                      rt::bench::fmt(m.pct(m.compulsory), 1),
+                      rt::bench::fmt(m.pct(m.capacity), 1),
+                      rt::bench::fmt(m.pct(m.conflict), 1)});
+    }
+  }
+  std::cout << "Miss classification (3C model, shadow fully-associative "
+               "16K): JACOBI L1\n\n";
+  rt::bench::print_table(header, rows);
+  std::cout << "\nTile eliminates the capacity component but leaves "
+               "conflicts; the paper's\nnon-conflicting tiles (Euc3D) and "
+               "padded tiles (GcdPad/Pad) eliminate both.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces the paper's Section 1 motivation: 2D stencils keep their
+// group reuse in even a small L1 for any practical column size (two columns
+// of up to 1024 doubles fit in 16K), while 3D stencils lose plane reuse as
+// soon as two N x N planes exceed the cache — N > 32 for 16K L1, N > 362
+// for 2M L2.
+
+#include <iostream>
+#include <vector>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+#include "rt/core/pad2d.hpp"
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  rt::bench::RunOptions ro;
+  ro.time_steps = bo.steps;
+
+  // 2D: miss rate vs N (flat until ~1024).
+  {
+    std::vector<long> ns = {64,  128, 256, 384,  512,  640,
+                            768, 896, 1024, 1152, 1280, 1536};
+    std::vector<double> l1, l2;
+    for (long n : ns) {
+      const auto m = rt::bench::run_jacobi2d_missrates(n, ro);
+      l1.push_back(m.l1_pct);
+      l2.push_back(m.l2_pct);
+    }
+    rt::bench::print_series(
+        "2D Jacobi miss rates: flat until 2 columns exceed 16K L1 (N>1024)",
+        "N", ns, {"L1 %", "L2 %"}, {l1, l2});
+  }
+
+  // 3D: miss rate vs N (rises once 2 planes exceed L1 at N=32; L2 reuse
+  // lost at N=362).
+  {
+    std::vector<long> ns = {16, 24, 32, 48, 64, 96, 128, 200, 256, 300, 362,
+                            400};
+    std::vector<double> l1, l2;
+    for (long n : ns) {
+      const auto m = rt::bench::run_jacobi3d_missrates(n, 30, ro);
+      l1.push_back(m.l1_pct);
+      l2.push_back(m.l2_pct);
+    }
+    rt::bench::print_series(
+        "3D Jacobi miss rates: reuse lost at N>32 (L1) and N>362 (L2)", "N",
+        ns, {"L1 %", "L2 %"}, {l1, l2});
+  }
+  // 2D pathological leading dimensions (Section 2.1: 2D codes may still
+  // need *padding* to preserve group reuse): when N divides the cache,
+  // the stencil's adjacent columns alias and reuse collapses; a few
+  // elements of intra-array padding (pad2d) restore it without tiling.
+  {
+    // Guard = one 32B cache line (4 doubles): pad only when active column
+    // windows actually share lines.  A larger guard would pad dims like
+    // 1020 that are within the 2-column capacity budget (2N <= 2048) and
+    // push them over it — worse than the disease.
+    std::vector<long> ns = {510, 512, 516, 1020, 1024, 1030};
+    std::vector<double> plain, padded;
+    std::vector<long> pads;
+    for (long n : ns) {
+      plain.push_back(rt::bench::run_jacobi2d_missrates(n, ro).l1_pct);
+      const long p1 = rt::core::pad2d(2048, n, /*window_cols=*/3,
+                                      /*guard=*/4);
+      pads.push_back(p1 - n);
+      padded.push_back(rt::bench::run_jacobi2d_missrates(n, ro, p1).l1_pct);
+    }
+    rt::bench::print_series(
+        "2D Jacobi at pathological N: padding alone restores group reuse "
+        "(Section 2.1)",
+        "N", ns, {"L1 % plain", "L1 % padded"}, {plain, padded});
+    std::cout << "pads applied (elements):";
+    for (long p : pads) std::cout << " " << p;
+    std::cout << "\n";
+  }
+
+  std::cout << "\nThis is why the paper's tiling targets 3D codes: the 2D "
+               "curve stays flat across\nall practical sizes (padding fixes "
+               "the rare pathological N), the 3D curve does\nnot (Section "
+               "1).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces paper Table 3: average performance and cache miss-rate
+// improvements over problem sizes 200-400 (N x N x 30 arrays) for JACOBI,
+// REDBLACK and RESID under the Tile / Euc3D / GcdPad / Pad / GcdPadNT
+// transformations, targeting the simulated UltraSparc2 hierarchy
+// (16K direct-mapped L1, 2M direct-mapped L2).
+//
+// Performance improvements use the simulated-cycle model by default
+// (see DESIGN.md); pass --host to add wall-clock MFlops on this machine.
+//
+// Paper values for reference (Table 3):
+//              orig L1/L2    Tile  Euc3D GcdPad  Pad  GcdPadNT
+//   JACOBI %perf              13     10    16     17     -1
+//          L1 32.7, L2 6.3   1.9    3.7   4.8    5.1    1.6   (miss-rate pts)
+//   REDBLACK %perf            89     74   120    121     10
+//          L1 22.3, L2 4.5   6.3    9.3  12.5   12.6    2.8
+//   RESID  %perf              16     17    27     24      4
+//          L1 10.1, L2 1.3   1.9    2.5   4.7    4.7    2.2
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const std::vector<long> sizes = bo.sweep(200, 400, 25, 4);
+
+  rt::bench::RunOptions ro;
+  ro.time_steps = bo.steps;
+  ro.time_host = bo.host;
+  ro.simulate = bo.simulate;
+
+  std::cout << "Table 3: average improvements over problem sizes " <<
+      sizes.front() << "-" << sizes.back() << " (NxNx30, "
+      << sizes.size() << " sizes, " << ro.time_steps << " time steps)\n";
+
+  const std::vector<Transform> opt_transforms = {
+      Transform::kTile, Transform::kEuc3d, Transform::kGcdPad,
+      Transform::kPad, Transform::kGcdPadNT};
+
+  std::vector<std::string> header{"kernel", "orig L1%", "orig L2%", "metric"};
+  for (Transform t : opt_transforms) {
+    header.push_back(std::string(rt::core::transform_name(t)));
+  }
+  std::vector<std::vector<std::string>> rows;
+
+  for (KernelId kid : rt::kernels::all_kernels()) {
+    const auto& info = rt::kernels::kernel_info(kid);
+    // metric -> transform -> running sum over sizes
+    std::map<Transform, double> sum_l1, sum_l2, sum_mf, sum_host;
+    std::vector<Transform> all = {Transform::kOrig};
+    all.insert(all.end(), opt_transforms.begin(), opt_transforms.end());
+    for (long n : sizes) {
+      for (Transform t : all) {
+        const auto r = rt::bench::run_kernel(kid, t, n, ro);
+        sum_l1[t] += r.l1_miss_pct;
+        sum_l2[t] += r.l2_miss_pct;
+        sum_mf[t] += r.sim_mflops;
+        sum_host[t] += r.host_mflops;
+      }
+    }
+    const double cnt = static_cast<double>(sizes.size());
+    const double o_l1 = sum_l1[Transform::kOrig] / cnt;
+    const double o_l2 = sum_l2[Transform::kOrig] / cnt;
+    const double o_mf = sum_mf[Transform::kOrig] / cnt;
+    const double o_host = sum_host[Transform::kOrig] / cnt;
+
+    const auto add_row = [&](const std::string& metric, auto value) {
+      std::vector<std::string> row{std::string(info.name),
+                                   rt::bench::fmt(o_l1, 1),
+                                   rt::bench::fmt(o_l2, 1), metric};
+      for (Transform t : opt_transforms) row.push_back(value(t));
+      rows.push_back(std::move(row));
+    };
+    add_row("% perf (sim)", [&](Transform t) {
+      return rt::bench::fmt(100.0 * (sum_mf[t] / cnt - o_mf) / o_mf, 0);
+    });
+    if (bo.host) {
+      add_row("% perf (host)", [&](Transform t) {
+        return rt::bench::fmt(100.0 * (sum_host[t] / cnt - o_host) / o_host,
+                              0);
+      });
+    }
+    add_row("L1 miss rate", [&](Transform t) {
+      return rt::bench::fmt(o_l1 - sum_l1[t] / cnt, 1);
+    });
+    add_row("L2 miss rate", [&](Transform t) {
+      return rt::bench::fmt(o_l2 - sum_l2[t] / cnt, 1);
+    });
+  }
+  rt::bench::print_table(header, rows);
+  std::cout << "\n(miss-rate rows are percentage-point reductions vs Orig, "
+               "as in the paper)\n";
+  return 0;
+}

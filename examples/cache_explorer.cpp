@@ -1,0 +1,62 @@
+// cache_explorer: study how array dimensions interact with a direct-mapped
+// cache — the phenomenon behind the whole paper.  For each leading
+// dimension DI in a range, it reports:
+//   * the best conflict-free Euc3D tile and its cost (spiky vs DI!),
+//   * the pad GcdPad/Pad would apply and the resulting tile,
+//   * the simulated L1 miss rate of tiled Jacobi with and without padding.
+//
+// Try: cache_explorer 336 346   — and watch DI=341 (the paper's
+// pathological example) force a (110,4) sliver of a tile.
+//
+// Usage: cache_explorer [dmin] [dmax]   (default 336 346)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+#include "rt/core/euc3d.hpp"
+#include "rt/core/gcdpad.hpp"
+#include "rt/core/pad.hpp"
+
+int main(int argc, char** argv) {
+  const long dmin = argc > 1 ? std::atol(argv[1]) : 336;
+  const long dmax = argc > 2 ? std::atol(argv[2]) : 346;
+  const auto spec = rt::core::StencilSpec::jacobi3d();
+  const long cs = 2048;
+
+  std::cout << "Direct-mapped cache: " << cs << " doubles (16KB).  Stencil: "
+            << spec.name << " (ATD " << spec.atd << ")\n\n";
+
+  std::vector<std::string> header{"DI",       "Euc3D tile", "cost",
+                                  "Pad dims", "Pad tile",   "cost",
+                                  "L1% Euc3D", "L1% Pad"};
+  std::vector<std::vector<std::string>> rows;
+  rt::bench::RunOptions ro;
+  ro.time_steps = 1;
+
+  for (long di = dmin; di <= dmax; ++di) {
+    const auto e = rt::core::euc3d(cs, di, di, spec);
+    const auto p = rt::core::pad(cs, di, di, spec);
+    const auto r_euc = rt::bench::run_kernel(
+        rt::kernels::KernelId::kJacobi, rt::core::Transform::kEuc3d, di, ro);
+    const auto r_pad = rt::bench::run_kernel(
+        rt::kernels::KernelId::kJacobi, rt::core::Transform::kPad, di, ro);
+    rows.push_back(
+        {std::to_string(di),
+         "(" + std::to_string(e.tile.ti) + "," + std::to_string(e.tile.tj) +
+             ")",
+         rt::bench::fmt(e.tile_cost, 3),
+         std::to_string(p.dip) + "x" + std::to_string(p.djp),
+         "(" + std::to_string(p.tile.ti) + "," + std::to_string(p.tile.tj) +
+             ")",
+         rt::bench::fmt(rt::core::cost(p.tile, spec), 3),
+         rt::bench::fmt(r_euc.l1_miss_pct, 1),
+         rt::bench::fmt(r_pad.l1_miss_pct, 1)});
+  }
+  rt::bench::print_table(header, rows);
+  std::cout << "\nNote how a one-element change in DI can wreck the best "
+               "unpadded tile, while the\npadded tile (and its miss rate) "
+               "stays stable — the heart of Sections 3.3-3.4.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// multigrid_demo: solve A u = v with the NAS-MG-style V-cycle solver,
+// optionally with the paper's tiled+padded RESID at the finest grid
+// (Section 4.6).  Shows the residual history and, when tiling is on, that
+// the numerics are bitwise unchanged while the finest-level stencil runs
+// in cache-friendly tiles.
+//
+// Usage: multigrid_demo [lt] [iters] [--tiled]   (default lt=6 -> 66^3, 5)
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "rt/core/plan.hpp"
+#include "rt/multigrid/mg_solver.hpp"
+
+int main(int argc, char** argv) {
+  int lt = 6, iters = 5;
+  bool tiled = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiled") == 0) {
+      tiled = true;
+    } else if (++positional == 1) {
+      lt = std::atoi(argv[i]);
+    } else if (positional == 2) {
+      iters = std::atoi(argv[i]);
+    }
+  }
+  if (lt < 2 || lt > 8 || iters < 1) {
+    std::cerr << "usage: multigrid_demo [lt 2-8] [iters] [--tiled]\n";
+    return 2;
+  }
+
+  rt::multigrid::MgOptions o;
+  o.lt = lt;
+  const long n = (1L << lt) + 2;
+  if (tiled) {
+    o.resid_plan = rt::core::plan_for(rt::core::Transform::kGcdPad, 2048, n,
+                                      n, rt::core::StencilSpec::resid27());
+    o.tile_psinv = true;
+  }
+
+  std::cout << "multigrid_demo: " << n << "^3 finest grid, " << lt
+            << " levels, " << iters << " V-cycles"
+            << (tiled ? " (tiled+padded RESID/PSINV at finest level)" : "")
+            << "\n";
+  if (tiled) {
+    std::cout << "  tile (" << o.resid_plan.tile.ti << ","
+              << o.resid_plan.tile.tj << "), finest arrays padded to "
+              << o.resid_plan.dip << "x" << o.resid_plan.djp << "\n";
+  }
+
+  rt::multigrid::MgSolver s(o);
+  s.setup();
+  double first = 0;
+  double last = 0;
+  for (int it = 0; it < iters; ++it) {
+    last = s.iterate();
+    if (it == 0) first = last;
+    std::cout << "  iter " << it << ": ||r||_2 = " << last << "\n";
+  }
+  const double final_norm = s.residual_norm();
+  std::cout << "  final   ||r||_2 = " << final_norm << "\n"
+            << "Reduction over " << iters
+            << " V-cycles: " << (first / final_norm) << "x\n";
+  return final_norm < first ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: configure, build, test, and regenerate
+# every paper artifact.  Pass --full to use paper-resolution problem-size
+# sweeps (slower).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+mkdir -p results
+{
+  for b in build/bench/*; do
+    echo "===== $(basename "$b") ====="
+    "$b" ${FULL_FLAG}
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+cp bench_output.txt results/bench_all.txt
+echo "Done: test_output.txt, bench_output.txt"

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic placement of arrays in a simulated address space.
+//
+// The cache simulator reasons about absolute byte addresses; where each
+// array starts matters for cross-interference (paper, Section 3.5).  This
+// mimics Fortran COMMON-block layout: arrays are placed back to back, each
+// aligned to a configurable boundary, starting at a fixed base.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rt::array {
+
+/// One placed array: [base_bytes, base_bytes + elems*elem_bytes).
+struct Placement {
+  std::string name;
+  std::uint64_t base_bytes = 0;
+  std::uint64_t elems = 0;
+  std::uint32_t elem_bytes = 0;
+};
+
+class AddressSpace {
+ public:
+  /// @param base_bytes   address of the first array
+  /// @param align_bytes  alignment of each array's base (power of two)
+  explicit AddressSpace(std::uint64_t base_bytes = 0,
+                        std::uint64_t align_bytes = 64);
+
+  /// Reserve room for @p elems elements of @p elem_bytes each; returns the
+  /// base byte address assigned to the array.
+  std::uint64_t place(std::string name, std::uint64_t elems,
+                      std::uint32_t elem_bytes = 8);
+
+  /// Like place(), but advances the cursor (inserting inter-variable
+  /// padding) until base % mod_bytes == off_bytes — the primitive behind
+  /// the paper's Section 3.5 inter-variable padding, where each array's
+  /// base must land in its own cache partition.
+  std::uint64_t place_mod(std::string name, std::uint64_t elems,
+                          std::uint32_t elem_bytes, std::uint64_t mod_bytes,
+                          std::uint64_t off_bytes);
+
+  const std::vector<Placement>& placements() const { return placements_; }
+  std::uint64_t next_free() const { return next_; }
+
+ private:
+  std::uint64_t next_;
+  std::uint64_t align_;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace rt::array

@@ -1,0 +1,131 @@
+#pragma once
+// Column-major (Fortran-layout) 3D array with independently padded leading
+// dimensions.  This is the storage substrate every kernel in this repo runs
+// on: the I index is fastest-varying, exactly as in the paper's Fortran
+// codes, so cache behaviour of C++ loops matches the paper's loop nests.
+//
+// Padding model (paper, Section 3.4): the *logical* extents are (n1, n2, n3)
+// but the array may be allocated with leading dimensions (p1 >= n1,
+// p2 >= n2).  Element (i, j, k) lives at linear index i + p1*(j + p2*k).
+// Inter-array padding is handled by rt::array::AddressSpace.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rt::array {
+
+/// Logical + padded dimensions of a 3D array.  All values in elements.
+struct Dims3 {
+  long n1 = 0;  ///< logical extent of fastest (I) dimension
+  long n2 = 0;  ///< logical extent of middle (J) dimension
+  long n3 = 0;  ///< logical extent of slowest (K) dimension
+  long p1 = 0;  ///< padded leading dimension, p1 >= n1
+  long p2 = 0;  ///< padded second dimension, p2 >= n2
+
+  /// Dims with no padding.
+  static constexpr Dims3 unpadded(long n1, long n2, long n3) {
+    return Dims3{n1, n2, n3, n1, n2};
+  }
+  /// Dims with padded leading dimensions (p1 x p2 x n3 allocation).
+  static constexpr Dims3 padded(long n1, long n2, long n3, long p1, long p2) {
+    return Dims3{n1, n2, n3, p1, p2};
+  }
+
+  constexpr long column_stride() const { return p1; }
+  constexpr long plane_stride() const { return p1 * p2; }
+  constexpr long alloc_elems() const { return p1 * p2 * n3; }
+  constexpr bool valid() const {
+    return n1 > 0 && n2 > 0 && n3 > 0 && p1 >= n1 && p2 >= n2;
+  }
+  friend constexpr bool operator==(const Dims3&, const Dims3&) = default;
+};
+
+/// Column-major 3D array.  operator()/load/store use 0-based indices.
+/// The load/store member functions form the "accessor" concept shared with
+/// rt::cachesim::TracedArray3D so stencil kernels can be instantiated either
+/// for native execution (timing) or trace-driven cache simulation.
+template <class T>
+class Array3D {
+ public:
+  Array3D() = default;
+  explicit Array3D(Dims3 d, T init = T{})
+      : d_(d), data_(static_cast<std::size_t>(d.alloc_elems()), init) {
+    assert(d.valid());
+  }
+  Array3D(long n1, long n2, long n3, T init = T{})
+      : Array3D(Dims3::unpadded(n1, n2, n3), init) {}
+
+  const Dims3& dims() const { return d_; }
+  long n1() const { return d_.n1; }
+  long n2() const { return d_.n2; }
+  long n3() const { return d_.n3; }
+
+  /// Linear element index of (i, j, k) within the allocation.
+  long index(long i, long j, long k) const {
+    assert(i >= 0 && i < d_.p1);
+    assert(j >= 0 && j < d_.p2);
+    assert(k >= 0 && k < d_.n3);
+    return i + d_.p1 * (j + d_.p2 * k);
+  }
+
+  T& operator()(long i, long j, long k) {
+    return data_[static_cast<std::size_t>(index(i, j, k))];
+  }
+  const T& operator()(long i, long j, long k) const {
+    return data_[static_cast<std::size_t>(index(i, j, k))];
+  }
+
+  // Accessor concept (see rt::kernels): every read is a load(), every write
+  // a store().  For the native array these compile down to plain indexing.
+  T load(long i, long j, long k) const { return (*this)(i, j, k); }
+  void store(long i, long j, long k, T v) { (*this)(i, j, k) = v; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  Dims3 d_{};
+  std::vector<T> data_;
+};
+
+/// Column-major 2D array (used by the 2D-vs-3D motivation study).
+template <class T>
+class Array2D {
+ public:
+  Array2D() = default;
+  Array2D(long n1, long n2, long p1 = -1)
+      : n1_(n1), n2_(n2), p1_(p1 < 0 ? n1 : p1),
+        data_(static_cast<std::size_t>(p1_ * n2), T{}) {
+    assert(n1 > 0 && n2 > 0 && p1_ >= n1);
+  }
+
+  long n1() const { return n1_; }
+  long n2() const { return n2_; }
+  long p1() const { return p1_; }
+
+  long index(long i, long j) const {
+    assert(i >= 0 && i < p1_ && j >= 0 && j < n2_);
+    return i + p1_ * j;
+  }
+  T& operator()(long i, long j) {
+    return data_[static_cast<std::size_t>(index(i, j))];
+  }
+  const T& operator()(long i, long j) const {
+    return data_[static_cast<std::size_t>(index(i, j))];
+  }
+  T load(long i, long j) const { return (*this)(i, j); }
+  void store(long i, long j, T v) { (*this)(i, j) = v; }
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  long n1_ = 0, n2_ = 0, p1_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace rt::array

@@ -1,0 +1,44 @@
+#include "rt/array/address_space.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rt::array {
+
+namespace {
+std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
+  return (x + a - 1) / a * a;
+}
+}  // namespace
+
+AddressSpace::AddressSpace(std::uint64_t base_bytes, std::uint64_t align_bytes)
+    : next_(base_bytes), align_(align_bytes) {
+  assert(align_bytes > 0 && (align_bytes & (align_bytes - 1)) == 0);
+}
+
+std::uint64_t AddressSpace::place(std::string name, std::uint64_t elems,
+                                  std::uint32_t elem_bytes) {
+  next_ = align_up(next_, align_);
+  const std::uint64_t base = next_;
+  placements_.push_back(Placement{std::move(name), base, elems, elem_bytes});
+  next_ += elems * elem_bytes;
+  return base;
+}
+
+std::uint64_t AddressSpace::place_mod(std::string name, std::uint64_t elems,
+                                      std::uint32_t elem_bytes,
+                                      std::uint64_t mod_bytes,
+                                      std::uint64_t off_bytes) {
+  assert(mod_bytes > 0 && off_bytes < mod_bytes);
+  next_ = align_up(next_, align_);
+  const std::uint64_t rem = next_ % mod_bytes;
+  if (rem != off_bytes) {
+    next_ += (off_bytes + mod_bytes - rem) % mod_bytes;
+  }
+  const std::uint64_t base = next_;
+  placements_.push_back(Placement{std::move(name), base, elems, elem_bytes});
+  next_ += elems * elem_bytes;
+  return base;
+}
+
+}  // namespace rt::array

@@ -1,0 +1,31 @@
+#pragma once
+// Tiny CLI option parser shared by the bench executables.
+//
+// Common flags:
+//   --full          dense problem-size sweep (paper resolution; slower)
+//   --nmin=N --nmax=N --nstep=N   override the sweep range
+//   --steps=N       measured time steps per configuration
+//   --host          also run host wall-clock timing
+//   --no-sim        skip cache simulation
+
+#include <string>
+#include <vector>
+
+namespace rt::bench {
+
+struct BenchOptions {
+  bool full = false;
+  bool host = false;
+  bool simulate = true;
+  long nmin = 0, nmax = 0, nstep = 0;  // 0 = bench default
+  int steps = 2;
+  std::string csv;  ///< --csv=PATH: also append CSV blocks to this file
+
+  /// Sweep of problem sizes honouring the defaults and overrides.
+  std::vector<long> sweep(long def_min, long def_max, long def_step,
+                          long full_step) const;
+};
+
+BenchOptions parse_options(int argc, char** argv);
+
+}  // namespace rt::bench

@@ -1,0 +1,69 @@
+#pragma once
+// Experiment runner shared by the paper-reproduction benches and the
+// integration tests: builds the (transform, kernel, size) configuration,
+// allocates (possibly padded) arrays, runs the kernel trace-driven through
+// the simulated UltraSparc2 hierarchy and/or natively for host timing, and
+// reports the paper's metrics.
+
+#include <cstdint>
+
+#include "rt/cachesim/config.hpp"
+#include "rt/cachesim/perf_model.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/kernels/kernel_info.hpp"
+
+namespace rt::bench {
+
+struct RunOptions {
+  bool simulate = true;    ///< trace-driven cache simulation
+  bool time_host = false;  ///< wall-clock host timing (secondary signal)
+  int time_steps = 2;      ///< time-step iterations measured in simulation
+  double min_host_seconds = 0.05;
+  long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
+  rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
+  rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
+  rt::cachesim::PerfModelParams perf =
+      rt::cachesim::PerfModelParams::ultrasparc2_360();
+
+  /// Planner target: L1 capacity in doubles (2048 for the 16K L1).
+  long cs_elems() const { return static_cast<long>(l1.size_bytes / 8); }
+};
+
+struct RunResult {
+  rt::core::TilingPlan plan;
+  double l1_miss_pct = 0;   ///< simulated L1 miss rate (percent)
+  /// Simulated *global* L2 miss rate: L2 misses / all references, the
+  /// convention consistent with the paper's Table 3 (local L2 ratios would
+  /// rise as tiling removes easy L2 hits, which is not what it reports).
+  double l2_miss_pct = 0;
+  double sim_mflops = 0;    ///< perf-model MFlops (simulated machine)
+  double host_mflops = 0;   ///< wall-clock MFlops on this host (0 if off)
+  std::uint64_t sim_accesses = 0;
+  std::uint64_t sim_flops = 0;
+  double mem_elems = 0;  ///< total allocated elements across all arrays
+};
+
+/// Run one (kernel, transform, N) configuration on N x N x k_dim arrays.
+RunResult run_kernel(rt::kernels::KernelId id, rt::core::Transform tr, long n,
+                     const RunOptions& opts);
+
+/// Same, but with an explicit externally computed tiling/padding plan
+/// (used by the ablation benches to explore off-policy plans).
+RunResult run_kernel_with_plan(rt::kernels::KernelId id,
+                               const rt::core::TilingPlan& plan, long n,
+                               const RunOptions& opts);
+
+/// Simulated L1/L2 miss rates of the 2D Jacobi stencil nest on an n x n
+/// array — used by the 2D-vs-3D motivation study (no copy-back, so the
+/// intra-array column reuse is isolated).
+struct MissRates {
+  double l1_pct = 0;
+  double l2_pct = 0;
+};
+/// @param p1  optional padded leading dimension (0 = unpadded)
+MissRates run_jacobi2d_missrates(long n, const RunOptions& opts, long p1 = 0);
+
+/// Same for 3D Jacobi on n x n x k arrays without tiling.
+MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts);
+
+}  // namespace rt::bench

@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text table/series printers shaped like the paper's tables and
+// figures (the "figures" print as aligned numeric series suitable for
+// eyeballing and for gnuplot-style post-processing).
+
+#include <string>
+#include <vector>
+
+namespace rt::bench {
+
+/// Format a double with fixed precision.
+std::string fmt(double v, int prec = 1);
+
+/// Print an aligned table: header row + data rows, columns padded.
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Print a figure-like series block: one x column and several y columns.
+void print_series(const std::string& title, const std::string& xlabel,
+                  const std::vector<long>& xs,
+                  const std::vector<std::string>& names,
+                  const std::vector<std::vector<double>>& ys, int prec = 2);
+
+/// Optional machine-readable sink: when set (via --csv=PATH or
+/// set_csv_sink), every print_table/print_series call also appends CSV
+/// blocks to the file, so figure data can be plotted downstream without
+/// scraping the ASCII output.
+void set_csv_sink(const std::string& path);
+void close_csv_sink();
+
+}  // namespace rt::bench

@@ -1,0 +1,59 @@
+#include "rt/bench/options.hpp"
+
+#include "rt/bench/table.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace rt::bench {
+
+std::vector<long> BenchOptions::sweep(long def_min, long def_max,
+                                      long def_step, long full_step) const {
+  const long lo = nmin > 0 ? nmin : def_min;
+  const long hi = nmax > 0 ? nmax : def_max;
+  long st = nstep > 0 ? nstep : (full ? full_step : def_step);
+  if (st <= 0) st = 1;
+  std::vector<long> xs;
+  for (long n = lo; n <= hi; n += st) xs.push_back(n);
+  if (xs.empty() || xs.back() != hi) xs.push_back(hi);
+  return xs;
+}
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto num = [&](const char* prefix) -> long {
+      return std::atol(a.c_str() + std::strlen(prefix));
+    };
+    if (a == "--full") {
+      o.full = true;
+    } else if (a == "--host") {
+      o.host = true;
+    } else if (a == "--no-sim") {
+      o.simulate = false;
+    } else if (a.rfind("--nmin=", 0) == 0) {
+      o.nmin = num("--nmin=");
+    } else if (a.rfind("--nmax=", 0) == 0) {
+      o.nmax = num("--nmax=");
+    } else if (a.rfind("--nstep=", 0) == 0) {
+      o.nstep = num("--nstep=");
+    } else if (a.rfind("--steps=", 0) == 0) {
+      o.steps = static_cast<int>(num("--steps="));
+    } else if (a.rfind("--csv=", 0) == 0) {
+      o.csv = a.substr(6);
+      set_csv_sink(o.csv);
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
+                   "--steps= --csv=FILE\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+}  // namespace rt::bench

@@ -1,0 +1,282 @@
+#include "rt/bench/runner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "rt/array/address_space.hpp"
+#include "rt/array/array3d.hpp"
+#include "rt/cachesim/hierarchy.hpp"
+#include "rt/cachesim/traced_array.hpp"
+#include "rt/kernels/jacobi2d.hpp"
+#include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/kernels/resid.hpp"
+#include "rt/multigrid/operators.hpp"
+
+namespace rt::bench {
+
+namespace {
+
+using rt::array::Array2D;
+using rt::array::Array3D;
+using rt::array::Dims3;
+using rt::cachesim::CacheHierarchy;
+using rt::cachesim::TracedArray2D;
+using rt::cachesim::TracedArray3D;
+using rt::core::TilingPlan;
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+/// Deterministic smooth-ish initialisation (values are irrelevant to the
+/// cache trace; they only need to stay finite across sweeps).
+void init_grid(Array3D<double>& a, double scale) {
+  for (long k = 0; k < a.n3(); ++k) {
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        a(i, j, k) = scale * (0.001 * static_cast<double>(i) +
+                              0.002 * static_cast<double>(j) +
+                              0.003 * static_cast<double>(k));
+      }
+    }
+  }
+}
+
+std::uint64_t interior(long n, long k) {
+  return static_cast<std::uint64_t>(n - 2) * static_cast<std::uint64_t>(n - 2) *
+         static_cast<std::uint64_t>(k - 2);
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One full measured time step of a kernel, templated over accessors.
+struct JacobiStep {
+  double c = 1.0 / 6.0;
+  TilingPlan plan;
+  template <class A, class B>
+  void operator()(A& a, B& b) const {
+    if (plan.tiled) {
+      rt::kernels::jacobi3d_tiled(a, b, c, plan.tile);
+    } else {
+      rt::kernels::jacobi3d(a, b, c);
+    }
+    rt::kernels::copy_interior(b, a);
+  }
+};
+
+struct RedBlackStep {
+  double c1 = 0.4, c2 = 0.1;
+  TilingPlan plan;
+  template <class A>
+  void operator()(A& a) const {
+    if (plan.tiled) {
+      rt::kernels::redblack_tiled(a, c1, c2, plan.tile);
+    } else {
+      rt::kernels::redblack_naive(a, c1, c2);
+    }
+  }
+};
+
+struct ResidStep {
+  rt::kernels::ResidCoeffs a = rt::kernels::nas_mg_a();
+  TilingPlan plan;
+  template <class R, class V, class U>
+  void operator()(R& r, V& v, U& u) const {
+    if (plan.tiled) {
+      rt::kernels::resid_tiled(r, v, u, a, plan.tile);
+    } else {
+      rt::kernels::resid(r, v, u, a);
+    }
+  }
+};
+
+struct PsinvStep {
+  rt::multigrid::SmootherCoeffs c = rt::multigrid::nas_mg_c();
+  TilingPlan plan;
+  template <class U, class R>
+  void operator()(U& u, R& r) const {
+    if (plan.tiled) {
+      rt::multigrid::psinv_tiled(u, r, c, plan.tile);
+    } else {
+      rt::multigrid::psinv(u, r, c);
+    }
+  }
+};
+
+/// Flops per time step (stencil nest(s); the Jacobi copy-back adds none).
+std::uint64_t flops_per_step(KernelId id, long n, long k) {
+  return rt::kernels::kernel_info(id).flops_per_point * interior(n, k);
+}
+
+/// Host timing loop: run `step` until the time budget is met.
+template <class StepFn>
+double time_host_mflops(StepFn&& step, std::uint64_t flops_per_iter,
+                        double min_seconds) {
+  // Warm-up iteration (page faults, cache warm-up).
+  step();
+  int iters = 0;
+  const double t0 = now_seconds();
+  double t1 = t0;
+  do {
+    step();
+    ++iters;
+    t1 = now_seconds();
+  } while (t1 - t0 < min_seconds);
+  return static_cast<double>(flops_per_iter) * iters / (t1 - t0) / 1e6;
+}
+
+}  // namespace
+
+RunResult run_kernel(KernelId id, Transform tr, long n, const RunOptions& opts) {
+  const rt::core::TilingPlan plan = rt::core::plan_for(
+      tr, opts.cs_elems(), n, n, rt::kernels::kernel_info(id).spec);
+  return run_kernel_with_plan(id, plan, n, opts);
+}
+
+RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
+                               long n, const RunOptions& opts) {
+  if (n < 4) throw std::invalid_argument("run_kernel: n too small");
+  const rt::kernels::KernelInfo& info = rt::kernels::kernel_info(id);
+  RunResult res;
+  res.plan = plan;
+
+  const long kd = opts.k_dim;
+  const Dims3 dims = Dims3::padded(n, n, kd, res.plan.dip, res.plan.djp);
+
+  // Allocate the kernel's arrays and place them back to back (Fortran
+  // COMMON style) in the simulated address space.
+  std::vector<Array3D<double>> arrays;
+  for (int i = 0; i < info.num_arrays; ++i) {
+    arrays.emplace_back(dims);
+    init_grid(arrays.back(), 1.0 / (1.0 + i));
+  }
+  rt::array::AddressSpace space(0, 64);
+  std::vector<std::uint64_t> bases;
+  for (int i = 0; i < info.num_arrays; ++i) {
+    bases.push_back(space.place("arr" + std::to_string(i),
+                                static_cast<std::uint64_t>(dims.alloc_elems())));
+  }
+  res.mem_elems = static_cast<double>(dims.alloc_elems()) * info.num_arrays;
+
+  const std::uint64_t fl_step = flops_per_step(id, n, kd);
+
+  if (opts.simulate) {
+    CacheHierarchy hier(opts.l1, opts.l2);
+    auto run_traced = [&](auto&& stepfn, auto&&... accs) {
+      for (int t = 0; t < opts.time_steps; ++t) stepfn(accs...);
+    };
+    switch (id) {
+      case KernelId::kJacobi: {
+        TracedArray3D<double> a(arrays[0], bases[0], hier);
+        TracedArray3D<double> b(arrays[1], bases[1], hier);
+        run_traced(JacobiStep{1.0 / 6.0, res.plan}, a, b);
+        break;
+      }
+      case KernelId::kRedBlack: {
+        TracedArray3D<double> a(arrays[0], bases[0], hier);
+        run_traced(RedBlackStep{0.4, 0.1, res.plan}, a);
+        break;
+      }
+      case KernelId::kResid: {
+        TracedArray3D<double> r(arrays[0], bases[0], hier);
+        TracedArray3D<double> v(arrays[1], bases[1], hier);
+        TracedArray3D<double> u(arrays[2], bases[2], hier);
+        run_traced(ResidStep{rt::kernels::nas_mg_a(), res.plan}, r, v, u);
+        break;
+      }
+      case KernelId::kPsinv: {
+        TracedArray3D<double> u(arrays[0], bases[0], hier);
+        TracedArray3D<double> r(arrays[1], bases[1], hier);
+        run_traced(PsinvStep{rt::multigrid::nas_mg_c(), res.plan}, u, r);
+        break;
+      }
+    }
+    rt::cachesim::HierarchyStats st = hier.stats();
+    st.flops = fl_step * static_cast<std::uint64_t>(opts.time_steps);
+    res.l1_miss_pct = 100.0 * st.l1.miss_rate();
+    res.l2_miss_pct = 100.0 * st.l2_global_miss_rate();
+    res.sim_accesses = st.l1.accesses;
+    res.sim_flops = st.flops;
+    res.sim_mflops = rt::cachesim::PerfModel(opts.perf).mflops(st);
+  }
+
+  if (opts.time_host) {
+    switch (id) {
+      case KernelId::kJacobi: {
+        JacobiStep s{1.0 / 6.0, res.plan};
+        res.host_mflops = time_host_mflops(
+            [&] { s(arrays[0], arrays[1]); }, fl_step, opts.min_host_seconds);
+        break;
+      }
+      case KernelId::kRedBlack: {
+        RedBlackStep s{0.4, 0.1, res.plan};
+        res.host_mflops = time_host_mflops([&] { s(arrays[0]); }, fl_step,
+                                           opts.min_host_seconds);
+        break;
+      }
+      case KernelId::kResid: {
+        ResidStep s{rt::kernels::nas_mg_a(), res.plan};
+        res.host_mflops =
+            time_host_mflops([&] { s(arrays[0], arrays[1], arrays[2]); },
+                             fl_step, opts.min_host_seconds);
+        break;
+      }
+      case KernelId::kPsinv: {
+        PsinvStep s{rt::multigrid::nas_mg_c(), res.plan};
+        res.host_mflops = time_host_mflops([&] { s(arrays[0], arrays[1]); },
+                                           fl_step, opts.min_host_seconds);
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+MissRates run_jacobi2d_missrates(long n, const RunOptions& opts, long p1) {
+  if (p1 <= 0) p1 = n;
+  Array2D<double> a(n, n, p1), b(n, n, p1);
+  for (long j = 0; j < n; ++j) {
+    for (long i = 0; i < n; ++i) {
+      b(i, j) = 0.001 * static_cast<double>(i + j);
+    }
+  }
+  rt::array::AddressSpace space(0, 64);
+  const std::uint64_t ba =
+      space.place("a", static_cast<std::uint64_t>(p1 * n));
+  const std::uint64_t bb =
+      space.place("b", static_cast<std::uint64_t>(p1 * n));
+  CacheHierarchy hier(opts.l1, opts.l2);
+  TracedArray2D<double> ta(a, ba, hier), tb(b, bb, hier);
+  // Stencil nest only (no copy-back): with the write-around L1 the store
+  // stream cannot interfere, so the measurement isolates the intra-array
+  // column reuse that Sections 1 and 2.1 reason about.
+  for (int t = 0; t < opts.time_steps; ++t) {
+    rt::kernels::jacobi2d(ta, tb, 0.25);
+  }
+  const auto st = hier.stats();
+  return MissRates{100.0 * st.l1.miss_rate(), 100.0 * st.l2_global_miss_rate()};
+}
+
+MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts) {
+  const Dims3 dims = Dims3::unpadded(n, n, k);
+  Array3D<double> a(dims), b(dims);
+  init_grid(b, 1.0);
+  rt::array::AddressSpace space(0, 64);
+  const std::uint64_t ba =
+      space.place("a", static_cast<std::uint64_t>(dims.alloc_elems()));
+  const std::uint64_t bb =
+      space.place("b", static_cast<std::uint64_t>(dims.alloc_elems()));
+  CacheHierarchy hier(opts.l1, opts.l2);
+  TracedArray3D<double> ta(a, ba, hier), tb(b, bb, hier);
+  for (int t = 0; t < opts.time_steps; ++t) {
+    rt::kernels::jacobi3d(ta, tb, 1.0 / 6.0);
+    rt::kernels::copy_interior(tb, ta);
+  }
+  const auto st = hier.stats();
+  return MissRates{100.0 * st.l1.miss_rate(), 100.0 * st.l2_global_miss_rate()};
+}
+
+}  // namespace rt::bench

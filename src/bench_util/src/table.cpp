@@ -1,0 +1,99 @@
+#include "rt/bench/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace rt::bench {
+
+namespace {
+std::ofstream& csv_stream() {
+  static std::ofstream s;
+  return s;
+}
+
+std::string csv_escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void csv_row(const std::vector<std::string>& cells) {
+  auto& s = csv_stream();
+  if (!s.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) s << ',';
+    s << csv_escape(cells[i]);
+  }
+  s << '\n';
+}
+}  // namespace
+
+void set_csv_sink(const std::string& path) {
+  close_csv_sink();
+  csv_stream().open(path, std::ios::app);
+}
+
+void close_csv_sink() {
+  if (csv_stream().is_open()) csv_stream().close();
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return std::string(buf);
+}
+
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& r : rows) {
+    for (std::size_t c = 0; c < r.size() && c < w.size(); ++c) {
+      w[c] = std::max(w[c], r[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::cout << "  ";
+      std::cout.width(static_cast<std::streamsize>(w[c]));
+      std::cout << r[c];
+    }
+    std::cout << "\n";
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + 2;
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& r : rows) print_row(r);
+
+  csv_row(header);
+  for (const auto& r : rows) csv_row(r);
+  if (csv_stream().is_open()) csv_stream() << '\n';
+}
+
+void print_series(const std::string& title, const std::string& xlabel,
+                  const std::vector<long>& xs,
+                  const std::vector<std::string>& names,
+                  const std::vector<std::vector<double>>& ys, int prec) {
+  std::cout << "\n== " << title << " ==\n";
+  if (csv_stream().is_open()) csv_stream() << "# " << title << '\n';
+  std::vector<std::string> header{xlabel};
+  header.insert(header.end(), names.begin(), names.end());
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{std::to_string(xs[i])};
+    for (const auto& series : ys) {
+      row.push_back(i < series.size() ? fmt(series[i], prec) : "-");
+    }
+    rows.push_back(std::move(row));
+  }
+  print_table(header, rows);
+}
+
+}  // namespace rt::bench

@@ -1,0 +1,96 @@
+#pragma once
+// Single cache level.  Hot path (direct-mapped tag probe) is inline; the
+// set-associative LRU path handles arbitrary associativity for the
+// associativity-ablation experiments.
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/cachesim/config.hpp"
+#include "rt/cachesim/stats.hpp"
+
+namespace rt::cachesim {
+
+struct AccessResult {
+  bool hit = false;
+  bool evicted_dirty = false;  ///< a dirty victim line was written back
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  const CacheConfig& config() const { return cfg_; }
+  const LevelStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  /// Invalidate all lines (keeps statistics).
+  void flush();
+
+  /// Probe/allocate for the line containing byte address @p addr.
+  /// @param is_write  true for stores
+  /// Updates statistics and (on miss, subject to write-allocate policy)
+  /// installs the line.
+  AccessResult access(std::uint64_t addr, bool is_write) {
+    const std::uint64_t line = addr >> line_shift_;
+    stats_.accesses++;
+    if (is_write) {
+      stats_.write_accesses++;
+    } else {
+      stats_.read_accesses++;
+    }
+    AccessResult r = (assoc_ == 1)  ? access_direct(line, is_write)
+                     : fa_mode_     ? access_fa(line, is_write)
+                                    : access_assoc(line, is_write);
+    if (!r.hit) {
+      stats_.misses++;
+      if (is_write) {
+        stats_.write_misses++;
+      } else {
+        stats_.read_misses++;
+      }
+    }
+    return r;
+  }
+
+  /// True if the line containing @p addr is currently resident (no
+  /// statistics side effects) — used by tests.
+  bool contains(std::uint64_t addr) const;
+
+ private:
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+  AccessResult access_direct(std::uint64_t line, bool is_write);
+  AccessResult access_assoc(std::uint64_t line, bool is_write);
+  AccessResult access_fa(std::uint64_t line, bool is_write);
+
+  CacheConfig cfg_;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t assoc_ = 1;
+  std::uint64_t num_sets_ = 0;
+  std::uint64_t set_mask_ = 0;
+
+  // Direct-mapped: tags_[set] = line address (kInvalid = empty).
+  // Set-associative: ways laid out contiguously per set.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint64_t> lru_;  // larger = more recently used
+  std::uint64_t lru_clock_ = 0;
+
+  // Fully-associative fast path (assoc 0 with many lines): O(1) LRU via
+  // hash map + intrusive recency list instead of scanning every way.
+  struct FaLine {
+    std::uint64_t line;
+    bool dirty;
+  };
+  bool fa_mode_ = false;
+  std::list<FaLine> fa_lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<FaLine>::iterator> fa_map_;
+
+  LevelStats stats_;
+};
+
+}  // namespace rt::cachesim

@@ -1,0 +1,39 @@
+#pragma once
+// Cache configuration.  Defaults model the Sun UltraSparc2 used in the
+// paper: 16KB direct-mapped write-through/no-write-allocate L1 data cache
+// with 32-byte lines, and a 2MB direct-mapped write-back L2 with 64-byte
+// lines.  A "write-around" L1 is exactly the assumption the paper makes
+// ("so A does not interfere", Section 1).
+
+#include <cstdint>
+
+namespace rt::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 16 * 1024;
+  std::uint32_t line_bytes = 32;
+  /// Associativity: 1 = direct-mapped, 0 = fully associative (LRU).
+  std::uint32_t assoc = 1;
+  /// On a write miss, fetch the line into this cache?
+  bool write_allocate = false;
+  /// Write-back (dirty lines) vs write-through.
+  bool write_back = false;
+
+  constexpr std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  constexpr std::uint64_t elems(std::uint32_t elem_bytes = 8) const {
+    return size_bytes / elem_bytes;
+  }
+
+  bool valid() const;
+
+  /// 16KB direct-mapped, 32B lines, write-through no-allocate.
+  static CacheConfig ultrasparc2_l1() {
+    return CacheConfig{16 * 1024, 32, 1, false, false};
+  }
+  /// 2MB direct-mapped, 64B lines, write-back write-allocate.
+  static CacheConfig ultrasparc2_l2() {
+    return CacheConfig{2 * 1024 * 1024, 64, 1, true, true};
+  }
+};
+
+}  // namespace rt::cachesim

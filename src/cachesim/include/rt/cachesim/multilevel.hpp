@@ -1,0 +1,80 @@
+#pragma once
+// Arbitrary-depth cache hierarchy: a stack of Cache levels where each
+// level sees the misses of the level above.  CacheHierarchy (the 2-level
+// L1/L2 used throughout the paper reproduction) stays as the fast common
+// case; MultiLevelCache serves studies that add a TLB or an L3.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "rt/array/array3d.hpp"
+#include "rt/cachesim/cache.hpp"
+
+namespace rt::cachesim {
+
+class MultiLevelCache {
+ public:
+  explicit MultiLevelCache(const std::vector<CacheConfig>& levels) {
+    if (levels.empty()) {
+      throw std::invalid_argument("MultiLevelCache: need >= 1 level");
+    }
+    levels_.reserve(levels.size());
+    for (const CacheConfig& c : levels) levels_.emplace_back(c);
+  }
+
+  void read(std::uint64_t addr) { access(addr, false); }
+  void write(std::uint64_t addr) { access(addr, true); }
+
+  void access(std::uint64_t addr, bool is_write) {
+    for (Cache& level : levels_) {
+      const AccessResult r = level.access(addr, is_write);
+      if (r.hit) return;
+    }
+    mem_lines_fetched_++;
+  }
+
+  std::size_t depth() const { return levels_.size(); }
+  const Cache& level(std::size_t i) const { return levels_.at(i); }
+  Cache& level(std::size_t i) { return levels_.at(i); }
+  std::uint64_t mem_lines_fetched() const { return mem_lines_fetched_; }
+
+  void reset_stats() {
+    for (Cache& level : levels_) level.reset_stats();
+    mem_lines_fetched_ = 0;
+  }
+  void flush() {
+    for (Cache& level : levels_) level.flush();
+  }
+
+ private:
+  std::vector<Cache> levels_;
+  std::uint64_t mem_lines_fetched_ = 0;
+};
+
+/// Accessor over an Array3D feeding a MultiLevelCache (mirror of
+/// TracedArray3D for the N-level case).
+template <class T, class Hier>
+class TracedArrayML {
+ public:
+  TracedArrayML(rt::array::Array3D<T>& a, std::uint64_t base_bytes, Hier& h)
+      : a_(&a), base_(base_bytes), h_(&h) {}
+  long n1() const { return a_->n1(); }
+  long n2() const { return a_->n2(); }
+  long n3() const { return a_->n3(); }
+  T load(long i, long j, long k) const {
+    h_->read(base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * sizeof(T));
+    return (*a_)(i, j, k);
+  }
+  void store(long i, long j, long k, T v) {
+    h_->write(base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * sizeof(T));
+    (*a_)(i, j, k) = v;
+  }
+
+ private:
+  rt::array::Array3D<T>* a_;
+  std::uint64_t base_;
+  Hier* h_;
+};
+
+}  // namespace rt::cachesim

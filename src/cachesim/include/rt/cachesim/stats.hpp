@@ -1,0 +1,59 @@
+#pragma once
+// Access statistics collected by a single cache level and by the hierarchy.
+
+#include <cstdint>
+
+namespace rt::cachesim {
+
+struct LevelStats {
+  std::uint64_t accesses = 0;      ///< demand accesses seen by this level
+  std::uint64_t misses = 0;        ///< demand misses
+  std::uint64_t read_accesses = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_accesses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;    ///< dirty evictions (write-back caches)
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / accesses;
+  }
+  void reset() { *this = LevelStats{}; }
+
+  LevelStats& operator+=(const LevelStats& o) {
+    accesses += o.accesses;
+    misses += o.misses;
+    read_accesses += o.read_accesses;
+    read_misses += o.read_misses;
+    write_accesses += o.write_accesses;
+    write_misses += o.write_misses;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    return *this;
+  }
+};
+
+struct HierarchyStats {
+  LevelStats l1;
+  LevelStats l2;
+  /// Total flops executed by the traced kernel (set by the runner, used by
+  /// the performance model to turn cycles into MFlops).
+  std::uint64_t flops = 0;
+
+  /// Global L2 miss rate: L2 misses over *all* references, not just those
+  /// that reached L2.  This is the multi-level convention the paper's
+  /// Table 3 uses (local L2 ratios rise as tiling removes easy L2 hits).
+  double l2_global_miss_rate() const {
+    return l1.accesses == 0
+               ? 0.0
+               : static_cast<double>(l2.misses) / static_cast<double>(l1.accesses);
+  }
+
+  void reset() {
+    l1.reset();
+    l2.reset();
+    flops = 0;
+  }
+};
+
+}  // namespace rt::cachesim

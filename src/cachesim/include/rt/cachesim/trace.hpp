@@ -1,0 +1,83 @@
+#pragma once
+// Address-trace recording and replay: run a kernel once through a
+// RecordingArray3D, then replay the captured reference stream into any
+// number of cache configurations — the classic trace-driven-simulation
+// workflow, useful when sweeping cache parameters (associativity, line
+// size, write policy) over an expensive kernel execution.
+//
+// Entries are packed as (addr << 1) | is_write; a double-precision stencil
+// sweep of 100M references costs ~800MB, so size the problem accordingly
+// or replay in windows.
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/array/array3d.hpp"
+#include "rt/cachesim/cache.hpp"
+#include "rt/cachesim/hierarchy.hpp"
+
+namespace rt::cachesim {
+
+class TraceBuffer {
+ public:
+  void append(std::uint64_t addr, bool is_write) {
+    packed_.push_back((addr << 1) | (is_write ? 1u : 0u));
+  }
+  std::size_t size() const { return packed_.size(); }
+  bool empty() const { return packed_.empty(); }
+  void clear() { packed_.clear(); }
+  void reserve(std::size_t n) { packed_.reserve(n); }
+
+  std::uint64_t addr(std::size_t i) const { return packed_[i] >> 1; }
+  bool is_write(std::size_t i) const { return (packed_[i] & 1) != 0; }
+
+  /// Replay every reference into a single cache level.
+  void replay_into(Cache& c) const {
+    for (const std::uint64_t e : packed_) {
+      c.access(e >> 1, (e & 1) != 0);
+    }
+  }
+  /// Replay every reference into a two-level hierarchy.
+  void replay_into(CacheHierarchy& h) const {
+    for (const std::uint64_t e : packed_) {
+      h.access(e >> 1, (e & 1) != 0);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> packed_;
+};
+
+/// Accessor that records the reference stream (and performs the real
+/// computation, like TracedArray3D, but into a buffer instead of a cache).
+template <class T>
+class RecordingArray3D {
+ public:
+  RecordingArray3D(rt::array::Array3D<T>& a, std::uint64_t base_bytes,
+                   TraceBuffer& buf)
+      : a_(&a), base_(base_bytes), buf_(&buf) {}
+
+  long n1() const { return a_->n1(); }
+  long n2() const { return a_->n2(); }
+  long n3() const { return a_->n3(); }
+
+  T load(long i, long j, long k) const {
+    buf_->append(
+        base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * sizeof(T),
+        false);
+    return (*a_)(i, j, k);
+  }
+  void store(long i, long j, long k, T v) {
+    buf_->append(
+        base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * sizeof(T),
+        true);
+    (*a_)(i, j, k) = v;
+  }
+
+ private:
+  rt::array::Array3D<T>* a_;
+  std::uint64_t base_;
+  TraceBuffer* buf_;
+};
+
+}  // namespace rt::cachesim

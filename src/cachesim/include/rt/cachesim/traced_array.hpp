@@ -1,0 +1,75 @@
+#pragma once
+// Traced accessors: wrap an Array3D/Array2D plus its simulated base address
+// and feed every load/store to a CacheHierarchy while still performing the
+// real computation.  Stencil kernels are templates over the accessor type,
+// so the same loop nest runs natively (host timing) or traced (simulation).
+
+#include <cstdint>
+
+#include "rt/array/array3d.hpp"
+#include "rt/cachesim/hierarchy.hpp"
+
+namespace rt::cachesim {
+
+template <class T>
+class TracedArray3D {
+ public:
+  TracedArray3D(rt::array::Array3D<T>& a, std::uint64_t base_bytes,
+                CacheHierarchy& h)
+      : a_(&a), base_(base_bytes), h_(&h) {}
+
+  long n1() const { return a_->n1(); }
+  long n2() const { return a_->n2(); }
+  long n3() const { return a_->n3(); }
+  const rt::array::Dims3& dims() const { return a_->dims(); }
+
+  std::uint64_t addr(long i, long j, long k) const {
+    return base_ + static_cast<std::uint64_t>(a_->index(i, j, k)) * sizeof(T);
+  }
+
+  T load(long i, long j, long k) const {
+    h_->read(addr(i, j, k));
+    return (*a_)(i, j, k);
+  }
+  void store(long i, long j, long k, T v) {
+    h_->write(addr(i, j, k));
+    (*a_)(i, j, k) = v;
+  }
+
+  rt::array::Array3D<T>& array() { return *a_; }
+
+ private:
+  rt::array::Array3D<T>* a_;
+  std::uint64_t base_;
+  CacheHierarchy* h_;
+};
+
+template <class T>
+class TracedArray2D {
+ public:
+  TracedArray2D(rt::array::Array2D<T>& a, std::uint64_t base_bytes,
+                CacheHierarchy& h)
+      : a_(&a), base_(base_bytes), h_(&h) {}
+
+  long n1() const { return a_->n1(); }
+  long n2() const { return a_->n2(); }
+
+  std::uint64_t addr(long i, long j) const {
+    return base_ + static_cast<std::uint64_t>(a_->index(i, j)) * sizeof(T);
+  }
+  T load(long i, long j) const {
+    h_->read(addr(i, j));
+    return (*a_)(i, j);
+  }
+  void store(long i, long j, T v) {
+    h_->write(addr(i, j));
+    (*a_)(i, j) = v;
+  }
+
+ private:
+  rt::array::Array2D<T>* a_;
+  std::uint64_t base_;
+  CacheHierarchy* h_;
+};
+
+}  // namespace rt::cachesim

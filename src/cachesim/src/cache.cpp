@@ -1,0 +1,153 @@
+#include "rt/cachesim/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rt::cachesim {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+std::uint32_t log2u(std::uint64_t x) {
+  std::uint32_t n = 0;
+  while ((x >> n) != 1) n++;
+  return n;
+}
+}  // namespace
+
+bool CacheConfig::valid() const {
+  if (!is_pow2(size_bytes) || !is_pow2(line_bytes)) return false;
+  if (line_bytes > size_bytes) return false;
+  const std::uint64_t lines = num_lines();
+  const std::uint64_t ways = (assoc == 0) ? lines : assoc;
+  if (ways == 0 || lines % ways != 0) return false;
+  return is_pow2(lines / ways);
+}
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!cfg.valid()) {
+    throw std::invalid_argument("invalid cache configuration");
+  }
+  line_shift_ = log2u(cfg.line_bytes);
+  const std::uint64_t lines = cfg.num_lines();
+  assoc_ = (cfg.assoc == 0) ? static_cast<std::uint32_t>(lines) : cfg.assoc;
+  num_sets_ = lines / assoc_;
+  set_mask_ = num_sets_ - 1;
+  fa_mode_ = (num_sets_ == 1 && assoc_ > 16);
+  if (fa_mode_) {
+    fa_map_.reserve(assoc_ * 2);
+  } else {
+    tags_.assign(lines, kInvalid);
+    dirty_.assign(lines, 0);
+    lru_.assign(lines, 0);
+  }
+}
+
+void Cache::flush() {
+  std::fill(tags_.begin(), tags_.end(), kInvalid);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  fa_lru_.clear();
+  fa_map_.clear();
+}
+
+AccessResult Cache::access_direct(std::uint64_t line, bool is_write) {
+  const std::uint64_t set = line & set_mask_;
+  if (tags_[set] == line) {
+    if (is_write && cfg_.write_back) dirty_[set] = 1;
+    return {true, false};
+  }
+  // Miss.
+  if (is_write && !cfg_.write_allocate) {
+    return {false, false};  // write-around: do not install
+  }
+  bool wb = false;
+  if (tags_[set] != kInvalid) {
+    stats_.evictions++;
+    if (dirty_[set]) {
+      stats_.writebacks++;
+      wb = true;
+    }
+  }
+  tags_[set] = line;
+  dirty_[set] = (is_write && cfg_.write_back) ? 1 : 0;
+  return {false, wb};
+}
+
+AccessResult Cache::access_assoc(std::uint64_t line, bool is_write) {
+  const std::uint64_t set = line & set_mask_;
+  const std::uint64_t base = set * assoc_;
+  ++lru_clock_;
+  std::int64_t empty_way = -1;
+  std::uint64_t victim = base;
+  std::uint64_t victim_lru = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t w = base; w < base + assoc_; ++w) {
+    if (tags_[w] == line) {
+      lru_[w] = lru_clock_;
+      if (is_write && cfg_.write_back) dirty_[w] = 1;
+      return {true, false};
+    }
+    if (tags_[w] == kInvalid) {
+      if (empty_way < 0) empty_way = static_cast<std::int64_t>(w);
+    } else if (lru_[w] < victim_lru) {
+      victim = w;
+      victim_lru = lru_[w];
+    }
+  }
+  if (empty_way >= 0) victim = static_cast<std::uint64_t>(empty_way);
+  if (is_write && !cfg_.write_allocate) {
+    return {false, false};
+  }
+  bool wb = false;
+  if (tags_[victim] != kInvalid) {
+    stats_.evictions++;
+    if (dirty_[victim]) {
+      stats_.writebacks++;
+      wb = true;
+    }
+  }
+  tags_[victim] = line;
+  dirty_[victim] = (is_write && cfg_.write_back) ? 1 : 0;
+  lru_[victim] = lru_clock_;
+  return {false, wb};
+}
+
+AccessResult Cache::access_fa(std::uint64_t line, bool is_write) {
+  const auto it = fa_map_.find(line);
+  if (it != fa_map_.end()) {
+    fa_lru_.splice(fa_lru_.begin(), fa_lru_, it->second);
+    if (is_write && cfg_.write_back) it->second->dirty = true;
+    return {true, false};
+  }
+  if (is_write && !cfg_.write_allocate) {
+    return {false, false};
+  }
+  bool wb = false;
+  if (fa_lru_.size() == assoc_) {
+    const FaLine victim = fa_lru_.back();
+    stats_.evictions++;
+    if (victim.dirty) {
+      stats_.writebacks++;
+      wb = true;
+    }
+    fa_map_.erase(victim.line);
+    fa_lru_.pop_back();
+  }
+  fa_lru_.push_front(FaLine{line, is_write && cfg_.write_back});
+  fa_map_[line] = fa_lru_.begin();
+  return {false, wb};
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr >> line_shift_;
+  if (fa_mode_) {
+    return fa_map_.find(line) != fa_map_.end();
+  }
+  const std::uint64_t set = line & set_mask_;
+  const std::uint64_t base = set * assoc_;
+  for (std::uint64_t w = base; w < base + assoc_; ++w) {
+    if (tags_[w] == line) return true;
+  }
+  return false;
+}
+
+}  // namespace rt::cachesim

@@ -1,0 +1,3 @@
+// CacheHierarchy is header-only today; this TU anchors the library and keeps
+// a home for future out-of-line members (e.g. multi-level > 2 hierarchies).
+#include "rt/cachesim/hierarchy.hpp"

@@ -1,0 +1,2 @@
+// PerfModel is header-only today; this TU anchors the library.
+#include "rt/cachesim/perf_model.hpp"

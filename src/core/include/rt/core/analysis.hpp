@@ -1,0 +1,44 @@
+#pragma once
+// Analytical L1 miss-rate prediction for the realistic 3D Jacobi pattern
+// (stencil + copy-back), derived exactly the way the paper's Section 1
+// reasons about reuse:
+//
+//  * if two N x N planes fit in cache, only the leading reference
+//    B(i,j,k+1) misses (once per line);
+//  * if planes do not fit but the three active columns do, the three
+//    plane-leading references miss (B(i,j,k+1), B(i,j+1,k), B(i,j,k-1)),
+//    i.e. 3/L misses per point;
+//  * a JI-tiled loop with iteration tile T fetches Cost(T) elements of B
+//    per point (Section 2.3), i.e. Cost(T)/L misses per point;
+//  * stores to A always miss a write-around cache (1 per point), the
+//    copy-back loop adds a read of A (1/L) and a store to B (1).
+//
+// These closed forms reproduce the simulator's plateaus (33.4% untiled,
+// ~29% tiled for L = 4) and are validated against it in the tests and in
+// bench_analysis.
+
+#include "rt/core/cost.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+struct JacobiPrediction {
+  double b_misses_per_point = 0;  ///< read misses on the stencil array
+  double misses_per_point = 0;    ///< all misses (stencil + copy-back)
+  double accesses_per_point = 9;  ///< 7 stencil + 2 copy-back
+  double l1_miss_pct = 0;
+};
+
+/// Predict the untiled realistic Jacobi's L1 behaviour.
+/// @param cs_elems    cache capacity in elements
+/// @param line_elems  cache line size in elements
+/// @param n           lower array dimensions (N x N x K)
+JacobiPrediction predict_jacobi3d_orig(long cs_elems, long line_elems,
+                                       long n);
+
+/// Predict the JI-tiled realistic Jacobi with iteration tile @p t
+/// (assuming the tile is conflict-free, i.e. post-Euc3D/GcdPad/Pad).
+JacobiPrediction predict_jacobi3d_tiled(long line_elems, const IterTile& t,
+                                        const StencilSpec& spec);
+
+}  // namespace rt::core

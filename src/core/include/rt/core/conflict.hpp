@@ -1,0 +1,15 @@
+#pragma once
+// Brute-force self-interference check used to validate the tile selection
+// algorithms: an array tile is conflict-free iff all of its element offsets
+// are distinct modulo the cache size (direct-mapped, element granularity,
+// exactly the model of Sections 2-3).
+
+namespace rt::core {
+
+/// @param cs  cache size in elements (direct-mapped)
+/// @param di,dj  (padded) lower array dimensions
+/// @param ti,tj,tk  array tile extents
+/// @return true iff no two elements of the tile map to the same cache slot
+bool is_conflict_free(long cs, long di, long dj, long ti, long tj, int tk);
+
+}  // namespace rt::core

@@ -1,0 +1,35 @@
+#pragma once
+// The paper's tile cost function (Section 2.3):
+//
+//   Cost(TI, TJ) = (TI + m)(TJ + n) / (TI * TJ)
+//
+// i.e. distinct elements fetched per TIxTJx(N-2) block, normalised by the
+// invariant N^3/L factor.  Lower is better; square-ish tiles win.  Tiles
+// with a non-positive dimension (from trimming a degenerate array tile)
+// cost infinity, which is how Euc3D discards them (Fig. 9).
+
+#include <limits>
+
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// Iteration-tile size in the two tiled dimensions (elements).
+struct IterTile {
+  long ti = 0;  ///< extent in I (fastest, contiguous dimension)
+  long tj = 0;  ///< extent in J
+  friend constexpr bool operator==(const IterTile&, const IterTile&) = default;
+};
+
+inline double cost(long ti, long tj, const StencilSpec& spec) {
+  if (ti <= 0 || tj <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(ti + spec.trim_i) *
+         static_cast<double>(tj + spec.trim_j) /
+         (static_cast<double>(ti) * static_cast<double>(tj));
+}
+
+inline double cost(const IterTile& t, const StencilSpec& spec) {
+  return cost(t.ti, t.tj, spec);
+}
+
+}  // namespace rt::core

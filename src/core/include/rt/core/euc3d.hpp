@@ -1,0 +1,49 @@
+#pragma once
+// Euc3D (paper Fig. 9): non-conflicting array-tile enumeration and
+// cost-based tile selection for 3D arrays on direct-mapped caches.
+//
+// An array tile of depth TK for a DI x DJ x M array occupies, for each of
+// TK adjacent planes and TJ adjacent columns, TI contiguous elements.  Its
+// element offsets in a cache of Cs elements are
+//     { k*(DI*DJ) + j*DI + i  mod Cs :  k < TK, j < TJ, i < TI }.
+// The tile is self-conflict-free iff all offsets are distinct, which holds
+// iff TI does not exceed the smallest circular gap between the TK*TJ
+// column-start offsets.  Enumeration tracks that minimal gap incrementally
+// via pairwise offset differences, O(TK) work per TJ increment.
+
+#include <vector>
+
+#include "rt/core/cost.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// A non-conflicting array tile (paper Table 1 rows).
+struct ArrayTile {
+  long ti = 0;  ///< contiguous elements per column
+  long tj = 0;  ///< columns per plane
+  int tk = 0;   ///< planes
+  friend constexpr bool operator==(const ArrayTile&,
+                                   const ArrayTile&) = default;
+};
+
+/// Pareto frontier of non-conflicting array tiles of depth @p tk for a
+/// di x dj x M array in a direct-mapped cache of @p cs elements, ordered by
+/// increasing tj.  Empty if even a single column conflicts (e.g. two of the
+/// tk plane offsets coincide).
+std::vector<ArrayTile> euc3d_enumerate(long cs, long di, long dj, int tk);
+
+/// Result of Euc3D selection.
+struct Euc3dResult {
+  IterTile tile{};        ///< trimmed iteration tile (TImc, TJmc); Fig. 9
+  ArrayTile array_tile{}; ///< the untrimmed array tile it came from
+  double tile_cost = 0;   ///< cost() of `tile`; +inf if nothing feasible
+};
+
+/// Euc3D (Fig. 9): enumerate array tiles with depth spec.atd (deeper tiles
+/// are dominated: any conflict-free depth-d tile is conflict-free at depth
+/// atd <= d with equal-or-larger TI/TJ Pareto frontier) and return the
+/// trimmed iteration tile minimising the cost function.
+Euc3dResult euc3d(long cs, long di, long dj, const StencilSpec& spec);
+
+}  // namespace rt::core

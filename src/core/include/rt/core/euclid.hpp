@@ -1,0 +1,39 @@
+#pragma once
+// Non-conflicting tile enumeration for a single stride (the 2D "Euc"
+// algorithm of Rivera & Tseng, CC'99, which Euc3D extends).
+//
+// Setting: columns of an array with leading dimension `stride` start at
+// byte-free element offsets {j*stride mod Cs} in a direct-mapped cache of
+// Cs elements.  A tile of `width` columns, each `height` contiguous
+// elements, is self-conflict-free iff the circular gaps between the width
+// column-start offsets are all >= height.  As width grows the minimal gap
+// decreases at continued-fraction convergent widths; enumerate the Pareto
+// frontier of (width, max height) records in O(log Cs).
+
+#include <cstdint>
+#include <vector>
+
+namespace rt::core {
+
+/// A Pareto record: `width` columns of `height` elements is the widest
+/// conflict-free tile with that height.
+struct WidthHeight {
+  long width = 0;
+  long height = 0;
+  friend constexpr bool operator==(const WidthHeight&,
+                                   const WidthHeight&) = default;
+};
+
+/// Pareto frontier of non-conflicting (width, height) tiles for columns of
+/// stride @p stride in a direct-mapped cache of @p cs elements, via the
+/// Euclidean/continued-fraction recurrence.  Records are ordered by
+/// increasing width (decreasing height); the final record has
+/// height = gcd(cs, stride mod cs) (or the full cache if stride divides).
+std::vector<WidthHeight> euc_pareto(long cs, long stride);
+
+/// Reference implementation: smallest circular gap among the offsets
+/// {j*stride mod cs : j < width} — i.e. the tallest conflict-free tile of
+/// @p width columns.  O(width log width); used to validate euc_pareto.
+long max_height_bruteforce(long cs, long stride, long width);
+
+}  // namespace rt::core

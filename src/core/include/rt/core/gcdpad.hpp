@@ -1,0 +1,29 @@
+#pragma once
+// GcdPad (paper Fig. 10): pick a fixed power-of-two array tile whose volume
+// equals the cache size, then pad the array's lower dimensions so that
+//   gcd(DIp, Cs) = TI  and  gcd(DJp, Cs) = TJ,
+// which guarantees the tile is self-conflict-free (Section 3.4.1).
+
+#include "rt/core/cost.hpp"
+#include "rt/core/euc3d.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// Tile + padded-dimension plan returned by the padding heuristics.
+struct PadPlan {
+  IterTile tile{};         ///< trimmed iteration tile (TI', TJ')
+  long dip = 0;            ///< padded leading dimension (>= DI)
+  long djp = 0;            ///< padded second dimension (>= DJ)
+  ArrayTile array_tile{};  ///< untrimmed array tile backing `tile`
+};
+
+/// GcdPad.  @p cs must be a power of two (it is a cache size in elements).
+/// TK is 4 for stencils with ATD <= 4 ("TK is normally chosen as 4"),
+/// otherwise the next power of two >= ATD.
+PadPlan gcd_pad(long cs, long di, long dj, const StencilSpec& spec);
+
+/// The array-tile depth GcdPad uses for @p spec (see above).
+int gcd_pad_tk(const StencilSpec& spec);
+
+}  // namespace rt::core

@@ -1,0 +1,35 @@
+#pragma once
+// Cross-interference handling via inter-variable padding (paper
+// Section 3.5, second strategy): obtain a non-conflicting array tile, then
+// *partition* the cache between the kernel's arrays — shrink the tile to a
+// 1/P cache partition and pad the gaps between array base addresses so that
+// corresponding elements of different arrays map to different partitions.
+//
+// Because all arrays of a kernel share dimensions and loop indices, their
+// active windows wander through the cache together; fixing the pairwise
+// base-address distance (mod cache size) keeps the partitions disjoint for
+// the whole sweep.
+
+#include <vector>
+
+#include "rt/core/gcdpad.hpp"
+
+namespace rt::core {
+
+struct InterPadPlan {
+  /// Intra-array plan (tile + padded dims) computed for one partition.
+  PadPlan intra;
+  /// Number of equal cache partitions (next power of two >= num_arrays).
+  int partitions = 1;
+  /// Partition size in elements (= cs / partitions).
+  long partition_elems = 0;
+  /// Required base-address offset (elements, mod cs) for each array.
+  std::vector<long> base_offsets;
+};
+
+/// Partition a direct-mapped cache of @p cs elements among @p num_arrays
+/// arrays of a kernel over di x dj x M arrays described by @p spec.
+InterPadPlan inter_pad(long cs, long di, long dj, const StencilSpec& spec,
+                       int num_arrays);
+
+}  // namespace rt::core

@@ -1,0 +1,14 @@
+#pragma once
+// Pad (paper Fig. 11): search array pads no larger than GcdPad's, running
+// Euc3D on each padded size, and accept the first tile whose cost is at
+// most GcdPad's cost.  Padding overhead is therefore always <= GcdPad's
+// (Section 3.4.2); a tile must be found because the search space includes
+// the GcdPad dimensions themselves.
+
+#include "rt/core/gcdpad.hpp"
+
+namespace rt::core {
+
+PadPlan pad(long cs, long di, long dj, const StencilSpec& spec);
+
+}  // namespace rt::core

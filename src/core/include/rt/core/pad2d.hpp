@@ -1,0 +1,25 @@
+#pragma once
+// Intra-array padding for 2D stencil codes (paper Section 2.1: 2D codes
+// rarely need tiling, "though in some cases array padding may be necessary
+// to preserve group reuse", citing the authors' PLDI'98 padding work).
+//
+// A 2D stencil keeps a small window of w adjacent columns live; group
+// reuse between them survives unless two of the active column *windows*
+// alias in the cache — which happens when j*DI mod Cs lands within a few
+// cache lines of 0 for some 0 < j < w (e.g. DI = 1024 in a 2048-element
+// cache makes columns j-1 and j+1 alias exactly).  pad2d finds the
+// smallest leading-dimension pad that pushes every active column at least
+// `guard` elements away from its neighbours.
+
+namespace rt::core {
+
+/// Smallest DIp >= di such that for all 0 < j < window_cols, the circular
+/// distance of j*DIp mod cs from 0 is at least `guard` elements.
+/// Throws std::invalid_argument on impossible requests (e.g. guard too
+/// large for the window count).
+long pad2d(long cs, long di, long window_cols, long guard);
+
+/// True if dimension `di` already satisfies the criterion above.
+bool columns_well_spaced(long cs, long di, long window_cols, long guard);
+
+}  // namespace rt::core

@@ -1,0 +1,44 @@
+#pragma once
+// Transformation dispatcher: maps the paper's Table 2 rows onto concrete
+// (tile, padding) decisions for a kernel + problem size.
+
+#include <string_view>
+#include <vector>
+
+#include "rt/core/cost.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// The transformations evaluated in the paper (Table 2).
+enum class Transform {
+  kOrig,      ///< no tiling, no padding
+  kTile,      ///< square capacity-only tile, no padding
+  kEuc3d,     ///< non-conflicting tile (Euc3D), no padding
+  kGcdPad,    ///< fixed non-conflicting tile + GCD padding
+  kPad,       ///< variable non-conflicting tile + (<= GCD) padding
+  kGcdPadNT,  ///< GCD padding only, no tiling
+};
+
+std::string_view transform_name(Transform t);
+
+/// All transforms in the paper's presentation order.
+const std::vector<Transform>& all_transforms();
+
+/// Concrete tiling/padding decision for one (transform, kernel, size).
+struct TilingPlan {
+  Transform transform = Transform::kOrig;
+  bool tiled = false;
+  IterTile tile{};  ///< valid when tiled
+  long dip = 0;     ///< leading dimension to allocate (>= DI)
+  long djp = 0;     ///< second dimension to allocate (>= DJ)
+};
+
+/// Compute the plan for @p transform on a DI x DJ x M array of a kernel
+/// described by @p spec, targeting a direct-mapped cache of @p cs elements.
+/// Degenerate tiles (e.g. Euc3D finding nothing feasible) fall back to
+/// untiled execution.
+TilingPlan plan_for(Transform transform, long cs, long di, long dj,
+                    const StencilSpec& spec);
+
+}  // namespace rt::core

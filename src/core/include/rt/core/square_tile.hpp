@@ -1,0 +1,22 @@
+#pragma once
+// The "Tile" baseline transformation (paper Table 2 / Section 4.2): a fixed
+// square array tile whose volume equals the cache size — optimal under the
+// cost model *assuming a fully associative cache*.  Comparing against it
+// isolates the damage done by conflict misses.
+
+#include "rt/core/cost.hpp"
+#include "rt/core/euc3d.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// Square array tile with TI = TJ = floor(sqrt(Cs / ATD)), trimmed to the
+/// iteration tile.
+struct SquareTileResult {
+  IterTile tile{};
+  ArrayTile array_tile{};
+};
+
+SquareTileResult square_tile(long cs, const StencilSpec& spec);
+
+}  // namespace rt::core

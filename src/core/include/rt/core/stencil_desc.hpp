@@ -1,0 +1,48 @@
+#pragma once
+// Stencil descriptors: the "compiler front-end" of the library.  The paper
+// notes (Section 2.3) that "compilers can derive such a cost function
+// directly from the loop nest" — the trim amounts m, n are the magnitudes
+// of the largest subscript differences per dimension, and the array tile
+// depth is the K-extent of the reference window.  A StencilDesc is that
+// reference window, from which derive_spec() computes the StencilSpec the
+// planner needs; rt::kernels::apply_stencil executes any descriptor.
+
+#include <string>
+#include <vector>
+
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// One array reference: offset from the loop indices plus a coefficient.
+struct StencilPoint {
+  int di = 0;  ///< offset in the fastest (I) dimension
+  int dj = 0;
+  int dk = 0;
+  double w = 0.0;  ///< coefficient applied to this neighbour
+  friend constexpr bool operator==(const StencilPoint&,
+                                   const StencilPoint&) = default;
+};
+
+/// A full stencil: out(i,j,k) = sum_q w_q * in(i+di_q, j+dj_q, k+dk_q).
+struct StencilDesc {
+  std::string name = "stencil";
+  std::vector<StencilPoint> points;
+
+  /// Halo extent (max |offset| reach) in each direction; used to derive
+  /// trim amounts and array tile depth exactly as Section 2.3 prescribes.
+  StencilSpec derive_spec() const;
+
+  /// Number of source references per output point.
+  std::size_t arity() const { return points.size(); }
+
+  // --- the paper's stencils, as descriptors ---
+  /// 6-point Jacobi: w on each of the six faces.
+  static StencilDesc jacobi6(double w = 1.0 / 6.0);
+  /// Full 27-point stencil with class coefficients (centre, face, edge,
+  /// corner) — RESID's A operator and PSINV's S operator have this shape.
+  static StencilDesc full27(double c0, double c1, double c2, double c3,
+                            std::string name = "full27");
+};
+
+}  // namespace rt::core

@@ -1,0 +1,24 @@
+#pragma once
+// Per-stencil parameters the tiling algorithms need (paper Sections 2.2-2.3):
+//  * trim_i/trim_j — how much the iteration tile must shrink relative to the
+//    array tile in each tiled dimension ("m" and "n" in the cost function);
+//    for a +/-1 stencil both are 2.
+//  * atd — minimum Array Tile Depth: how many adjacent planes must be
+//    conflict-free in cache (3 for Jacobi/RESID, 4 for fused red-black SOR).
+
+#include <string_view>
+
+namespace rt::core {
+
+struct StencilSpec {
+  std::string_view name = "stencil";
+  long trim_i = 2;  ///< "m": array-tile I extent minus iteration-tile extent
+  long trim_j = 2;  ///< "n": same for J
+  int atd = 3;      ///< minimum array tile depth (planes held in cache)
+
+  static constexpr StencilSpec jacobi3d() { return {"jacobi3d", 2, 2, 3}; }
+  static constexpr StencilSpec redblack3d() { return {"redblack3d", 2, 2, 4}; }
+  static constexpr StencilSpec resid27() { return {"resid27", 2, 2, 3}; }
+};
+
+}  // namespace rt::core

@@ -1,0 +1,54 @@
+#pragma once
+// The 2D tile-size-selection algorithm family the paper builds on and
+// compares against (Section 3.3 and Related Work):
+//
+//  * lrw_tile      — Lam/Rothberg/Wolf (ASPLOS'91): largest non-conflicting
+//                    *square* tile, found by scanning side lengths
+//                    (O(sqrt(Cs)); the paper contrasts Euc3D's O(log Cs)
+//                    against it and notes it "does not handle 3D arrays").
+//  * esseghir_tile — Esseghir (MS thesis '93): "tall" tiles of whole
+//                    columns — as many full columns as fit in cache.
+//  * euc2d        — Coleman/McKinley-style non-conflicting rectangles from
+//                    the Euclidean recurrence + cost selection (the "Euc"
+//                    algorithm of Rivera & Tseng CC'99 that Euc3D extends).
+//
+// All sizes are in array elements; caches are direct-mapped.
+
+#include "rt/core/cost.hpp"
+#include "rt/core/euclid.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// Largest square tile (side, side) such that `side` rows of `side`
+/// consecutive columns of an n-column array are conflict-free.
+IterTile lrw_tile(long cs, long n);
+
+/// Whole-column tile: n rows x floor(cs / n) columns (clipped to >= 1).
+IterTile esseghir_tile(long cs, long n);
+
+/// Linear-algebra 2D tile cost: a TIxTJ tile of a reuse-carrying loop nest
+/// incurs ~TI + TJ boundary fetches per TI*TJ reused elements, so misses
+/// per element ~ 1/TI + 1/TJ.  Lower is better; favours large square tiles.
+inline double cost2d(const IterTile& t) {
+  if (t.ti <= 0 || t.tj <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / static_cast<double>(t.ti) + 1.0 / static_cast<double>(t.tj);
+}
+
+/// cost2d-minimising non-conflicting rectangle from the Euclidean records.
+struct Euc2dResult {
+  IterTile tile{};       ///< selected iteration tile (height, width)
+  WidthHeight record{};  ///< the (width, height) record it came from
+  double tile_cost = 0;  ///< cost2d of `tile`
+};
+Euc2dResult euc2d(long cs, long n);
+
+/// "Effective cache size" method (paper Section 3.2): pretend the cache is
+/// only `fraction` of its real capacity (~10% in the literature) and pick
+/// the capacity-optimal square tile for that; conflicts are *probably*
+/// avoided but the cache is mostly unused.
+IterTile ecs_tile(long cs, double fraction, const StencilSpec& spec);
+
+}  // namespace rt::core

@@ -1,0 +1,45 @@
+#include "rt/core/analysis.hpp"
+
+namespace rt::core {
+
+namespace {
+JacobiPrediction finish(double b_misses, double line) {
+  JacobiPrediction p;
+  p.b_misses_per_point = b_misses;
+  // + A store (write-around: always misses) + copy-back A read (1/L,
+  // sequential) + copy-back B store (its line has left the cache by the
+  // time the copy loop revisits it for any array larger than the cache).
+  p.misses_per_point = b_misses + 1.0 + 1.0 / line + 1.0;
+  p.l1_miss_pct = 100.0 * p.misses_per_point / p.accesses_per_point;
+  return p;
+}
+}  // namespace
+
+JacobiPrediction predict_jacobi3d_orig(long cs_elems, long line_elems,
+                                       long n) {
+  const double line = static_cast<double>(line_elems);
+  double b_misses;
+  if (2 * n * n <= cs_elems) {
+    // Two planes fit: full group reuse, only the leading plane streams in.
+    b_misses = 1.0 / line;
+  } else if (3 * n <= cs_elems) {
+    // Planes too large, three columns fit: the three plane/column-leading
+    // references each stream (Section 1's argument).
+    b_misses = 3.0 / line;
+  } else {
+    // Even the column window is lost: every B reference pays its own way
+    // except unit-stride reuse within the line.
+    b_misses = 6.0 / line + 2.0;  // coarse bound; pathological regime
+  }
+  return finish(b_misses, line);
+}
+
+JacobiPrediction predict_jacobi3d_tiled(long line_elems, const IterTile& t,
+                                        const StencilSpec& spec) {
+  const double line = static_cast<double>(line_elems);
+  // Section 2.3: a TIxTJx(N-2) block fetches (TI+m)(TJ+n) elements of B
+  // per (TI*TJ) iteration points = Cost(T) elements/point.
+  return finish(cost(t, spec) / line, line);
+}
+
+}  // namespace rt::core

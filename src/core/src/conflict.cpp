@@ -1,0 +1,25 @@
+#include "rt/core/conflict.hpp"
+
+#include <vector>
+
+namespace rt::core {
+
+bool is_conflict_free(long cs, long di, long dj, long ti, long tj, int tk) {
+  if (cs <= 0 || ti <= 0 || tj <= 0 || tk <= 0) return false;
+  if (ti * tj * static_cast<long>(tk) > cs) return false;  // pigeonhole
+  std::vector<char> hit(static_cast<std::size_t>(cs), 0);
+  const long plane = di * dj;
+  for (long k = 0; k < tk; ++k) {
+    for (long j = 0; j < tj; ++j) {
+      const long col = (k * plane + j * di) % cs;
+      for (long i = 0; i < ti; ++i) {
+        const long off = (col + i) % cs;
+        if (hit[static_cast<std::size_t>(off)]) return false;
+        hit[static_cast<std::size_t>(off)] = 1;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,76 @@
+#include "rt/core/euc3d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rt::core {
+
+namespace {
+
+/// Fold the circular difference r (and its mirror cs - r) into gap g.
+/// Returns the updated minimal gap; a zero difference means two offsets
+/// coincide, i.e. gap 0.
+long fold_gap(long g, long r, long cs) {
+  if (r == 0) return 0;
+  return std::min({g, r, cs - r});
+}
+
+}  // namespace
+
+std::vector<ArrayTile> euc3d_enumerate(long cs, long di, long dj, int tk) {
+  if (cs <= 0 || di <= 0 || dj <= 0 || tk <= 0) {
+    throw std::invalid_argument("euc3d_enumerate: all parameters positive");
+  }
+  const long s = di % cs;             // column stride mod cache
+  const long p = (di * dj) % cs;      // plane stride mod cache
+
+  // Minimal circular gap among all pairwise offset differences
+  //   (dk*p + dj_*s) mod cs,  |dk| < tk, |dj_| < tj.
+  // Start at width tj = 1: only inter-plane differences dk = 1..tk-1.
+  long g = cs;
+  for (long dk = 1; dk < tk; ++dk) {
+    g = fold_gap(g, (dk * p) % cs, cs);
+    if (g == 0) return {};  // two plane offsets coincide: no tile of depth tk
+  }
+
+  std::vector<ArrayTile> out;
+  // Widen one column at a time; record a Pareto entry whenever the next
+  // width would shrink the feasible height.
+  for (long tj = 1; tj <= cs + 1; ++tj) {
+    // New differences when growing from width tj to tj+1: |dj_| = tj.
+    long g_next = g;
+    for (long dk = 0; dk < tk && g_next > 0; ++dk) {
+      const long fwd = (dk * p + tj * s) % cs;
+      g_next = fold_gap(g_next, fwd, cs);
+      if (dk > 0 && g_next > 0) {
+        long bwd = (dk * p - tj * s) % cs;
+        if (bwd < 0) bwd += cs;
+        g_next = fold_gap(g_next, bwd, cs);
+      }
+    }
+    if (g_next < g) {
+      out.push_back(ArrayTile{g, tj, tk});
+      g = g_next;
+      if (g == 0) break;
+    }
+  }
+  return out;
+}
+
+Euc3dResult euc3d(long cs, long di, long dj, const StencilSpec& spec) {
+  Euc3dResult best;
+  best.tile_cost = std::numeric_limits<double>::infinity();
+  for (const ArrayTile& at : euc3d_enumerate(cs, di, dj, spec.atd)) {
+    const IterTile t{at.ti - spec.trim_i, at.tj - spec.trim_j};
+    const double c = cost(t, spec);  // +inf when a trimmed dim is <= 0
+    if (c < best.tile_cost) {
+      best.tile_cost = c;
+      best.tile = t;
+      best.array_tile = at;
+    }
+  }
+  return best;
+}
+
+}  // namespace rt::core

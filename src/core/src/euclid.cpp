@@ -1,0 +1,61 @@
+#include "rt/core/euclid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rt::core {
+
+std::vector<WidthHeight> euc_pareto(long cs, long stride) {
+  if (cs <= 0 || stride <= 0) {
+    throw std::invalid_argument("euc_pareto: cs and stride must be positive");
+  }
+  std::vector<WidthHeight> out;
+  long s = stride % cs;
+  // The offset set {j*s mod cs} is the mirror image of {j*(cs-s) mod cs},
+  // so both have identical circular-gap structure; canonicalising to
+  // s <= cs/2 keeps the continued-fraction recurrence in its valid range.
+  if (s > cs - s) s = cs - s;
+  // One column can always occupy the whole cache.
+  out.push_back({1, cs});
+  if (s == 0) {
+    // Every column maps to the same offset: a single-column tile is all
+    // there is.
+    return out;
+  }
+  // Continued-fraction recurrence.  Heights follow the Euclidean remainder
+  // sequence h_{k+1} = h_{k-1} mod h_k starting from (cs, s); widths follow
+  // the convergent-denominator recurrence
+  //   w_{k+1} = w_k * floor(h_k / h_{k+1}) + w_{k-1}.
+  long h_prev = cs, w_prev = 1;
+  long h_cur = s, w_cur = cs / s;
+  out.push_back({w_cur, h_cur});
+  while (h_prev % h_cur != 0) {
+    const long h_next = h_prev % h_cur;
+    const long w_next = w_cur * (h_cur / h_next) + w_prev;
+    out.push_back({w_next, h_next});
+    h_prev = h_cur;
+    w_prev = w_cur;
+    h_cur = h_next;
+    w_cur = w_next;
+  }
+  return out;
+}
+
+long max_height_bruteforce(long cs, long stride, long width) {
+  assert(cs > 0 && stride > 0 && width > 0);
+  std::vector<long> pts;
+  pts.reserve(static_cast<std::size_t>(width));
+  for (long j = 0; j < width; ++j) {
+    pts.push_back((j * (stride % cs)) % cs);
+  }
+  std::sort(pts.begin(), pts.end());
+  if (width == 1) return cs;
+  long min_gap = cs - pts.back() + pts.front();  // wrap-around gap
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    min_gap = std::min(min_gap, pts[i] - pts[i - 1]);
+  }
+  return min_gap;  // 0 if two columns coincide
+}
+
+}  // namespace rt::core

@@ -1,0 +1,53 @@
+#include "rt/core/gcdpad.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::core {
+
+namespace {
+bool is_pow2(long x) { return x > 0 && (x & (x - 1)) == 0; }
+
+long next_pow2(long x) {
+  long p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Smallest odd multiple of t that is >= d: the paper's
+///   Dp = 2t*floor((D + 3t - 1) / (2t)) - t        (Fig. 10)
+long pad_to_odd_multiple(long d, long t) {
+  return 2 * t * ((d + 3 * t - 1) / (2 * t)) - t;
+}
+}  // namespace
+
+int gcd_pad_tk(const StencilSpec& spec) {
+  return spec.atd <= 4 ? 4 : static_cast<int>(next_pow2(spec.atd));
+}
+
+PadPlan gcd_pad(long cs, long di, long dj, const StencilSpec& spec) {
+  if (!is_pow2(cs)) {
+    throw std::invalid_argument("gcd_pad: cache size must be a power of two");
+  }
+  if (di <= 0 || dj <= 0) {
+    throw std::invalid_argument("gcd_pad: dimensions must be positive");
+  }
+  const long tk = gcd_pad_tk(spec);
+  if (tk > cs) {
+    throw std::invalid_argument("gcd_pad: cache smaller than tile depth");
+  }
+  // TI = smallest power of two >= sqrt(Cs/TK); TJ = Cs / (TK*TI).
+  const long ti =
+      next_pow2(static_cast<long>(std::ceil(std::sqrt(
+          static_cast<double>(cs) / static_cast<double>(tk)))));
+  const long tj = cs / (tk * ti);
+
+  PadPlan p;
+  p.array_tile = ArrayTile{ti, tj, static_cast<int>(tk)};
+  p.tile = IterTile{ti - spec.trim_i, tj - spec.trim_j};
+  p.dip = pad_to_odd_multiple(di, ti);
+  p.djp = pad_to_odd_multiple(dj, tj);
+  return p;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,37 @@
+#include "rt/core/interpad.hpp"
+
+#include <stdexcept>
+
+namespace rt::core {
+
+namespace {
+long next_pow2(long x) {
+  long p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+InterPadPlan inter_pad(long cs, long di, long dj, const StencilSpec& spec,
+                       int num_arrays) {
+  if (num_arrays < 1) {
+    throw std::invalid_argument("inter_pad: need at least one array");
+  }
+  InterPadPlan p;
+  p.partitions = static_cast<int>(next_pow2(num_arrays));
+  p.partition_elems = cs / p.partitions;
+  if (p.partition_elems < 8) {
+    throw std::invalid_argument("inter_pad: too many arrays for this cache");
+  }
+  // Tile for one partition; the gcd conditions against cs/P also hold
+  // against cs (divisor of a power of two), so the tile is conflict-free
+  // within its partition.
+  p.intra = gcd_pad(p.partition_elems, di, dj, spec);
+  p.base_offsets.reserve(static_cast<std::size_t>(num_arrays));
+  for (int q = 0; q < num_arrays; ++q) {
+    p.base_offsets.push_back(q * p.partition_elems);
+  }
+  return p;
+}
+
+}  // namespace rt::core

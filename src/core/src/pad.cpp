@@ -1,0 +1,24 @@
+#include "rt/core/pad.hpp"
+
+#include "rt/core/euc3d.hpp"
+
+namespace rt::core {
+
+PadPlan pad(long cs, long di, long dj, const StencilSpec& spec) {
+  const PadPlan g = gcd_pad(cs, di, dj, spec);
+  const double cost_star = cost(g.tile, spec);
+
+  for (long dip = di; dip <= g.dip; ++dip) {
+    for (long djp = dj; djp <= g.djp; ++djp) {
+      const Euc3dResult r = euc3d(cs, dip, djp, spec);
+      if (cost(r.tile, spec) <= cost_star) {
+        return PadPlan{r.tile, dip, djp, r.array_tile};
+      }
+    }
+  }
+  // Unreachable when the guarantee holds (the GcdPad dims are in the search
+  // space and their tile meets the threshold); kept as a safe fallback.
+  return g;
+}
+
+}  // namespace rt::core

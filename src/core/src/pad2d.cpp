@@ -1,0 +1,31 @@
+#include "rt/core/pad2d.hpp"
+
+#include <stdexcept>
+
+namespace rt::core {
+
+bool columns_well_spaced(long cs, long di, long window_cols, long guard) {
+  for (long j = 1; j < window_cols; ++j) {
+    const long r = (j * di) % cs;
+    const long dist = r < cs - r ? r : cs - r;
+    if (dist < guard) return false;
+  }
+  return true;
+}
+
+long pad2d(long cs, long di, long window_cols, long guard) {
+  if (cs <= 0 || di <= 0 || window_cols < 1 || guard < 0) {
+    throw std::invalid_argument("pad2d: bad arguments");
+  }
+  if (2 * guard * (window_cols - 1) > cs) {
+    throw std::invalid_argument("pad2d: guard too large for window");
+  }
+  // The criterion recurs with period cs, so a pad < cs always exists when
+  // feasible; in practice pads are a handful of elements.
+  for (long p = 0; p < cs; ++p) {
+    if (columns_well_spaced(cs, di + p, window_cols, guard)) return di + p;
+  }
+  throw std::invalid_argument("pad2d: no feasible pad found");
+}
+
+}  // namespace rt::core

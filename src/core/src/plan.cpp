@@ -1,0 +1,79 @@
+#include "rt/core/plan.hpp"
+
+#include <cmath>
+
+#include "rt/core/euc3d.hpp"
+#include "rt/core/gcdpad.hpp"
+#include "rt/core/pad.hpp"
+#include "rt/core/square_tile.hpp"
+
+namespace rt::core {
+
+std::string_view transform_name(Transform t) {
+  switch (t) {
+    case Transform::kOrig: return "Orig";
+    case Transform::kTile: return "Tile";
+    case Transform::kEuc3d: return "Euc3D";
+    case Transform::kGcdPad: return "GcdPad";
+    case Transform::kPad: return "Pad";
+    case Transform::kGcdPadNT: return "GcdPadNT";
+  }
+  return "?";
+}
+
+const std::vector<Transform>& all_transforms() {
+  static const std::vector<Transform> kAll = {
+      Transform::kOrig,   Transform::kTile, Transform::kEuc3d,
+      Transform::kGcdPad, Transform::kPad,  Transform::kGcdPadNT,
+  };
+  return kAll;
+}
+
+TilingPlan plan_for(Transform transform, long cs, long di, long dj,
+                    const StencilSpec& spec) {
+  TilingPlan p;
+  p.transform = transform;
+  p.dip = di;
+  p.djp = dj;
+
+  const auto set_tile = [&p](const IterTile& t) {
+    if (t.ti > 0 && t.tj > 0) {
+      p.tiled = true;
+      p.tile = t;
+    }
+  };
+
+  switch (transform) {
+    case Transform::kOrig:
+      break;
+    case Transform::kTile:
+      set_tile(square_tile(cs, spec).tile);
+      break;
+    case Transform::kEuc3d:
+      set_tile(euc3d(cs, di, dj, spec).tile);
+      break;
+    case Transform::kGcdPad: {
+      const PadPlan g = gcd_pad(cs, di, dj, spec);
+      p.dip = g.dip;
+      p.djp = g.djp;
+      set_tile(g.tile);
+      break;
+    }
+    case Transform::kPad: {
+      const PadPlan q = pad(cs, di, dj, spec);
+      p.dip = q.dip;
+      p.djp = q.djp;
+      set_tile(q.tile);
+      break;
+    }
+    case Transform::kGcdPadNT: {
+      const PadPlan g = gcd_pad(cs, di, dj, spec);
+      p.dip = g.dip;
+      p.djp = g.djp;
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace rt::core

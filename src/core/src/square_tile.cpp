@@ -1,0 +1,18 @@
+#include "rt/core/square_tile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::core {
+
+SquareTileResult square_tile(long cs, const StencilSpec& spec) {
+  if (cs <= 0) throw std::invalid_argument("square_tile: cs must be positive");
+  const long side = static_cast<long>(std::floor(
+      std::sqrt(static_cast<double>(cs) / static_cast<double>(spec.atd))));
+  SquareTileResult r;
+  r.array_tile = ArrayTile{side, side, spec.atd};
+  r.tile = IterTile{side - spec.trim_i, side - spec.trim_j};
+  return r;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,63 @@
+#include "rt/core/tiling2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rt/core/square_tile.hpp"
+
+namespace rt::core {
+
+namespace {
+/// Tallest conflict-free tile of @p width columns (min circular gap of the
+/// column-start offsets) — small helper mirroring euclid.cpp's model.
+long max_height_for_width(long cs, long stride, long width) {
+  return max_height_bruteforce(cs, stride, width);
+}
+}  // namespace
+
+IterTile lrw_tile(long cs, long n) {
+  if (cs <= 0 || n <= 0) throw std::invalid_argument("lrw_tile: bad args");
+  // Scan square sides downward from sqrt(cs); O(sqrt(Cs)) probes as in the
+  // original algorithm.
+  for (long side = static_cast<long>(std::sqrt(static_cast<double>(cs)));
+       side >= 1; --side) {
+    if (max_height_for_width(cs, n, side) >= side) {
+      return IterTile{side, side};
+    }
+  }
+  return IterTile{1, 1};
+}
+
+IterTile esseghir_tile(long cs, long n) {
+  if (cs <= 0 || n <= 0) {
+    throw std::invalid_argument("esseghir_tile: bad args");
+  }
+  const long cols = cs / n;
+  return IterTile{n, cols > 0 ? cols : 1};
+}
+
+Euc2dResult euc2d(long cs, long n) {
+  Euc2dResult best;
+  best.tile_cost = std::numeric_limits<double>::infinity();
+  for (const WidthHeight& r : euc_pareto(cs, n)) {
+    const IterTile t{r.height, r.width};
+    const double c = cost2d(t);
+    if (c < best.tile_cost) {
+      best.tile_cost = c;
+      best.tile = t;
+      best.record = r;
+    }
+  }
+  return best;
+}
+
+IterTile ecs_tile(long cs, double fraction, const StencilSpec& spec) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("ecs_tile: fraction must be in (0, 1]");
+  }
+  const long effective =
+      std::max(1L, static_cast<long>(static_cast<double>(cs) * fraction));
+  return square_tile(effective, spec).tile;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,31 @@
+#pragma once
+// 2D Jacobi iteration (paper Fig. 1), used by the motivation study: a 16K
+// L1 keeps the three live columns resident up to N = 1024 doubles, which is
+// why 2D stencils rarely need tiling (Section 1).
+
+namespace rt::kernels {
+
+/// A(i,j) = c * sum of B's four neighbours; 0-based, interior 1..n-2.
+template <class Dst, class Src>
+void jacobi2d(Dst& a, Src& b, double c) {
+  const long n1 = a.n1(), n2 = a.n2();
+  for (long j = 1; j < n2 - 1; ++j) {
+    for (long i = 1; i < n1 - 1; ++i) {
+      a.store(i, j,
+              c * (b.load(i - 1, j) + b.load(i + 1, j) + b.load(i, j - 1) +
+                   b.load(i, j + 1)));
+    }
+  }
+}
+
+template <class Dst, class Src>
+void copy_interior2d(Dst& dst, Src& src) {
+  const long n1 = dst.n1(), n2 = dst.n2();
+  for (long j = 1; j < n2 - 1; ++j) {
+    for (long i = 1; i < n1 - 1; ++i) {
+      dst.store(i, j, src.load(i, j));
+    }
+  }
+}
+
+}  // namespace rt::kernels

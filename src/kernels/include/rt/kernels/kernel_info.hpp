@@ -1,0 +1,36 @@
+#pragma once
+// Registry describing the three paper kernels: stencil spec for the tiling
+// algorithms plus flop/access counts per interior point (used for MFlops
+// and for cross-checking simulated access counts).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::kernels {
+
+/// kJacobi / kRedBlack / kResid are the paper's three evaluation kernels;
+/// kPsinv is the MGRID smoother, added per Section 4.6's remark that
+/// "additional improvements [are expected] from tiling the remaining
+/// subroutines in the application".
+enum class KernelId { kJacobi, kRedBlack, kResid, kPsinv };
+
+struct KernelInfo {
+  KernelId id;
+  std::string_view name;
+  rt::core::StencilSpec spec;
+  /// Memory accesses per interior point per sweep of the *stencil* nest(s)
+  /// (excluding any copy-back loop).
+  std::uint64_t accesses_per_point;
+  /// Floating-point operations per interior point per sweep.
+  std::uint64_t flops_per_point;
+  /// Number of 3D arrays the kernel touches.
+  int num_arrays;
+};
+
+const KernelInfo& kernel_info(KernelId id);
+const std::vector<KernelId>& all_kernels();
+
+}  // namespace rt::kernels

@@ -1,0 +1,159 @@
+#pragma once
+// Red-black SOR in 3D (paper Fig. 12): naive two-pass version, the fused
+// version that updates black points in plane K as soon as red points in
+// plane K+1 are done, and the tiled fused version with the skewed J/I
+// windows from the paper.
+//
+// Colors: "red" = (i+j+k) even, "black" = odd (0-based; label choice only
+// affects naming, not behaviour).  All three variants compute bitwise
+// identical results — the tests assert it.
+
+#include <algorithm>
+
+#include "rt/core/cost.hpp"
+
+namespace rt::kernels {
+
+using rt::core::IterTile;
+
+namespace detail {
+/// First i >= lo with (i + j + k) % 2 == parity.
+inline long first_with_parity(long lo, long j, long k, long parity) {
+  return lo + (((lo + j + k) ^ parity) & 1);
+}
+}  // namespace detail
+
+/// One red-black update of a single point.
+template <class Acc>
+inline void rb_update(Acc& a, long i, long j, long k, double c1, double c2) {
+  a.store(i, j, k,
+          c1 * a.load(i, j, k) +
+              c2 * (a.load(i - 1, j, k) + a.load(i, j - 1, k) +
+                    a.load(i + 1, j, k) + a.load(i, j + 1, k) +
+                    a.load(i, j, k - 1) + a.load(i, j, k + 1)));
+}
+
+/// Naive version: full sweep over red points, then full sweep over black.
+template <class Acc>
+void redblack_naive(Acc& a, double c1, double c2) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    for (long k = 1; k < n3 - 1; ++k) {
+      for (long j = 1; j < n2 - 1; ++j) {
+        for (long i = detail::first_with_parity(1, j, k, parity); i < n1 - 1;
+             i += 2) {
+          rb_update(a, i, j, k, c1, c2);
+        }
+      }
+    }
+  }
+}
+
+/// Fused version (paper Fig. 12 middle): per outer step kk, update red
+/// points of plane kk+1 then black points of plane kk, so only three array
+/// planes need stay in cache.
+template <class Acc>
+void redblack_fused(Acc& a, double c1, double c2) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long kk = 0; kk <= n3 - 2; ++kk) {
+    for (long k = kk + 1; k >= kk; --k) {
+      if (k < 1 || k > n3 - 2) continue;
+      const long parity = (k == kk + 1) ? 0 : 1;  // red first, then black
+      for (long j = 1; j < n2 - 1; ++j) {
+        for (long i = detail::first_with_parity(1, j, k, parity); i < n1 - 1;
+             i += 2) {
+          rb_update(a, i, j, k, c1, c2);
+        }
+      }
+    }
+  }
+}
+
+/// Tiled fused version (paper Fig. 12 bottom).  The J/I windows are skewed
+/// by (k - kk) so a tile's red plane leads its black plane by one K step;
+/// the array tile then spans four planes (ATD = 4).
+template <class Acc>
+void redblack_tiled(Acc& a, double c1, double c2, IterTile t) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long jj = 0; jj <= n2 - 2; jj += t.tj) {
+    for (long ii = 0; ii <= n1 - 2; ii += t.ti) {
+      for (long kk = 0; kk <= n3 - 2; ++kk) {
+        for (long k = kk + 1; k >= kk; --k) {
+          if (k < 1 || k > n3 - 2) continue;
+          const long d = k - kk;  // skew: 0 or 1
+          const long parity = (d == 1) ? 0 : 1;
+          const long jlo = std::max(jj + d, 1L);
+          const long jhi = std::min(jj + d + t.tj - 1, n2 - 2);
+          const long ihi_tile = ii + d + t.ti - 1;
+          for (long j = jlo; j <= jhi; ++j) {
+            long i = detail::first_with_parity(ii + d, j, k, parity);
+            if (i < 1) i += 2;  // paper's "if (IStart.eq.1) IStart=3"
+            const long ihi = std::min(ihi_tile, n1 - 2);
+            for (; i <= ihi; i += 2) {
+              rb_update(a, i, j, k, c1, c2);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Variants with a per-point constant term (SOR with a right-hand
+// side: u <- c1 u + c2 sum(neighbours) + rhs).  Same schedules as above;
+// rhs == 0 reduces exactly to the plain kernels. ---
+
+template <class Acc, class Rhs>
+inline void rb_update_rhs(Acc& a, Rhs& r, long i, long j, long k, double c1,
+                          double c2) {
+  a.store(i, j, k,
+          c1 * a.load(i, j, k) +
+              c2 * (a.load(i - 1, j, k) + a.load(i, j - 1, k) +
+                    a.load(i + 1, j, k) + a.load(i, j + 1, k) +
+                    a.load(i, j, k - 1) + a.load(i, j, k + 1)) +
+              r.load(i, j, k));
+}
+
+template <class Acc, class Rhs>
+void redblack_naive_rhs(Acc& a, Rhs& r, double c1, double c2) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    for (long k = 1; k < n3 - 1; ++k) {
+      for (long j = 1; j < n2 - 1; ++j) {
+        for (long i = detail::first_with_parity(1, j, k, parity); i < n1 - 1;
+             i += 2) {
+          rb_update_rhs(a, r, i, j, k, c1, c2);
+        }
+      }
+    }
+  }
+}
+
+template <class Acc, class Rhs>
+void redblack_tiled_rhs(Acc& a, Rhs& r, double c1, double c2, IterTile t) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long jj = 0; jj <= n2 - 2; jj += t.tj) {
+    for (long ii = 0; ii <= n1 - 2; ii += t.ti) {
+      for (long kk = 0; kk <= n3 - 2; ++kk) {
+        for (long k = kk + 1; k >= kk; --k) {
+          if (k < 1 || k > n3 - 2) continue;
+          const long d = k - kk;
+          const long parity = (d == 1) ? 0 : 1;
+          const long jlo = std::max(jj + d, 1L);
+          const long jhi = std::min(jj + d + t.tj - 1, n2 - 2);
+          const long ihi_tile = ii + d + t.ti - 1;
+          for (long j = jlo; j <= jhi; ++j) {
+            long i = detail::first_with_parity(ii + d, j, k, parity);
+            if (i < 1) i += 2;
+            const long ihi = std::min(ihi_tile, n1 - 2);
+            for (; i <= ihi; i += 2) {
+              rb_update_rhs(a, r, i, j, k, c1, c2);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rt::kernels

@@ -1,0 +1,74 @@
+#pragma once
+// Time-skewed 3D Jacobi (the paper's future-work direction, Section 2.1:
+// Song & Li / Wonnacott exploit reuse across *time-step* iterations, which
+// plain JI-tiling cannot).  This is the "simplified stencil code" of
+// Fig. 5 (top): a time loop around a single sweep with ping-pong arrays.
+//
+// Blocking scheme: plane p's step-t update is executed by the K-block
+// containing p + t (slope-1 skew).  Within a block, steps run in order;
+// blocks run in ascending K.  Correctness relies on double buffering:
+//   * plane k's step-t update reads step-(t-1) values of planes k-1..k+1;
+//   * plane k+1 step t-1 is computed earlier in the same block;
+//   * plane k-1 step t-1 is computed by an earlier block (or this one) and
+//     its next overwrite (step t+1, same parity) happens later in this
+//     block — so the read always sees the right version.
+//
+// After `tsteps` steps the ping-pong arrays hold exactly the same values
+// as `tsteps` alternating calls to jacobi3d (tests assert bitwise
+// equality).  Reuse: each block keeps ~BK planes live across all tsteps
+// sweeps, so cache traffic drops by ~tsteps when BK planes fit in cache.
+
+#include <algorithm>
+
+namespace rt::kernels {
+
+/// @param a,b  ping-pong arrays; `b` holds the initial state (step 0)
+/// @param tsteps  number of sweeps; final state is in `a` if tsteps is odd,
+///                else in `b`... concretely: step s writes (s even ? a : b).
+/// @param bk  K-block size (planes per block), >= 1
+template <class Arr>
+void jacobi3d_timeskew(Arr& a, Arr& b, double c, int tsteps, long bk) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  const auto plane = [&](Arr& dst, Arr& src, long k) {
+    for (long j = 1; j < n2 - 1; ++j) {
+      for (long i = 1; i < n1 - 1; ++i) {
+        dst.store(i, j, k,
+                  c * (src.load(i - 1, j, k) + src.load(i + 1, j, k) +
+                       src.load(i, j - 1, k) + src.load(i, j + 1, k) +
+                       src.load(i, j, k - 1) + src.load(i, j, k + 1)));
+      }
+    }
+  };
+  for (long kb = 1; kb < (n3 - 2) + tsteps; kb += bk) {
+    for (int t = 0; t < tsteps; ++t) {
+      const long lo = std::max(1L, kb - t);
+      const long hi = std::min(n3 - 2, kb + bk - 1 - t);
+      Arr& dst = (t % 2 == 0) ? a : b;
+      Arr& src = (t % 2 == 0) ? b : a;
+      for (long k = lo; k <= hi; ++k) plane(dst, src, k);
+    }
+  }
+}
+
+/// Reference: tsteps alternating whole-array sweeps (what time skewing
+/// must reproduce bitwise).
+template <class Arr>
+void jacobi3d_pingpong(Arr& a, Arr& b, double c, int tsteps) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (int t = 0; t < tsteps; ++t) {
+    Arr& dst = (t % 2 == 0) ? a : b;
+    Arr& src = (t % 2 == 0) ? b : a;
+    for (long k = 1; k < n3 - 1; ++k) {
+      for (long j = 1; j < n2 - 1; ++j) {
+        for (long i = 1; i < n1 - 1; ++i) {
+          dst.store(i, j, k,
+                    c * (src.load(i - 1, j, k) + src.load(i + 1, j, k) +
+                         src.load(i, j - 1, k) + src.load(i, j + 1, k) +
+                         src.load(i, j, k - 1) + src.load(i, j, k + 1)));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rt::kernels

@@ -1,0 +1,38 @@
+#include "rt/kernels/kernel_info.hpp"
+
+#include <stdexcept>
+
+namespace rt::kernels {
+
+namespace {
+// JACOBI: 6 loads of B + 1 store of A; 5 adds + 1 mul.
+// REDBLACK: per coloured point 7 loads + 1 store; 5 adds + 1 add + 2 mul.
+//           Every interior point is coloured exactly once per full sweep.
+// RESID: 27 loads of U + 1 load of V + 1 store of R;
+//        (5 + 11 + 7) adds + 4 muls + 4 subs = 31 flops.
+// PSINV: 27 loads of R + 1 load + 1 store of U; 31 flops.
+const KernelInfo kInfos[] = {
+    {KernelId::kJacobi, "JACOBI", rt::core::StencilSpec::jacobi3d(), 7, 6, 2},
+    {KernelId::kRedBlack, "REDBLACK", rt::core::StencilSpec::redblack3d(), 8,
+     8, 1},
+    {KernelId::kResid, "RESID", rt::core::StencilSpec::resid27(), 29, 31, 3},
+    {KernelId::kPsinv, "PSINV", rt::core::StencilSpec{"psinv27", 2, 2, 3}, 29,
+     31, 2},
+};
+}  // namespace
+
+const KernelInfo& kernel_info(KernelId id) {
+  for (const KernelInfo& k : kInfos) {
+    if (k.id == id) return k;
+  }
+  throw std::invalid_argument("unknown kernel id");
+}
+
+const std::vector<KernelId>& all_kernels() {
+  // The paper's three evaluation kernels (Table 3 / Figures 14-19).
+  static const std::vector<KernelId> kAll = {
+      KernelId::kJacobi, KernelId::kRedBlack, KernelId::kResid};
+  return kAll;
+}
+
+}  // namespace rt::kernels

@@ -1,0 +1,100 @@
+#pragma once
+// NAS-MG-style V-cycle solver of  A u = v  with periodic boundaries — the
+// "MGRID" application of the paper's Section 4.6.  Supports:
+//   * tiling RESID (and optionally PSINV) at the finest level with a tile
+//     from rt::core (the paper tiles only the largest grid);
+//   * padding the finest-level arrays (the paper's workaround of declaring
+//     a new padded array, since MGRID's own 1D indexing prevents in-place
+//     padding);
+//   * optional trace-driven execution against a CacheHierarchy, so the
+//     whole application's simulated cycles can be compared orig vs tiled.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/array/address_space.hpp"
+#include "rt/array/array3d.hpp"
+#include "rt/cachesim/hierarchy.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/kernels/resid.hpp"
+#include "rt/multigrid/operators.hpp"
+
+namespace rt::multigrid {
+
+struct MgOptions {
+  /// Number of levels; finest grid has n = 2^lt + 2 points per side
+  /// (lt = 7 gives the paper's 130x130x130 reference size).
+  int lt = 5;
+  /// Coarsest level (>= 1).
+  int lb = 1;
+  /// Tile RESID at the finest level with this plan (tiled == false -> orig).
+  rt::core::TilingPlan resid_plan{};
+  /// Also tile PSINV at the finest level with the same tile.
+  bool tile_psinv = false;
+  /// Number of +1/-1 unit charges in the right-hand side.
+  int charges = 20;
+  /// RNG seed for charge placement (deterministic).
+  std::uint64_t seed = 314159265;
+  /// Inter-variable padding (paper Section 3.5): stagger array base
+  /// addresses modulo this cache size so that same-index elements of
+  /// different arrays never alias (e.g. V(i,j,k) on top of U(i,j,k) in
+  /// RESID, which a back-to-back layout can produce by accident).
+  /// 0 disables staggering.
+  std::uint64_t stagger_mod_bytes = 16 * 1024;
+};
+
+class MgSolver {
+ public:
+  explicit MgSolver(const MgOptions& opts,
+                    rt::cachesim::CacheHierarchy* hier = nullptr);
+
+  /// Grid side length at level l (1-based levels, lt = finest).
+  long level_n(int l) const { return (1L << l) + 2; }
+  int lt() const { return opts_.lt; }
+
+  /// Initialise u = 0 and the NAS-style +/-1 charge RHS.
+  void setup();
+
+  /// One full MG iteration: r = v - Au at the finest level, then a V-cycle
+  /// correction.  Returns the L2 residual norm *before* the correction.
+  double iterate();
+
+  /// L2 norm of the current residual r = v - Au (recomputes resid).
+  double residual_norm();
+
+  const rt::array::Array3D<double>& u() const { return u_.back(); }
+  const rt::array::Array3D<double>& v() const { return v_; }
+
+  /// Total flops executed so far (analytic per-operator counts).
+  std::uint64_t flops() const { return flops_; }
+
+ private:
+  using Grid = rt::array::Array3D<double>;
+
+  void resid_level(int l, Grid& r, Grid& v, Grid& u, bool allow_tile);
+  void psinv_level(int l, Grid& u, Grid& r);
+  void rprj3_level(Grid& coarse, Grid& fine);
+  void interp_level(Grid& fine, Grid& coarse);
+  void comm3_grid(Grid& g);
+  void zero3_grid(Grid& g);
+
+  /// V-cycle on the residual hierarchy (NAS mg3P).
+  void mg3p();
+
+  std::uint64_t base_of(const Grid& g) const;
+
+  MgOptions opts_;
+  rt::cachesim::CacheHierarchy* hier_ = nullptr;
+  rt::array::AddressSpace space_;
+
+  std::vector<Grid> u_;  ///< solution per level (index l-1)
+  std::vector<Grid> r_;  ///< residual per level
+  Grid v_;               ///< RHS at finest level
+  std::vector<std::uint64_t> u_base_, r_base_;
+  std::uint64_t v_base_ = 0;
+
+  std::uint64_t flops_ = 0;
+};
+
+}  // namespace rt::multigrid

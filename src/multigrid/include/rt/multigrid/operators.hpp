@@ -1,0 +1,231 @@
+#pragma once
+// NAS-MG-style multigrid operators (the substrate for the paper's MGRID
+// experiment, Section 4.6).  All are templates over the accessor concept so
+// the whole application can run natively (timing) or trace-driven through
+// the cache simulator.
+//
+// Grids are (2^k + 2)^3 with one ghost layer and periodic boundaries kept
+// consistent by comm3(), exactly like NAS MG / SPEC mgrid.  RESID itself
+// lives in rt/kernels/resid.hpp (it is one of the paper's three kernels);
+// here are the remaining operators: psinv (smoother), rprj3 (restriction),
+// interp (prolongation), comm3, zero3 and norms.
+
+#include <array>
+#include <cmath>
+
+#include "rt/core/cost.hpp"
+
+namespace rt::multigrid {
+
+/// Smoother coefficients: c[0] centre, c[1] faces, c[2] edges, c[3] corners.
+using SmootherCoeffs = std::array<double, 4>;
+
+/// NAS MG class-A/B smoother: (-3/8, 1/32, -1/64, 0).
+inline SmootherCoeffs nas_mg_c() {
+  return SmootherCoeffs{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0};
+}
+
+/// u += S r : 27-point smoother application (NAS MG psinv).
+template <class U, class R>
+void psinv(U& u, R& r, const SmootherCoeffs& c) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  for (long i3 = 1; i3 < n3 - 1; ++i3) {
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      for (long i1 = 1; i1 < n1 - 1; ++i1) {
+        const double s1 = r.load(i1 - 1, i2, i3) + r.load(i1 + 1, i2, i3) +
+                          r.load(i1, i2 - 1, i3) + r.load(i1, i2 + 1, i3) +
+                          r.load(i1, i2, i3 - 1) + r.load(i1, i2, i3 + 1);
+        const double s2 =
+            r.load(i1 - 1, i2 - 1, i3) + r.load(i1 + 1, i2 - 1, i3) +
+            r.load(i1 - 1, i2 + 1, i3) + r.load(i1 + 1, i2 + 1, i3) +
+            r.load(i1, i2 - 1, i3 - 1) + r.load(i1, i2 + 1, i3 - 1) +
+            r.load(i1, i2 - 1, i3 + 1) + r.load(i1, i2 + 1, i3 + 1) +
+            r.load(i1 - 1, i2, i3 - 1) + r.load(i1 - 1, i2, i3 + 1) +
+            r.load(i1 + 1, i2, i3 - 1) + r.load(i1 + 1, i2, i3 + 1);
+        const double s3 =
+            r.load(i1 - 1, i2 - 1, i3 - 1) + r.load(i1 + 1, i2 - 1, i3 - 1) +
+            r.load(i1 - 1, i2 + 1, i3 - 1) + r.load(i1 + 1, i2 + 1, i3 - 1) +
+            r.load(i1 - 1, i2 - 1, i3 + 1) + r.load(i1 + 1, i2 - 1, i3 + 1) +
+            r.load(i1 - 1, i2 + 1, i3 + 1) + r.load(i1 + 1, i2 + 1, i3 + 1);
+        u.store(i1, i2, i3,
+                u.load(i1, i2, i3) + c[0] * r.load(i1, i2, i3) + c[1] * s1 +
+                    c[2] * s2 + c[3] * s3);
+      }
+    }
+  }
+}
+
+/// Tiled psinv: same I2/I1 strip-mining as tiled RESID.
+template <class U, class R>
+void psinv_tiled(U& u, R& r, const SmootherCoeffs& c, rt::core::IterTile t) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  for (long ii2 = 1; ii2 < n2 - 1; ii2 += t.tj) {
+    const long i2hi = std::min(ii2 + t.tj, n2 - 1);
+    for (long ii1 = 1; ii1 < n1 - 1; ii1 += t.ti) {
+      const long i1hi = std::min(ii1 + t.ti, n1 - 1);
+      for (long i3 = 1; i3 < n3 - 1; ++i3) {
+        for (long i2 = ii2; i2 < i2hi; ++i2) {
+          for (long i1 = ii1; i1 < i1hi; ++i1) {
+            const double s1 = r.load(i1 - 1, i2, i3) + r.load(i1 + 1, i2, i3) +
+                              r.load(i1, i2 - 1, i3) + r.load(i1, i2 + 1, i3) +
+                              r.load(i1, i2, i3 - 1) + r.load(i1, i2, i3 + 1);
+            const double s2 =
+                r.load(i1 - 1, i2 - 1, i3) + r.load(i1 + 1, i2 - 1, i3) +
+                r.load(i1 - 1, i2 + 1, i3) + r.load(i1 + 1, i2 + 1, i3) +
+                r.load(i1, i2 - 1, i3 - 1) + r.load(i1, i2 + 1, i3 - 1) +
+                r.load(i1, i2 - 1, i3 + 1) + r.load(i1, i2 + 1, i3 + 1) +
+                r.load(i1 - 1, i2, i3 - 1) + r.load(i1 - 1, i2, i3 + 1) +
+                r.load(i1 + 1, i2, i3 - 1) + r.load(i1 + 1, i2, i3 + 1);
+            const double s3 = r.load(i1 - 1, i2 - 1, i3 - 1) +
+                              r.load(i1 + 1, i2 - 1, i3 - 1) +
+                              r.load(i1 - 1, i2 + 1, i3 - 1) +
+                              r.load(i1 + 1, i2 + 1, i3 - 1) +
+                              r.load(i1 - 1, i2 - 1, i3 + 1) +
+                              r.load(i1 + 1, i2 - 1, i3 + 1) +
+                              r.load(i1 - 1, i2 + 1, i3 + 1) +
+                              r.load(i1 + 1, i2 + 1, i3 + 1);
+            u.store(i1, i2, i3,
+                    u.load(i1, i2, i3) + c[0] * r.load(i1, i2, i3) +
+                        c[1] * s1 + c[2] * s2 + c[3] * s3);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Full-weighting restriction: fine residual r -> coarse residual s.
+/// Coarse interior j (0-based) maps to fine centre i = 2j - 1.
+template <class S, class R>
+void rprj3(S& s, R& r) {
+  const long m1 = s.n1(), m2 = s.n2(), m3 = s.n3();
+  for (long j3 = 1; j3 < m3 - 1; ++j3) {
+    const long i3 = 2 * j3 - 1;
+    for (long j2 = 1; j2 < m2 - 1; ++j2) {
+      const long i2 = 2 * j2 - 1;
+      for (long j1 = 1; j1 < m1 - 1; ++j1) {
+        const long i1 = 2 * j1 - 1;
+        double faces = 0, edges = 0, corners = 0;
+        for (int d3 = -1; d3 <= 1; ++d3) {
+          for (int d2 = -1; d2 <= 1; ++d2) {
+            for (int d1 = -1; d1 <= 1; ++d1) {
+              const int m = std::abs(d1) + std::abs(d2) + std::abs(d3);
+              if (m == 0) continue;
+              const double v = r.load(i1 + d1, i2 + d2, i3 + d3);
+              if (m == 1) faces += v;
+              else if (m == 2) edges += v;
+              else corners += v;
+            }
+          }
+        }
+        s.store(j1, j2, j3,
+                0.5 * r.load(i1, i2, i3) + 0.25 * faces + 0.125 * edges +
+                    0.0625 * corners);
+      }
+    }
+  }
+}
+
+/// Trilinear prolongation: u_fine += P z_coarse.  Fine odd index i
+/// coincides with coarse (i+1)/2; fine even index i averages coarse i/2 and
+/// i/2 + 1 (ghosts supplied by comm3 on the coarse grid).
+template <class U, class Z>
+void interp_add(U& u, Z& z) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  const auto axis = [](long i, long (&idx)[2], double (&w)[2]) -> int {
+    if (i & 1) {
+      idx[0] = (i + 1) / 2;
+      w[0] = 1.0;
+      return 1;
+    }
+    idx[0] = i / 2;
+    idx[1] = i / 2 + 1;
+    w[0] = w[1] = 0.5;
+    return 2;
+  };
+  for (long i3 = 1; i3 < n3 - 1; ++i3) {
+    long k_idx[2];
+    double k_w[2];
+    const int kn = axis(i3, k_idx, k_w);
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      long j_idx[2];
+      double j_w[2];
+      const int jn = axis(i2, j_idx, j_w);
+      for (long i1 = 1; i1 < n1 - 1; ++i1) {
+        long i_idx[2];
+        double i_w[2];
+        const int in = axis(i1, i_idx, i_w);
+        double acc = 0;
+        for (int kk = 0; kk < kn; ++kk) {
+          for (int jj = 0; jj < jn; ++jj) {
+            for (int ii = 0; ii < in; ++ii) {
+              acc += k_w[kk] * j_w[jj] * i_w[ii] *
+                     z.load(i_idx[ii], j_idx[jj], k_idx[kk]);
+            }
+          }
+        }
+        u.store(i1, i2, i3, u.load(i1, i2, i3) + acc);
+      }
+    }
+  }
+}
+
+/// Periodic boundary exchange: ghost layers copy the opposite interior face.
+template <class A>
+void comm3(A& u) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  for (long i3 = 1; i3 < n3 - 1; ++i3) {
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      u.store(0, i2, i3, u.load(n1 - 2, i2, i3));
+      u.store(n1 - 1, i2, i3, u.load(1, i2, i3));
+    }
+    for (long i1 = 0; i1 < n1; ++i1) {
+      u.store(i1, 0, i3, u.load(i1, n2 - 2, i3));
+      u.store(i1, n2 - 1, i3, u.load(i1, 1, i3));
+    }
+  }
+  for (long i2 = 0; i2 < n2; ++i2) {
+    for (long i1 = 0; i1 < n1; ++i1) {
+      u.store(i1, i2, 0, u.load(i1, i2, n3 - 2));
+      u.store(i1, i2, n3 - 1, u.load(i1, i2, 1));
+    }
+  }
+}
+
+/// Clear the whole allocation (interior + ghosts).
+template <class A>
+void zero3(A& u) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  for (long i3 = 0; i3 < n3; ++i3) {
+    for (long i2 = 0; i2 < n2; ++i2) {
+      for (long i1 = 0; i1 < n1; ++i1) {
+        u.store(i1, i2, i3, 0.0);
+      }
+    }
+  }
+}
+
+struct Norms {
+  double l2 = 0;
+  double linf = 0;
+};
+
+/// L2 (rms over interior) and Linf norms (NAS MG norm2u3).
+template <class A>
+Norms norm2u3(A& u) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  double s = 0, m = 0;
+  for (long i3 = 1; i3 < n3 - 1; ++i3) {
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      for (long i1 = 1; i1 < n1 - 1; ++i1) {
+        const double v = u.load(i1, i2, i3);
+        s += v * v;
+        m = std::max(m, std::abs(v));
+      }
+    }
+  }
+  const double pts = static_cast<double>(n1 - 2) * (n2 - 2) * (n3 - 2);
+  return Norms{std::sqrt(s / pts), m};
+}
+
+}  // namespace rt::multigrid

@@ -1,0 +1,213 @@
+#include "rt/multigrid/mg_solver.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "rt/cachesim/traced_array.hpp"
+
+namespace rt::multigrid {
+
+namespace {
+
+using Grid = rt::array::Array3D<double>;
+using GB = std::pair<Grid*, std::uint64_t>;
+
+/// Run op(fn) over grids either natively or through traced accessors.
+template <class Fn, class... Gs>
+void run_op(rt::cachesim::CacheHierarchy* h, Fn&& fn, Gs... gb) {
+  if (h) {
+    fn(rt::cachesim::TracedArray3D<double>(*gb.first, gb.second, *h)...);
+  } else {
+    fn(*gb.first...);
+  }
+}
+
+std::uint64_t interior(const Grid& g) {
+  return static_cast<std::uint64_t>(g.n1() - 2) *
+         static_cast<std::uint64_t>(g.n2() - 2) *
+         static_cast<std::uint64_t>(g.n3() - 2);
+}
+
+/// xorshift64* PRNG — deterministic charge placement.
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+  }
+  long uniform(long n) { return static_cast<long>(next() % n); }
+};
+
+}  // namespace
+
+MgSolver::MgSolver(const MgOptions& opts, rt::cachesim::CacheHierarchy* hier)
+    : opts_(opts), hier_(hier), space_(0, 64) {
+  if (opts.lt < 2 || opts.lb < 1 || opts.lb >= opts.lt) {
+    throw std::invalid_argument("MgSolver: need 1 <= lb < lt, lt >= 2");
+  }
+  u_.reserve(opts.lt);
+  r_.reserve(opts.lt);
+  // Inter-variable padding (Section 3.5): stagger consecutive arrays by a
+  // quarter cache plus a line so same-index elements of different arrays
+  // never land on the same set, whatever the (padded) array size is.
+  int placed = 0;
+  const auto place_grid = [&](const std::string& name, std::uint64_t elems) {
+    if (opts_.stagger_mod_bytes == 0) return space_.place(name, elems);
+    const std::uint64_t mod = opts_.stagger_mod_bytes;
+    const std::uint64_t off = (static_cast<std::uint64_t>(placed++) *
+                               (mod / 4 + 64)) % mod;
+    return space_.place_mod(name, elems, 8, mod, off / 64 * 64);
+  };
+  for (int l = 1; l <= opts.lt; ++l) {
+    const long n = level_n(l);
+    rt::array::Dims3 d = rt::array::Dims3::unpadded(n, n, n);
+    if (l == opts.lt && opts.resid_plan.dip >= n && opts.resid_plan.djp >= n) {
+      d = rt::array::Dims3::padded(n, n, n, opts.resid_plan.dip,
+                                   opts.resid_plan.djp);
+    }
+    u_.emplace_back(d);
+    r_.emplace_back(d);
+    const auto elems = static_cast<std::uint64_t>(d.alloc_elems());
+    u_base_.push_back(place_grid("u" + std::to_string(l), elems));
+    r_base_.push_back(place_grid("r" + std::to_string(l), elems));
+    if (l == opts.lt) {
+      v_ = Grid(d);
+      v_base_ = place_grid("v", elems);
+    }
+  }
+}
+
+std::uint64_t MgSolver::base_of(const Grid& g) const {
+  for (std::size_t i = 0; i < u_.size(); ++i) {
+    if (&g == &u_[i]) return u_base_[i];
+    if (&g == &r_[i]) return r_base_[i];
+  }
+  if (&g == &v_) return v_base_;
+  assert(false && "grid not owned by solver");
+  return 0;
+}
+
+void MgSolver::comm3_grid(Grid& g) {
+  run_op(hier_, [](auto&&... a) { comm3(a...); }, GB{&g, base_of(g)});
+}
+
+void MgSolver::zero3_grid(Grid& g) {
+  run_op(hier_, [](auto&&... a) { zero3(a...); }, GB{&g, base_of(g)});
+}
+
+void MgSolver::resid_level(int l, Grid& r, Grid& v, Grid& u, bool allow_tile) {
+  const bool tile = allow_tile && l == opts_.lt && opts_.resid_plan.tiled;
+  const auto a = rt::kernels::nas_mg_a();
+  const rt::core::IterTile t = opts_.resid_plan.tile;
+  run_op(
+      hier_,
+      [&](auto&& ra, auto&& va, auto&& ua) {
+        if (tile) {
+          rt::kernels::resid_tiled(ra, va, ua, a, t);
+        } else {
+          rt::kernels::resid(ra, va, ua, a);
+        }
+      },
+      GB{&r, base_of(r)}, GB{&v, base_of(v)}, GB{&u, base_of(u)});
+  flops_ += 31 * interior(r);
+  comm3_grid(r);
+}
+
+void MgSolver::psinv_level(int l, Grid& u, Grid& r) {
+  const bool tile = opts_.tile_psinv && l == opts_.lt && opts_.resid_plan.tiled;
+  const auto c = nas_mg_c();
+  const rt::core::IterTile t = opts_.resid_plan.tile;
+  run_op(
+      hier_,
+      [&](auto&& ua, auto&& ra) {
+        if (tile) {
+          psinv_tiled(ua, ra, c, t);
+        } else {
+          psinv(ua, ra, c);
+        }
+      },
+      GB{&u, base_of(u)}, GB{&r, base_of(r)});
+  flops_ += 31 * interior(u);
+  comm3_grid(u);
+}
+
+void MgSolver::rprj3_level(Grid& coarse, Grid& fine) {
+  run_op(hier_, [](auto&& s, auto&& r) { rprj3(s, r); },
+         GB{&coarse, base_of(coarse)}, GB{&fine, base_of(fine)});
+  flops_ += 30 * interior(coarse);
+  comm3_grid(coarse);
+}
+
+void MgSolver::interp_level(Grid& fine, Grid& coarse) {
+  run_op(hier_, [](auto&& u, auto&& z) { interp_add(u, z); },
+         GB{&fine, base_of(fine)}, GB{&coarse, base_of(coarse)});
+  flops_ += 8 * interior(fine);
+}
+
+void MgSolver::setup() {
+  for (int l = 1; l <= opts_.lt; ++l) {
+    zero3_grid(u_[static_cast<std::size_t>(l - 1)]);
+    zero3_grid(r_[static_cast<std::size_t>(l - 1)]);
+  }
+  zero3_grid(v_);
+  Rng rng{opts_.seed};
+  const long n = level_n(opts_.lt);
+  for (int q = 0; q < opts_.charges; ++q) {
+    const long i = 1 + rng.uniform(n - 2);
+    const long j = 1 + rng.uniform(n - 2);
+    const long k = 1 + rng.uniform(n - 2);
+    v_(i, j, k) = (q < opts_.charges / 2) ? -1.0 : 1.0;
+  }
+  comm3_grid(v_);
+}
+
+void MgSolver::mg3p() {
+  const int lt = opts_.lt, lb = opts_.lb;
+  // Restrict the residual down the hierarchy.
+  for (int k = lt; k > lb; --k) {
+    rprj3_level(r_[static_cast<std::size_t>(k - 2)],
+                r_[static_cast<std::size_t>(k - 1)]);
+  }
+  // Coarsest level: u = S r.
+  Grid& ub = u_[static_cast<std::size_t>(lb - 1)];
+  zero3_grid(ub);
+  psinv_level(lb, ub, r_[static_cast<std::size_t>(lb - 1)]);
+  // Back up: prolongate, correct the residual, smooth.
+  for (int k = lb + 1; k < lt; ++k) {
+    Grid& uk = u_[static_cast<std::size_t>(k - 1)];
+    Grid& rk = r_[static_cast<std::size_t>(k - 1)];
+    zero3_grid(uk);
+    interp_level(uk, u_[static_cast<std::size_t>(k - 2)]);
+    resid_level(k, rk, rk, uk, /*allow_tile=*/false);  // r_k -= A u_k
+    psinv_level(k, uk, rk);
+  }
+  // Finest level: correction is *added* to the existing solution.
+  Grid& ut = u_[static_cast<std::size_t>(lt - 1)];
+  Grid& rt_ = r_[static_cast<std::size_t>(lt - 1)];
+  interp_level(ut, u_[static_cast<std::size_t>(lt - 2)]);
+  resid_level(lt, rt_, v_, ut, /*allow_tile=*/true);
+  psinv_level(lt, ut, rt_);
+}
+
+double MgSolver::iterate() {
+  Grid& r = r_[static_cast<std::size_t>(opts_.lt - 1)];
+  resid_level(opts_.lt, r, v_, u_[static_cast<std::size_t>(opts_.lt - 1)],
+              /*allow_tile=*/true);
+  const double before = norm2u3(r).l2;
+  flops_ += 2 * interior(r);
+  mg3p();
+  return before;
+}
+
+double MgSolver::residual_norm() {
+  Grid& r = r_[static_cast<std::size_t>(opts_.lt - 1)];
+  resid_level(opts_.lt, r, v_, u_[static_cast<std::size_t>(opts_.lt - 1)],
+              /*allow_tile=*/true);
+  flops_ += 2 * interior(r);
+  return norm2u3(r).l2;
+}
+
+}  // namespace rt::multigrid

@@ -1,0 +1,117 @@
+#include "rt/multigrid/sor_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rt/array/address_space.hpp"
+#include "rt/cachesim/traced_array.hpp"
+#include "rt/kernels/redblack.hpp"
+
+namespace rt::multigrid {
+
+namespace {
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+  }
+  long uniform(long n) { return static_cast<long>(next() % n); }
+};
+}  // namespace
+
+SorSolver::SorSolver(const SorOptions& opts,
+                     rt::cachesim::CacheHierarchy* hier)
+    : opts_(opts), hier_(hier) {
+  if (opts.n < 4 || opts.omega <= 0.0 || opts.omega >= 2.0) {
+    throw std::invalid_argument("SorSolver: need n >= 4, 0 < omega < 2");
+  }
+  const long n = opts.n;
+  rt::array::Dims3 d = rt::array::Dims3::unpadded(n, n, n);
+  if (opts.plan.dip >= n && opts.plan.djp >= n) {
+    d = rt::array::Dims3::padded(n, n, n, opts.plan.dip, opts.plan.djp);
+  }
+  u_ = rt::array::Array3D<double>(d);
+  rhs_ = rt::array::Array3D<double>(d);
+  f_ = rt::array::Array3D<double>(d);
+  // Inter-variable padding (Section 3.5): keep u and rhs from aliasing.
+  rt::array::AddressSpace space(0, 64);
+  const auto elems = static_cast<std::uint64_t>(d.alloc_elems());
+  u_base_ = space.place_mod("u", elems, 8, 16384, 0);
+  rhs_base_ = space.place_mod("rhs", elems, 8, 16384, 8192);
+}
+
+void SorSolver::setup(std::uint64_t seed, int charges) {
+  u_.fill(0.0);
+  f_.fill(0.0);
+  Rng rng{seed};
+  const long n = opts_.n;
+  for (int q = 0; q < charges; ++q) {
+    const long i = 1 + rng.uniform(n - 2);
+    const long j = 1 + rng.uniform(n - 2);
+    const long k = 1 + rng.uniform(n - 2);
+    f_(i, j, k) = (q % 2 == 0) ? 1.0 : -1.0;
+  }
+  // Pre-scale the constant term of the SOR update: -(w/6) h^2 f, h = 1.
+  const double c = -(opts_.omega / 6.0);
+  for (long k = 0; k < n; ++k) {
+    for (long j = 0; j < n; ++j) {
+      for (long i = 0; i < n; ++i) {
+        rhs_(i, j, k) = c * f_(i, j, k);
+      }
+    }
+  }
+  flops_ = 0;
+}
+
+void SorSolver::sweep() {
+  const double c1 = 1.0 - opts_.omega;
+  const double c2 = opts_.omega / 6.0;
+  if (hier_) {
+    rt::cachesim::TracedArray3D<double> tu(u_, u_base_, *hier_);
+    rt::cachesim::TracedArray3D<double> tr(rhs_, rhs_base_, *hier_);
+    if (opts_.plan.tiled) {
+      rt::kernels::redblack_tiled_rhs(tu, tr, c1, c2, opts_.plan.tile);
+    } else {
+      rt::kernels::redblack_naive_rhs(tu, tr, c1, c2);
+    }
+  } else {
+    if (opts_.plan.tiled) {
+      rt::kernels::redblack_tiled_rhs(u_, rhs_, c1, c2, opts_.plan.tile);
+    } else {
+      rt::kernels::redblack_naive_rhs(u_, rhs_, c1, c2);
+    }
+  }
+  const auto pts = static_cast<std::uint64_t>(opts_.n - 2);
+  flops_ += 10 * pts * pts * pts;
+}
+
+double SorSolver::residual_linf() {
+  const long n = opts_.n;
+  double m = 0.0;
+  for (long k = 1; k < n - 1; ++k) {
+    for (long j = 1; j < n - 1; ++j) {
+      for (long i = 1; i < n - 1; ++i) {
+        const double lap = u_(i - 1, j, k) + u_(i + 1, j, k) +
+                           u_(i, j - 1, k) + u_(i, j + 1, k) +
+                           u_(i, j, k - 1) + u_(i, j, k + 1) -
+                           6.0 * u_(i, j, k);
+        m = std::max(m, std::abs(lap - f_(i, j, k)));
+      }
+    }
+  }
+  return m;
+}
+
+int SorSolver::solve(double tol, int max_sweeps) {
+  for (int s = 1; s <= max_sweeps; ++s) {
+    sweep();
+    if (residual_linf() < tol) return s;
+  }
+  return max_sweeps;
+}
+
+}  // namespace rt::multigrid

@@ -1,0 +1,100 @@
+// Additional array-substrate tests: modular placement (inter-variable
+// padding primitive), placement bookkeeping, and stats arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "rt/array/address_space.hpp"
+#include "rt/array/array3d.hpp"
+#include "rt/cachesim/stats.hpp"
+
+namespace rt::array {
+namespace {
+
+TEST(AddressSpaceMod, LandsOnRequestedResidue) {
+  AddressSpace s(0, 8);
+  const std::uint64_t mod = 16384;  // 2048 doubles
+  const auto b0 = s.place_mod("u", 1000, 8, mod, 0);
+  const auto b1 = s.place_mod("v", 1000, 8, mod, 4096);
+  const auto b2 = s.place_mod("r", 1000, 8, mod, 8192);
+  EXPECT_EQ(b0 % mod, 0u);
+  EXPECT_EQ(b1 % mod, 4096u);
+  EXPECT_EQ(b2 % mod, 8192u);
+  EXPECT_LT(b0, b1);
+  EXPECT_LT(b1, b2);
+}
+
+TEST(AddressSpaceMod, NoGapWhenAlreadyAligned) {
+  AddressSpace s(0, 8);
+  const auto b0 = s.place_mod("a", 2048, 8, 16384, 0);  // exactly one mod
+  const auto b1 = s.place_mod("b", 10, 8, 16384, 0);
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(b1, 16384u);
+}
+
+TEST(AddressSpaceMod, WrapsForwardOnly) {
+  AddressSpace s(100, 4);
+  const auto b = s.place_mod("x", 4, 8, 64, 0);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, 100u);  // never moves backwards
+}
+
+TEST(AddressSpaceMod, MixedWithPlainPlace) {
+  AddressSpace s(0, 64);
+  s.place("a", 100, 8);
+  const auto b = s.place_mod("b", 10, 8, 1024, 512);
+  EXPECT_EQ(b % 1024, 512u);
+  EXPECT_EQ(s.placements().size(), 2u);
+  EXPECT_EQ(s.placements()[1].base_bytes, b);
+}
+
+TEST(LevelStats, AdditionAccumulates) {
+  rt::cachesim::LevelStats a, b;
+  a.accesses = 10;
+  a.misses = 3;
+  a.writebacks = 1;
+  b.accesses = 5;
+  b.misses = 2;
+  b.read_misses = 2;
+  a += b;
+  EXPECT_EQ(a.accesses, 15u);
+  EXPECT_EQ(a.misses, 5u);
+  EXPECT_EQ(a.read_misses, 2u);
+  EXPECT_EQ(a.writebacks, 1u);
+}
+
+TEST(LevelStats, MissRateEdgeCases) {
+  rt::cachesim::LevelStats s;
+  EXPECT_EQ(s.miss_rate(), 0.0);
+  s.accesses = 4;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.miss_rate(), 0.25);
+  s.reset();
+  EXPECT_EQ(s.accesses, 0u);
+}
+
+TEST(HierarchyStats, GlobalL2Rate) {
+  rt::cachesim::HierarchyStats h;
+  EXPECT_EQ(h.l2_global_miss_rate(), 0.0);
+  h.l1.accesses = 1000;
+  h.l2.misses = 15;
+  EXPECT_DOUBLE_EQ(h.l2_global_miss_rate(), 0.015);
+}
+
+TEST(Dims3, EqualityAndCopies) {
+  const Dims3 a = Dims3::padded(3, 4, 5, 6, 7);
+  Dims3 b = a;
+  EXPECT_EQ(a, b);
+  b.p1 = 8;
+  EXPECT_NE(a, b);
+}
+
+TEST(Array3D, MoveSemantics) {
+  Array3D<double> a(8, 8, 8, 1.5);
+  const double* p = a.data();
+  Array3D<double> b = std::move(a);
+  EXPECT_EQ(b.data(), p);  // buffer moved, not copied
+  EXPECT_EQ(b(7, 7, 7), 1.5);
+}
+
+}  // namespace
+}  // namespace rt::array

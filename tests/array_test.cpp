@@ -1,0 +1,96 @@
+// Array3D/Array2D layout and AddressSpace placement tests.
+
+#include <gtest/gtest.h>
+
+#include "rt/array/address_space.hpp"
+#include "rt/array/array3d.hpp"
+
+namespace rt::array {
+namespace {
+
+TEST(Dims3, UnpaddedStrides) {
+  const Dims3 d = Dims3::unpadded(5, 7, 9);
+  EXPECT_EQ(d.column_stride(), 5);
+  EXPECT_EQ(d.plane_stride(), 35);
+  EXPECT_EQ(d.alloc_elems(), 5 * 7 * 9);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Dims3, PaddedStrides) {
+  const Dims3 d = Dims3::padded(5, 7, 9, 8, 10);
+  EXPECT_EQ(d.column_stride(), 8);
+  EXPECT_EQ(d.plane_stride(), 80);
+  EXPECT_EQ(d.alloc_elems(), 8 * 10 * 9);
+}
+
+TEST(Dims3, InvalidWhenPadSmallerThanLogical) {
+  EXPECT_FALSE(Dims3::padded(5, 7, 9, 4, 10).valid());
+  EXPECT_FALSE(Dims3::padded(0, 7, 9, 4, 10).valid());
+}
+
+TEST(Array3D, ColumnMajorAdjacency) {
+  Array3D<double> a(4, 5, 6);
+  // I is the fastest-varying (contiguous) dimension.
+  EXPECT_EQ(a.index(1, 0, 0) - a.index(0, 0, 0), 1);
+  EXPECT_EQ(a.index(0, 1, 0) - a.index(0, 0, 0), 4);
+  EXPECT_EQ(a.index(0, 0, 1) - a.index(0, 0, 0), 20);
+}
+
+TEST(Array3D, PaddedIndexUsesLeadingDims) {
+  Array3D<double> a(Dims3::padded(4, 5, 6, 7, 9));
+  EXPECT_EQ(a.index(0, 1, 0) - a.index(0, 0, 0), 7);
+  EXPECT_EQ(a.index(0, 0, 1) - a.index(0, 0, 0), 63);
+  EXPECT_EQ(a.size(), 7u * 9u * 6u);
+}
+
+TEST(Array3D, LoadStoreRoundTrip) {
+  Array3D<double> a(3, 3, 3);
+  a.store(1, 2, 0, 42.5);
+  EXPECT_EQ(a.load(1, 2, 0), 42.5);
+  EXPECT_EQ(a(1, 2, 0), 42.5);
+}
+
+TEST(Array3D, FillSetsEverything) {
+  Array3D<double> a(Dims3::padded(3, 3, 3, 5, 5), 1.0);
+  a.fill(2.0);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], 2.0);
+}
+
+TEST(Array3D, DistinctElementsDistinctStorage) {
+  Array3D<int> a(3, 4, 5);
+  int v = 0;
+  for (long k = 0; k < 5; ++k)
+    for (long j = 0; j < 4; ++j)
+      for (long i = 0; i < 3; ++i) a(i, j, k) = v++;
+  v = 0;
+  for (long k = 0; k < 5; ++k)
+    for (long j = 0; j < 4; ++j)
+      for (long i = 0; i < 3; ++i) EXPECT_EQ(a(i, j, k), v++);
+}
+
+TEST(Array2D, LayoutAndPadding) {
+  Array2D<double> a(4, 6, 10);
+  EXPECT_EQ(a.index(0, 1) - a.index(0, 0), 10);
+  EXPECT_EQ(a.size(), 60u);
+  a.store(3, 5, 7.0);
+  EXPECT_EQ(a.load(3, 5), 7.0);
+}
+
+TEST(AddressSpace, PlacesBackToBackAligned) {
+  AddressSpace s(0, 64);
+  const auto b0 = s.place("a", 100, 8);  // 800 bytes
+  const auto b1 = s.place("b", 10, 8);
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(b1, 832u);  // 800 rounded up to 64
+  EXPECT_EQ(s.placements().size(), 2u);
+  EXPECT_EQ(s.placements()[1].name, "b");
+}
+
+TEST(AddressSpace, NonZeroBase) {
+  AddressSpace s(1000, 8);
+  EXPECT_EQ(s.place("a", 4, 8), 1000u);
+  EXPECT_EQ(s.place("b", 1, 8), 1032u);
+}
+
+}  // namespace
+}  // namespace rt::array

@@ -1,0 +1,135 @@
+// Tests for bench_util: CLI option parsing, sweep construction, and table
+// formatting helpers.
+
+#include <gtest/gtest.h>
+
+#include "rt/bench/options.hpp"
+#include "rt/bench/table.hpp"
+
+namespace rt::bench {
+namespace {
+
+BenchOptions parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parse_options(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()));
+}
+
+TEST(Options, Defaults) {
+  const BenchOptions o = parse({});
+  EXPECT_FALSE(o.full);
+  EXPECT_FALSE(o.host);
+  EXPECT_TRUE(o.simulate);
+  EXPECT_EQ(o.steps, 2);
+}
+
+TEST(Options, Flags) {
+  const BenchOptions o =
+      parse({"--full", "--host", "--no-sim", "--steps=5", "--nmin=100",
+             "--nmax=300", "--nstep=10"});
+  EXPECT_TRUE(o.full);
+  EXPECT_TRUE(o.host);
+  EXPECT_FALSE(o.simulate);
+  EXPECT_EQ(o.steps, 5);
+  EXPECT_EQ(o.nmin, 100);
+  EXPECT_EQ(o.nmax, 300);
+  EXPECT_EQ(o.nstep, 10);
+}
+
+TEST(Options, SweepDefaults) {
+  const BenchOptions o = parse({});
+  const auto xs = o.sweep(200, 400, 25, 4);
+  EXPECT_EQ(xs.front(), 200);
+  EXPECT_EQ(xs.back(), 400);
+  EXPECT_EQ(xs[1] - xs[0], 25);
+}
+
+TEST(Options, SweepFullUsesFineStep) {
+  const BenchOptions o = parse({"--full"});
+  const auto xs = o.sweep(200, 400, 25, 4);
+  EXPECT_EQ(xs[1] - xs[0], 4);
+}
+
+TEST(Options, SweepOverrides) {
+  const BenchOptions o = parse({"--nmin=100", "--nmax=120", "--nstep=7"});
+  const auto xs = o.sweep(200, 400, 25, 4);
+  EXPECT_EQ(xs.front(), 100);
+  EXPECT_EQ(xs.back(), 120);  // endpoint always included
+  EXPECT_EQ(xs[1], 107);
+}
+
+TEST(Options, SweepAlwaysIncludesEndpoint) {
+  const BenchOptions o = parse({"--nstep=300"});
+  const auto xs = o.sweep(200, 400, 25, 4);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], 200);
+  EXPECT_EQ(xs[1], 400);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PrintTableDoesNotThrow) {
+  testing::internal::CaptureStdout();
+  print_table({"a", "bb"}, {{"1", "2"}, {"333", "4"}});
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+TEST(Table, PrintSeriesAlignsColumns) {
+  testing::internal::CaptureStdout();
+  print_series("t", "N", {100, 200}, {"s1", "s2"},
+               {{1.5, 2.5}, {3.25, 4.126}}, 2);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("== t =="), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  EXPECT_NE(out.find("4.13"), std::string::npos);  // rounded to 2 digits
+}
+
+}  // namespace
+}  // namespace rt::bench
+
+// --- CSV sink ---
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rt::bench {
+namespace {
+
+TEST(Csv, TablesAndSeriesAppendToSink) {
+  const std::string path = "/tmp/rt_bench_csv_test.csv";
+  std::remove(path.c_str());
+  set_csv_sink(path);
+  testing::internal::CaptureStdout();
+  print_table({"a", "b"}, {{"1", "x,y"}, {"2", "z\"q"}});
+  print_series("series one", "N", {10, 20}, {"s"}, {{1.25, 2.5}}, 2);
+  testing::internal::GetCapturedStdout();
+  close_csv_sink();
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string got = ss.str();
+  EXPECT_NE(got.find("a,b"), std::string::npos);
+  EXPECT_NE(got.find("\"x,y\""), std::string::npos) << got;
+  EXPECT_NE(got.find("\"z\"\"q\""), std::string::npos) << got;
+  EXPECT_NE(got.find("# series one"), std::string::npos);
+  EXPECT_NE(got.find("10,1.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NoSinkNoOutput) {
+  close_csv_sink();  // ensure off
+  testing::internal::CaptureStdout();
+  print_table({"h"}, {{"v"}});
+  testing::internal::GetCapturedStdout();  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rt::bench

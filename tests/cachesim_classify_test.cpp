@@ -1,0 +1,78 @@
+// Tests for the 3C miss-classification shadow simulation.
+
+#include <gtest/gtest.h>
+
+#include "rt/cachesim/classify.hpp"
+
+namespace rt::cachesim {
+namespace {
+
+CacheConfig tiny() {
+  return CacheConfig{128, 32, 1, true, true};  // 4 lines, direct-mapped
+}
+
+TEST(Classify, FirstTouchesAreCompulsory) {
+  ClassifyingCache c(tiny());
+  for (int i = 0; i < 4; ++i) c.access(static_cast<std::uint64_t>(i) * 32, false);
+  EXPECT_EQ(c.classes().compulsory, 4u);
+  EXPECT_EQ(c.classes().capacity, 0u);
+  EXPECT_EQ(c.classes().conflict, 0u);
+}
+
+TEST(Classify, RepeatAccessesAreHits) {
+  ClassifyingCache c(tiny());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(8, false);  // same line
+  EXPECT_EQ(c.classes().hits, 2u);
+  EXPECT_EQ(c.classes().compulsory, 1u);
+}
+
+TEST(Classify, PingPongIsConflict) {
+  // Lines 0 and 128 collide in the 4-line direct-mapped cache but both fit
+  // in the fully associative shadow.
+  ClassifyingCache c(tiny());
+  c.access(0, false);
+  c.access(128, false);
+  for (int r = 0; r < 3; ++r) {
+    c.access(0, false);
+    c.access(128, false);
+  }
+  EXPECT_EQ(c.classes().compulsory, 2u);
+  EXPECT_EQ(c.classes().conflict, 6u);
+  EXPECT_EQ(c.classes().capacity, 0u);
+}
+
+TEST(Classify, StreamingBeyondCapacityIsCapacity) {
+  // Touch 8 distinct lines round-robin: neither a 4-line direct-mapped
+  // cache nor its fully associative twin can hold them.
+  ClassifyingCache c(tiny());
+  for (int r = 0; r < 3; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      c.access(static_cast<std::uint64_t>(i) * 32, false);
+    }
+  }
+  EXPECT_EQ(c.classes().compulsory, 8u);
+  EXPECT_EQ(c.classes().conflict, 0u);
+  EXPECT_EQ(c.classes().capacity, 16u);
+}
+
+TEST(Classify, ClassesSumToMisses) {
+  ClassifyingCache c(tiny());
+  for (int i = 0; i < 100; ++i) {
+    c.access(static_cast<std::uint64_t>(i * 13 % 40) * 32, i % 3 == 0);
+  }
+  const auto& m = c.classes();
+  EXPECT_EQ(m.accesses, 100u);
+  EXPECT_EQ(m.hits + m.total_misses(), m.accesses);
+}
+
+TEST(Classify, PctHelper) {
+  ClassifyingCache c(tiny());
+  for (int i = 0; i < 4; ++i) c.access(static_cast<std::uint64_t>(i) * 32, false);
+  EXPECT_DOUBLE_EQ(c.classes().pct(c.classes().compulsory), 100.0);
+  EXPECT_DOUBLE_EQ(MissClasses{}.pct(0), 0.0);
+}
+
+}  // namespace
+}  // namespace rt::cachesim

@@ -1,0 +1,201 @@
+// Cache simulator tests: mapping, replacement, write policies, hierarchy
+// propagation, and the perf model.
+
+#include <gtest/gtest.h>
+
+#include "rt/cachesim/cache.hpp"
+#include "rt/cachesim/hierarchy.hpp"
+#include "rt/cachesim/perf_model.hpp"
+#include "rt/cachesim/traced_array.hpp"
+
+namespace rt::cachesim {
+namespace {
+
+CacheConfig small_direct() {
+  return CacheConfig{1024, 32, 1, true, true};  // 32 lines
+}
+
+TEST(CacheConfig, Validation) {
+  EXPECT_TRUE(CacheConfig::ultrasparc2_l1().valid());
+  EXPECT_TRUE(CacheConfig::ultrasparc2_l2().valid());
+  EXPECT_FALSE((CacheConfig{1000, 32, 1, false, false}).valid());  // not pow2
+  EXPECT_FALSE((CacheConfig{1024, 48, 1, false, false}).valid());
+  EXPECT_FALSE((CacheConfig{32, 64, 1, false, false}).valid());
+  EXPECT_TRUE((CacheConfig{1024, 32, 0, false, false}).valid());  // fully assoc
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_direct());
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(31, false).hit);   // same line
+  EXPECT_FALSE(c.access(32, false).hit);  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  Cache c(small_direct());
+  // Addresses 0 and 1024 map to the same set in a 1024-byte cache.
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(1024, false).hit);
+  EXPECT_FALSE(c.access(0, false).hit);  // evicted by 1024
+  EXPECT_EQ(c.stats().evictions, 2u);
+}
+
+TEST(Cache, TwoWayAvoidsPingPong) {
+  CacheConfig cfg{1024, 32, 2, true, true};
+  Cache c(cfg);
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(1024, false).hit);
+  EXPECT_TRUE(c.access(0, false).hit);  // both fit in the 2-way set
+  EXPECT_TRUE(c.access(1024, false).hit);
+}
+
+TEST(Cache, LruEvictsLeastRecent) {
+  CacheConfig cfg{1024, 32, 2, true, true};
+  Cache c(cfg);
+  c.access(0, false);     // A
+  c.access(1024, false);  // B
+  c.access(0, false);     // touch A -> B is LRU
+  c.access(2048, false);  // C evicts B
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(1024, false).hit);
+}
+
+TEST(Cache, FullyAssociativeUsesWholeCapacity) {
+  CacheConfig cfg{1024, 32, 0, true, true};  // 32 lines, fully assoc
+  Cache c(cfg);
+  for (int i = 0; i < 32; ++i) c.access(static_cast<std::uint64_t>(i) * 32, false);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(c.access(static_cast<std::uint64_t>(i) * 32, false).hit) << i;
+  }
+  c.access(32 * 32, false);             // evicts line 0 (LRU)
+  EXPECT_FALSE(c.access(0, false).hit);  // gone
+}
+
+TEST(Cache, WriteAroundDoesNotAllocate) {
+  CacheConfig cfg = CacheConfig::ultrasparc2_l1();  // no write-allocate
+  Cache c(cfg);
+  EXPECT_FALSE(c.access(0, true).hit);   // write miss, not installed
+  EXPECT_FALSE(c.access(0, false).hit);  // still a read miss
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_EQ(c.stats().write_misses, 1u);
+}
+
+TEST(Cache, WriteAllocateInstalls) {
+  Cache c(small_direct());
+  EXPECT_FALSE(c.access(0, true).hit);
+  EXPECT_TRUE(c.access(0, false).hit);
+}
+
+TEST(Cache, WriteBackMarksDirtyAndWritesBack) {
+  Cache c(small_direct());
+  c.access(0, true);                      // dirty line
+  const auto r = c.access(1024, false);   // evicts dirty line
+  EXPECT_TRUE(r.evicted_dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteThroughNeverDirty) {
+  CacheConfig cfg{1024, 32, 1, true, false};  // allocate, write-through
+  Cache c(cfg);
+  c.access(0, true);
+  const auto r = c.access(1024, false);
+  EXPECT_FALSE(r.evicted_dirty);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, FlushInvalidatesKeepsStats) {
+  Cache c(small_direct());
+  c.access(0, false);
+  c.flush();
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, ContainsIsSideEffectFree) {
+  Cache c(small_direct());
+  EXPECT_FALSE(c.contains(0));
+  c.access(0, false);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(31));
+  EXPECT_FALSE(c.contains(32));
+  EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Hierarchy, L1MissGoesToL2) {
+  CacheHierarchy h = CacheHierarchy::ultrasparc2();
+  h.read(0);
+  EXPECT_EQ(h.stats().l1.accesses, 1u);
+  EXPECT_EQ(h.stats().l2.accesses, 1u);
+  h.read(0);  // L1 hit: L2 untouched
+  EXPECT_EQ(h.stats().l2.accesses, 1u);
+}
+
+TEST(Hierarchy, L2CatchesL1Conflicts) {
+  CacheHierarchy h = CacheHierarchy::ultrasparc2();
+  // Two addresses conflicting in 16K L1 but not in 2M L2.
+  h.read(0);
+  h.read(16 * 1024);
+  h.read(0);  // L1 conflict miss, L2 hit
+  EXPECT_EQ(h.stats().l1.misses, 3u);
+  EXPECT_EQ(h.stats().l2.misses, 2u);
+  EXPECT_EQ(h.mem_lines_fetched(), 2u);
+}
+
+TEST(Hierarchy, WriteAroundL1StillReachesL2) {
+  CacheHierarchy h = CacheHierarchy::ultrasparc2();
+  h.write(0);  // L1 write miss (no allocate) -> L2 write miss (allocates)
+  EXPECT_EQ(h.stats().l1.write_misses, 1u);
+  EXPECT_EQ(h.stats().l2.write_misses, 1u);
+  h.read(0);  // L1 read miss, L2 hit
+  EXPECT_EQ(h.stats().l2.misses, 1u);
+}
+
+TEST(PerfModel, CyclesComposition) {
+  HierarchyStats s;
+  s.l1.accesses = 100;
+  s.l1.misses = 10;
+  s.l2.accesses = 10;
+  s.l2.misses = 2;
+  s.flops = 600;
+  PerfModel m(PerfModelParams{1.0, 8.0, 60.0, 100.0});
+  EXPECT_DOUBLE_EQ(m.cycles(s), 100.0 + 80.0 + 120.0);
+  EXPECT_DOUBLE_EQ(m.seconds(s), 300.0 / 100e6);
+  EXPECT_DOUBLE_EQ(m.mflops(s), 600.0 / (300.0 / 100e6) / 1e6);
+}
+
+TEST(PerfModel, FewerMissesFaster) {
+  HierarchyStats a, b;
+  a.l1.accesses = b.l1.accesses = 1000;
+  a.flops = b.flops = 1000;
+  a.l1.misses = 300;
+  b.l1.misses = 30;
+  PerfModel m;
+  EXPECT_GT(m.mflops(b), m.mflops(a));
+}
+
+TEST(TracedArray, FeedsHierarchyAndComputes) {
+  rt::array::Array3D<double> a(4, 4, 4);
+  CacheHierarchy h = CacheHierarchy::ultrasparc2();
+  TracedArray3D<double> t(a, 0, h);
+  t.store(1, 1, 1, 5.0);
+  EXPECT_EQ(t.load(1, 1, 1), 5.0);
+  EXPECT_EQ(a(1, 1, 1), 5.0);
+  EXPECT_EQ(h.stats().l1.accesses, 2u);
+  EXPECT_EQ(h.stats().l1.write_accesses, 1u);
+}
+
+TEST(TracedArray, AddressesUseBaseAndLayout) {
+  rt::array::Array3D<double> a(rt::array::Dims3::padded(4, 4, 4, 8, 8));
+  CacheHierarchy h = CacheHierarchy::ultrasparc2();
+  TracedArray3D<double> t(a, 1024, h);
+  EXPECT_EQ(t.addr(0, 0, 0), 1024u);
+  EXPECT_EQ(t.addr(1, 0, 0), 1032u);
+  EXPECT_EQ(t.addr(0, 1, 0), 1024u + 64u);
+  EXPECT_EQ(t.addr(0, 0, 1), 1024u + 512u);
+}
+
+}  // namespace
+}  // namespace rt::cachesim

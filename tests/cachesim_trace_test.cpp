@@ -1,0 +1,109 @@
+// Trace record/replay: replaying a recorded reference stream must produce
+// exactly the statistics of direct traced execution, for any cache config.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rt/cachesim/trace.hpp"
+#include "rt/cachesim/traced_array.hpp"
+#include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/resid.hpp"
+
+namespace rt::cachesim {
+namespace {
+
+using rt::array::Array3D;
+
+Array3D<double> grid(long n, long kd, double s) {
+  Array3D<double> a(n, n, kd);
+  for (long k = 0; k < kd; ++k)
+    for (long j = 0; j < n; ++j)
+      for (long i = 0; i < n; ++i) a(i, j, k) = std::sin(s + i + j + k);
+  return a;
+}
+
+TEST(Trace, PackRoundTrip) {
+  TraceBuffer t;
+  t.append(0xABCDE0, true);
+  t.append(8, false);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.addr(0), 0xABCDE0u);
+  EXPECT_TRUE(t.is_write(0));
+  EXPECT_EQ(t.addr(1), 8u);
+  EXPECT_FALSE(t.is_write(1));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, ReplayMatchesDirectSimulation) {
+  const long n = 40, kd = 12;
+  // Direct traced run.
+  Array3D<double> a1(n, n, kd), b1 = grid(n, kd, 0.2);
+  CacheHierarchy h1 = CacheHierarchy::ultrasparc2();
+  TracedArray3D<double> ta(a1, 0, h1), tb(b1, 1 << 22, h1);
+  rt::kernels::jacobi3d(ta, tb, 1.0 / 6.0);
+
+  // Recorded run + replay.
+  Array3D<double> a2(n, n, kd), b2 = grid(n, kd, 0.2);
+  TraceBuffer buf;
+  RecordingArray3D<double> ra(a2, 0, buf), rb(b2, 1 << 22, buf);
+  rt::kernels::jacobi3d(ra, rb, 1.0 / 6.0);
+  CacheHierarchy h2 = CacheHierarchy::ultrasparc2();
+  buf.replay_into(h2);
+
+  EXPECT_EQ(h1.stats().l1.accesses, h2.stats().l1.accesses);
+  EXPECT_EQ(h1.stats().l1.misses, h2.stats().l1.misses);
+  EXPECT_EQ(h1.stats().l1.write_misses, h2.stats().l1.write_misses);
+  EXPECT_EQ(h1.stats().l2.misses, h2.stats().l2.misses);
+  // The recording run computed the same values too.
+  for (long k = 1; k < kd - 1; ++k)
+    for (long j = 1; j < n - 1; ++j)
+      for (long i = 1; i < n - 1; ++i) ASSERT_EQ(a1(i, j, k), a2(i, j, k));
+}
+
+TEST(Trace, OneRecordingManyConfigs) {
+  const long n = 32, kd = 10;
+  Array3D<double> r(n, n, kd), v = grid(n, kd, 0.1), u = grid(n, kd, 0.4);
+  TraceBuffer buf;
+  RecordingArray3D<double> rr(r, 0, buf), rv(v, 1 << 22, buf),
+      ru(u, 2 << 22, buf);
+  rt::kernels::resid(rr, rv, ru, rt::kernels::nas_mg_a());
+  ASSERT_EQ(buf.size(), 29u * (n - 2) * (n - 2) * (kd - 2));
+
+  // Compulsory lower bound: distinct 32B lines among *read* references
+  // (writes never allocate in this config).
+  std::set<std::uint64_t> lines;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (!buf.is_write(i)) lines.insert(buf.addr(i) / 32);
+  }
+  for (std::uint32_t ways : {1u, 2u, 4u, 8u}) {
+    Cache c(CacheConfig{16 * 1024, 32, ways, false, false});
+    buf.replay_into(c);
+    // (No monotonicity in ways: fixed-capacity set partitioning is not
+    // LRU-stack inclusive.  But hard bounds must hold, and replays must
+    // be deterministic.)
+    EXPECT_GE(c.stats().read_misses, lines.size()) << ways;
+    EXPECT_LE(c.stats().misses, c.stats().accesses) << ways;
+    Cache c2(CacheConfig{16 * 1024, 32, ways, false, false});
+    buf.replay_into(c2);
+    EXPECT_EQ(c.stats().misses, c2.stats().misses) << ways;
+  }
+}
+
+TEST(Trace, ReplayIntoSingleCacheMatchesHierarchyL1) {
+  TraceBuffer buf;
+  for (int i = 0; i < 1000; ++i) {
+    buf.append(static_cast<std::uint64_t>(i * 104729 % 40000) * 8, i % 5 == 0);
+  }
+  Cache c(CacheConfig::ultrasparc2_l1());
+  buf.replay_into(c);
+  CacheHierarchy h = CacheHierarchy::ultrasparc2();
+  buf.replay_into(h);
+  EXPECT_EQ(c.stats().misses, h.stats().l1.misses);
+  EXPECT_EQ(c.stats().accesses, h.stats().l1.accesses);
+}
+
+}  // namespace
+}  // namespace rt::cachesim

@@ -1,0 +1,73 @@
+// The analytical miss-rate predictor must agree with the cache simulator
+// in every regime — this is the paper's Section 1 arithmetic, checked
+// against the machine model it describes.
+
+#include <gtest/gtest.h>
+
+#include "rt/bench/runner.hpp"
+#include "rt/core/analysis.hpp"
+
+namespace rt::core {
+namespace {
+
+using rt::bench::RunOptions;
+using rt::bench::run_kernel;
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+RunOptions opts(long kd = 30) {
+  RunOptions o;
+  o.time_steps = 2;
+  o.k_dim = kd;
+  return o;
+}
+
+TEST(Analysis, PlaneReuseRegimeNumbers) {
+  // 16K L1 (2048 doubles), 32B lines (4 doubles).
+  const auto small = predict_jacobi3d_orig(2048, 4, 24);  // 2*24^2 < 2048
+  EXPECT_NEAR(small.b_misses_per_point, 0.25, 1e-12);
+  const auto large = predict_jacobi3d_orig(2048, 4, 300);
+  EXPECT_NEAR(large.b_misses_per_point, 0.75, 1e-12);
+  EXPECT_NEAR(large.l1_miss_pct, 100.0 * (0.75 + 2.25) / 9.0, 1e-9);
+}
+
+TEST(Analysis, OrigPredictionMatchesSimulatorTypicalSizes) {
+  for (long n : {220L, 280L, 360L, 380L}) {  // non-spike sizes
+    const auto pred = predict_jacobi3d_orig(2048, 4, n);
+    const auto sim = run_kernel(KernelId::kJacobi, Transform::kOrig, n,
+                                opts());
+    EXPECT_NEAR(pred.l1_miss_pct, sim.l1_miss_pct, 1.5) << "n=" << n;
+  }
+}
+
+TEST(Analysis, TiledPredictionMatchesSimulator) {
+  const auto spec = StencilSpec::jacobi3d();
+  for (long n : {260L, 300L, 320L, 400L}) {
+    const auto sim = run_kernel(KernelId::kJacobi, Transform::kGcdPad, n,
+                                opts());
+    const auto pred =
+        predict_jacobi3d_tiled(4, sim.plan.tile, spec);
+    EXPECT_NEAR(pred.l1_miss_pct, sim.l1_miss_pct, 1.5) << "n=" << n;
+  }
+}
+
+TEST(Analysis, SmallProblemMatchesSimulator) {
+  // 2 planes fit: prediction and simulation should both sit near the
+  // leading-plane-only plateau.
+  const auto pred = predict_jacobi3d_orig(2048, 4, 30);
+  const auto sim =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 30, opts(16));
+  EXPECT_NEAR(pred.l1_miss_pct, sim.l1_miss_pct, 3.0);
+}
+
+TEST(Analysis, TiledBeatsUntiledInModel) {
+  const auto spec = StencilSpec::jacobi3d();
+  const auto orig = predict_jacobi3d_orig(2048, 4, 300);
+  const auto tiled = predict_jacobi3d_tiled(4, IterTile{30, 14}, spec);
+  EXPECT_LT(tiled.l1_miss_pct, orig.l1_miss_pct);
+  // The model's predicted gain is the paper's ~4-5 percentage points.
+  EXPECT_NEAR(orig.l1_miss_pct - tiled.l1_miss_pct, 5.0, 2.0);
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,150 @@
+// Cross-validation between the analytical conflict model used by the
+// tiling algorithms (element-granularity, address mod Cs) and the actual
+// cache simulator, plus a set-based reference implementation of the Euc3D
+// enumeration that double-checks the incremental difference-based one.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rt/cachesim/cache.hpp"
+#include "rt/core/conflict.hpp"
+#include "rt/core/euc3d.hpp"
+
+namespace rt::core {
+namespace {
+
+/// Reference Euc3D enumeration: maintain the sorted set of column-start
+/// offsets and the true minimal circular gap, one column at a time.
+std::vector<ArrayTile> euc3d_enumerate_reference(long cs, long di, long dj,
+                                                 int tk) {
+  const long p = (di * dj) % cs;
+  std::set<long> pts;
+  long min_gap = cs;
+  const auto insert = [&](long x) -> bool {
+    auto [it, ok] = pts.insert(x);
+    if (!ok) return false;
+    if (pts.size() == 1) return true;
+    auto nxt = std::next(it);
+    const long hi = (nxt == pts.end()) ? *pts.begin() + cs : *nxt;
+    auto prv = (it == pts.begin()) ? std::prev(pts.end()) : std::prev(it);
+    const long lo = (it == pts.begin()) ? *prv - cs : *prv;
+    min_gap = std::min({min_gap, *it - lo, hi - *it});
+    return true;
+  };
+  for (int k = 0; k < tk; ++k) {
+    if (!insert((k * p) % cs)) return {};
+  }
+  std::vector<ArrayTile> out;
+  long g = min_gap;
+  for (long tj = 2;; ++tj) {
+    bool dup = false;
+    for (int k = 0; k < tk && !dup; ++k) {
+      dup = !insert(((k * p) % cs + ((tj - 1) * di) % cs) % cs);
+    }
+    if (dup) {
+      out.push_back(ArrayTile{g, tj - 1, tk});
+      break;
+    }
+    if (min_gap < g) {
+      out.push_back(ArrayTile{g, tj - 1, tk});
+      g = min_gap;
+      if (g == 0) break;
+    }
+    if (tj > cs + 2) break;  // safety net
+  }
+  return out;
+}
+
+class Euc3dReference
+    : public ::testing::TestWithParam<std::tuple<long, long, long, int>> {};
+
+TEST_P(Euc3dReference, IncrementalMatchesSetBased) {
+  const auto [cs, di, dj, tk] = GetParam();
+  EXPECT_EQ(euc3d_enumerate(cs, di, dj, tk),
+            euc3d_enumerate_reference(cs, di, dj, tk));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Euc3dReference,
+    ::testing::Combine(::testing::Values(256L, 512L, 2048L),
+                       ::testing::Values(37L, 130L, 200L, 224L, 341L, 511L,
+                                         512L, 513L),
+                       ::testing::Values(100L, 200L, 341L),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+// The analytical conflict checker must agree with an element-granularity
+// direct-mapped cache: touching every element of a conflict-free tile once
+// then touching them all again must produce zero second-round misses.
+TEST(ConflictVsSimulator, ConflictFreeTileFullyCacheable) {
+  const long cs = 2048, di = 224, dj = 240;  // GcdPad dims
+  const long ti = 32, tj = 16;
+  const int tk = 4;
+  ASSERT_TRUE(is_conflict_free(cs, di, dj, ti, tj, tk));
+
+  // 2048-element direct-mapped "cache" with 8-byte lines = element slots.
+  rt::cachesim::Cache c(rt::cachesim::CacheConfig{2048 * 8, 8, 1, true, true});
+  const long plane = di * dj;
+  for (int round = 0; round < 2; ++round) {
+    for (int k = 0; k < tk; ++k) {
+      for (long j = 0; j < tj; ++j) {
+        for (long i = 0; i < ti; ++i) {
+          c.access(static_cast<std::uint64_t>(k * plane + j * di + i) * 8,
+                   false);
+        }
+      }
+    }
+    if (round == 0) {
+      EXPECT_EQ(c.stats().misses, static_cast<std::uint64_t>(ti * tj * tk));
+    }
+  }
+  EXPECT_EQ(c.stats().misses, static_cast<std::uint64_t>(ti * tj * tk))
+      << "second round must be all hits for a conflict-free tile";
+}
+
+TEST(ConflictVsSimulator, ConflictingTileThrashes) {
+  const long cs = 2048, di = 256, dj = 256;  // power-of-two dims: planes and
+                                             // columns alias heavily
+  const long ti = 16, tj = 16;
+  const int tk = 3;
+  ASSERT_FALSE(is_conflict_free(cs, di, dj, ti, tj, tk));
+  rt::cachesim::Cache c(rt::cachesim::CacheConfig{2048 * 8, 8, 1, true, true});
+  const long plane = di * dj;
+  for (int round = 0; round < 2; ++round) {
+    for (int k = 0; k < tk; ++k) {
+      for (long j = 0; j < tj; ++j) {
+        for (long i = 0; i < ti; ++i) {
+          c.access(static_cast<std::uint64_t>(k * plane + j * di + i) * 8,
+                   false);
+        }
+      }
+    }
+  }
+  EXPECT_GT(c.stats().misses, static_cast<std::uint64_t>(ti * tj * tk))
+      << "conflicting tile must keep missing in round two";
+}
+
+// Every conflict-free verdict must agree with a mod-Cs distinctness count.
+TEST(ConflictChecker, AgreesWithDirectEnumeration) {
+  for (long di : {100L, 200L, 341L}) {
+    for (long ti : {8L, 30L}) {
+      for (long tj : {4L, 14L}) {
+        std::set<long> s;
+        bool distinct = true;
+        const long plane = di * di;
+        for (int k = 0; k < 3 && distinct; ++k) {
+          for (long j = 0; j < tj && distinct; ++j) {
+            for (long i = 0; i < ti && distinct; ++i) {
+              distinct = s.insert((k * plane + j * di + i) % 2048).second;
+            }
+          }
+        }
+        EXPECT_EQ(is_conflict_free(2048, di, di, ti, tj, 3), distinct)
+            << di << " " << ti << " " << tj;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rt::core

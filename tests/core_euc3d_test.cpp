@@ -1,0 +1,124 @@
+// Euc3D tests: the paper's Table 1 enumeration, the (22, 13) selection
+// anchor (Section 3.3), and non-conflict properties validated with the
+// brute-force checker across many array shapes.
+
+#include <gtest/gtest.h>
+
+#include "rt/core/conflict.hpp"
+#include "rt/core/euc3d.hpp"
+
+namespace rt::core {
+namespace {
+
+// The paper prints a subset of the frontier ("we omit some details"); our
+// enumeration must contain every printed row, in order.
+void expect_contains_in_order(const std::vector<ArrayTile>& got,
+                              const std::vector<ArrayTile>& want) {
+  std::size_t gi = 0;
+  for (const ArrayTile& w : want) {
+    while (gi < got.size() && !(got[gi] == w)) ++gi;
+    EXPECT_LT(gi, got.size()) << "missing tile (" << w.ti << "," << w.tj << ","
+                              << w.tk << ")";
+    ++gi;
+  }
+}
+
+// All rows of paper Table 1 (200x200xM array, 2048-element cache).
+TEST(Euc3dEnumerate, PaperTable1Depth1) {
+  const auto t = euc3d_enumerate(2048, 200, 200, 1);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], (ArrayTile{2048, 1, 1}));
+  EXPECT_EQ(t[1], (ArrayTile{200, 10, 1}));
+  EXPECT_EQ(t[2], (ArrayTile{48, 41, 1}));
+  EXPECT_EQ(t[3], (ArrayTile{8, 256, 1}));
+}
+
+TEST(Euc3dEnumerate, PaperTable1Depth2) {
+  expect_contains_in_order(euc3d_enumerate(2048, 200, 200, 2),
+                           {{960, 1, 2},
+                            {200, 4, 2},
+                            {160, 5, 2},
+                            {40, 15, 2}});
+}
+
+TEST(Euc3dEnumerate, PaperTable1Depth3) {
+  expect_contains_in_order(euc3d_enumerate(2048, 200, 200, 3),
+                           {{72, 5, 3}, {40, 11, 3}, {24, 15, 3}});
+}
+
+TEST(Euc3dEnumerate, PaperTable1Depth4) {
+  expect_contains_in_order(euc3d_enumerate(2048, 200, 200, 4),
+                           {{72, 4, 4}, {16, 15, 4}, {8, 56, 4}});
+}
+
+// Paper Section 3.3: the minimum-cost tile for Jacobi (trim 2, ATD 3) is
+// (TI, TJ) = (22, 13), from the array tile TK=3, TJ=15, TI=24.
+TEST(Euc3dSelect, PaperSelectionAnchor) {
+  const auto r = euc3d(2048, 200, 200, StencilSpec::jacobi3d());
+  EXPECT_EQ(r.tile, (IterTile{22, 13}));
+  EXPECT_EQ(r.array_tile, (ArrayTile{24, 15, 3}));
+  EXPECT_NEAR(r.tile_cost, (24.0 * 15.0) / (22.0 * 13.0), 1e-12);
+}
+
+// Paper Section 3.4: a 341x341xM array yields a pathologically thin best
+// tile, around (110, 4) — the motivation for padding.
+TEST(Euc3dSelect, PathologicalCase341) {
+  const auto r = euc3d(2048, 341, 341, StencilSpec::jacobi3d());
+  EXPECT_LE(r.tile.tj, 6) << "expected a very thin tile for 341";
+  EXPECT_GE(r.tile.ti, 60);
+  EXPECT_GT(r.tile_cost, 1.5);  // much worse than the 200x200 case (~1.26)
+}
+
+TEST(Euc3dEnumerate, RejectsBadArgs) {
+  EXPECT_THROW(euc3d_enumerate(0, 10, 10, 1), std::invalid_argument);
+  EXPECT_THROW(euc3d_enumerate(64, -1, 10, 1), std::invalid_argument);
+  EXPECT_THROW(euc3d_enumerate(64, 10, 10, 0), std::invalid_argument);
+}
+
+TEST(Euc3dEnumerate, CoincidingPlanesGiveNoTiles) {
+  // Plane stride 16*4 = 64 == cache size: planes 0 and 1 map identically.
+  EXPECT_TRUE(euc3d_enumerate(64, 16, 4, 2).empty());
+}
+
+// Every enumerated tile must verify conflict-free by brute force, and must
+// be maximal: growing TI, TJ, or TK by one must create a conflict.
+class Euc3dConflictFree
+    : public ::testing::TestWithParam<std::tuple<long, long, long, int>> {};
+
+TEST_P(Euc3dConflictFree, TilesAreConflictFreeAndTight) {
+  const auto [cs, di, dj, tk] = GetParam();
+  const auto tiles = euc3d_enumerate(cs, di, dj, tk);
+  for (const auto& t : tiles) {
+    EXPECT_TRUE(is_conflict_free(cs, di, dj, t.ti, t.tj, t.tk))
+        << "cs=" << cs << " di=" << di << " tile=(" << t.ti << "," << t.tj
+        << "," << t.tk << ")";
+    // Taller tile of same width must conflict (height = exact min gap).
+    EXPECT_FALSE(is_conflict_free(cs, di, dj, t.ti + 1, t.tj + 1, t.tk))
+        << "record not maximal: cs=" << cs << " di=" << di << " tile=("
+        << t.ti << "," << t.tj << "," << t.tk << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Euc3dConflictFree,
+    ::testing::Combine(::testing::Values(512L, 2048L),
+                       ::testing::Values(130L, 200L, 341L, 256L, 257L),
+                       ::testing::Values(130L, 200L, 300L),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// Widening a record's width by one at the same height must also conflict
+// (width maximality) — checked on the paper's array shape.
+TEST(Euc3dEnumerate, WidthMaximality) {
+  for (int tk = 1; tk <= 4; ++tk) {
+    for (const auto& t : euc3d_enumerate(2048, 200, 200, tk)) {
+      EXPECT_TRUE(is_conflict_free(2048, 200, 200, t.ti, t.tj, t.tk));
+      if (t.ti * (t.tj + 1) * t.tk <= 2048) {
+        EXPECT_FALSE(is_conflict_free(2048, 200, 200, t.ti, t.tj + 1, t.tk))
+            << "tk=" << tk << " ti=" << t.ti << " tj=" << t.tj;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rt::core

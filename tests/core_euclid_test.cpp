@@ -1,0 +1,122 @@
+// Tests for the 2D Euclidean non-conflicting tile enumeration (euc_pareto),
+// including exhaustive validation against the brute-force minimal-gap
+// computation across many (cache size, stride) pairs.
+
+#include <gtest/gtest.h>
+
+#include "rt/core/euclid.hpp"
+
+namespace rt::core {
+namespace {
+
+TEST(EucPareto, PaperExample200x2048) {
+  // Paper Table 1, TK=1 row: non-conflicting (TJ, TI) records for a
+  // 200-column array in a 2048-element cache.
+  const auto p = euc_pareto(2048, 200);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], (WidthHeight{1, 2048}));
+  EXPECT_EQ(p[1], (WidthHeight{10, 200}));
+  EXPECT_EQ(p[2], (WidthHeight{41, 48}));
+  EXPECT_EQ(p[3], (WidthHeight{256, 8}));
+}
+
+TEST(EucPareto, StrideDividesCache) {
+  // Columns all map to distinct multiples: stride 256 in 2048 -> 8 columns
+  // of height 256 tile the cache exactly.
+  const auto p = euc_pareto(2048, 256);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], (WidthHeight{1, 2048}));
+  EXPECT_EQ(p[1], (WidthHeight{8, 256}));
+}
+
+TEST(EucPareto, StrideMultipleOfCache) {
+  // Every column maps to the same cache offset: only one column fits.
+  const auto p = euc_pareto(2048, 4096);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], (WidthHeight{1, 2048}));
+}
+
+TEST(EucPareto, StrideLargerThanCacheUsesResidue) {
+  EXPECT_EQ(euc_pareto(2048, 2048 + 200), euc_pareto(2048, 200));
+}
+
+TEST(EucPareto, RejectsNonPositiveArgs) {
+  EXPECT_THROW(euc_pareto(0, 10), std::invalid_argument);
+  EXPECT_THROW(euc_pareto(128, 0), std::invalid_argument);
+  EXPECT_THROW(euc_pareto(-4, 3), std::invalid_argument);
+}
+
+TEST(BruteForce, SingleColumnGetsWholeCache) {
+  EXPECT_EQ(max_height_bruteforce(2048, 200, 1), 2048);
+}
+
+TEST(BruteForce, KnownGaps) {
+  // Offsets {0, 200, ..., 1800}: min gap is the wrap gap 2048-1800 = 248?
+  // No: gaps between consecutive are 200, wrap gap 248 -> min 200.
+  EXPECT_EQ(max_height_bruteforce(2048, 200, 10), 200);
+  EXPECT_EQ(max_height_bruteforce(2048, 200, 11), 48);
+  EXPECT_EQ(max_height_bruteforce(2048, 200, 41), 48);
+  EXPECT_EQ(max_height_bruteforce(2048, 200, 42), 8);
+}
+
+// Property: every euc_pareto record (w, h) satisfies
+//   h == brute-force max height at width w   (record is tight), and
+//   brute-force max height at width w+1 < h  (record is maximal in width).
+class EucParetoProperty
+    : public ::testing::TestWithParam<std::pair<long, long>> {};
+
+TEST_P(EucParetoProperty, RecordsMatchBruteForce) {
+  const auto [cs, stride] = GetParam();
+  const auto recs = euc_pareto(cs, stride);
+  ASSERT_FALSE(recs.empty());
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.height, max_height_bruteforce(cs, stride, r.width))
+        << "cs=" << cs << " stride=" << stride << " w=" << r.width;
+    EXPECT_LT(max_height_bruteforce(cs, stride, r.width + 1), r.height)
+        << "cs=" << cs << " stride=" << stride << " w=" << r.width;
+  }
+  // Widths strictly increase, heights strictly decrease.
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i - 1].width, recs[i].width);
+    EXPECT_GT(recs[i - 1].height, recs[i].height);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ManyStrides, EucParetoProperty,
+    ::testing::Values(
+        std::pair<long, long>{2048, 200}, std::pair<long, long>{2048, 341},
+        std::pair<long, long>{2048, 101}, std::pair<long, long>{2048, 127},
+        std::pair<long, long>{2048, 1023}, std::pair<long, long>{2048, 1024},
+        std::pair<long, long>{2048, 1025}, std::pair<long, long>{2048, 3},
+        std::pair<long, long>{2048, 2047}, std::pair<long, long>{1024, 333},
+        std::pair<long, long>{1024, 999}, std::pair<long, long>{512, 81},
+        std::pair<long, long>{4096, 130}, std::pair<long, long>{4096, 362},
+        std::pair<long, long>{8192, 700}, std::pair<long, long>{8192, 555},
+        std::pair<long, long>{256, 17}, std::pair<long, long>{256, 255},
+        std::pair<long, long>{128, 96}, std::pair<long, long>{2048, 400}));
+
+// Exhaustive small-modulus sweep: all strides for a few cache sizes.
+TEST(EucParetoExhaustive, AllStridesSmallCaches) {
+  for (long cs : {16L, 32L, 64L, 128L, 256L}) {
+    for (long stride = 1; stride < 2 * cs; ++stride) {
+      const auto recs = euc_pareto(cs, stride);
+      for (const auto& r : recs) {
+        ASSERT_EQ(r.height, max_height_bruteforce(cs, stride, r.width))
+            << "cs=" << cs << " stride=" << stride << " w=" << r.width;
+      }
+      // The frontier must cover every achievable height: walking widths,
+      // the gap at width w must equal the height of the covering record.
+      if (stride % cs == 0) continue;
+      std::size_t ri = 0;
+      for (long w = 1; w <= recs.back().width; ++w) {
+        while (recs[ri].width < w) ++ri;
+        ASSERT_EQ(max_height_bruteforce(cs, stride, w), recs[ri].height)
+            << "cs=" << cs << " stride=" << stride << " w=" << w;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rt::core

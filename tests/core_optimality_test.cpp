@@ -1,0 +1,91 @@
+// Global-optimality properties: Euc3D's cost-based selection (which only
+// examines Pareto records) must match an exhaustive search over *all*
+// conflict-free tiles, and related dominance facts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rt/core/conflict.hpp"
+#include "rt/core/cost.hpp"
+#include "rt/core/euc3d.hpp"
+
+namespace rt::core {
+namespace {
+
+/// Exhaustive minimum trimmed cost over all conflict-free array tiles of
+/// depth spec.atd (O(cs^2) — small caches only).
+double exhaustive_best_cost(long cs, long di, long dj,
+                            const StencilSpec& spec) {
+  double best = std::numeric_limits<double>::infinity();
+  for (long ti = 1; ti <= cs; ++ti) {
+    for (long tj = 1; ti * tj * spec.atd <= cs; ++tj) {
+      if (!is_conflict_free(cs, di, dj, ti, tj, spec.atd)) continue;
+      best = std::min(best, cost(ti - spec.trim_i, tj - spec.trim_j, spec));
+    }
+  }
+  return best;
+}
+
+class Euc3dOptimality
+    : public ::testing::TestWithParam<std::tuple<long, long, long>> {};
+
+TEST_P(Euc3dOptimality, SelectionIsGloballyOptimal) {
+  const auto [cs, di, dj] = GetParam();
+  const StencilSpec spec = StencilSpec::jacobi3d();
+  const Euc3dResult sel = euc3d(cs, di, dj, spec);
+  const double best = exhaustive_best_cost(cs, di, dj, spec);
+  if (std::isinf(best)) {
+    EXPECT_TRUE(std::isinf(sel.tile_cost));
+  } else {
+    EXPECT_NEAR(sel.tile_cost, best, 1e-12)
+        << "cs=" << cs << " di=" << di << " dj=" << dj;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallCaches, Euc3dOptimality,
+    ::testing::Values(std::tuple<long, long, long>{256, 37, 41},
+                      std::tuple<long, long, long>{256, 48, 48},
+                      std::tuple<long, long, long>{256, 100, 100},
+                      std::tuple<long, long, long>{256, 341, 200},
+                      std::tuple<long, long, long>{512, 130, 130},
+                      std::tuple<long, long, long>{512, 200, 200},
+                      std::tuple<long, long, long>{512, 255, 257},
+                      std::tuple<long, long, long>{512, 64, 96},
+                      std::tuple<long, long, long>{1024, 341, 341},
+                      std::tuple<long, long, long>{1024, 123, 321}));
+
+TEST(Euc3dOptimality, PaperCaseMatchesExhaustive) {
+  // The 2048/200x200 paper anchor, against the full exhaustive search.
+  const StencilSpec spec = StencilSpec::jacobi3d();
+  const double best = exhaustive_best_cost(2048, 200, 200, spec);
+  EXPECT_NEAR(euc3d(2048, 200, 200, spec).tile_cost, best, 1e-12);
+  EXPECT_NEAR(best, 360.0 / 286.0, 1e-12);
+}
+
+TEST(Euc3dOptimality, DeeperTilesNeverBeatAtdTiles) {
+  // Dominance: the best cost at depth atd+1 can't beat depth atd (any
+  // deeper conflict-free tile is also conflict-free at the shallower
+  // depth).
+  for (long di : {130L, 200L, 341L}) {
+    StencilSpec s3 = StencilSpec::jacobi3d();
+    StencilSpec s4 = s3;
+    s4.atd = 4;
+    EXPECT_LE(euc3d(2048, di, di, s3).tile_cost,
+              euc3d(2048, di, di, s4).tile_cost + 1e-12)
+        << di;
+  }
+}
+
+TEST(Euc3dOptimality, SelectionDeterministic) {
+  const StencilSpec spec = StencilSpec::resid27();
+  const Euc3dResult a = euc3d(2048, 341, 341, spec);
+  const Euc3dResult b = euc3d(2048, 341, 341, spec);
+  EXPECT_EQ(a.tile, b.tile);
+  EXPECT_EQ(a.array_tile, b.array_tile);
+}
+
+}  // namespace
+}  // namespace rt::core

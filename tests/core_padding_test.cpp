@@ -1,0 +1,191 @@
+// GcdPad and Pad tests: the paper's worked examples (Section 3.4.1), the
+// gcd conditions, conflict-freedom of the resulting tiles for the padded
+// dimensions, and Pad's cost/overhead guarantees vs GcdPad (Section 3.4.2).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rt/core/conflict.hpp"
+#include "rt/core/cost.hpp"
+#include "rt/core/gcdpad.hpp"
+#include "rt/core/pad2d.hpp"
+#include "rt/core/pad.hpp"
+
+namespace rt::core {
+namespace {
+
+const StencilSpec kJac = StencilSpec::jacobi3d();
+
+TEST(GcdPad, PaperTileExample) {
+  // Cs = 2048: the paper derives (TI, TJ, TK) = (32, 16, 4), iteration tile
+  // (30, 14).
+  const PadPlan p = gcd_pad(2048, 200, 200, kJac);
+  EXPECT_EQ(p.array_tile, (ArrayTile{32, 16, 4}));
+  EXPECT_EQ(p.tile, (IterTile{30, 14}));
+}
+
+TEST(GcdPad, PaperPadIntervals) {
+  // Paper: "when 224 < DI <= 288, DIp is set to 288 ... in the next
+  // 64-interval, DIp is set to 352."
+  EXPECT_EQ(gcd_pad(2048, 225, 200, kJac).dip, 288);
+  EXPECT_EQ(gcd_pad(2048, 288, 200, kJac).dip, 288);
+  EXPECT_EQ(gcd_pad(2048, 289, 200, kJac).dip, 352);
+  EXPECT_EQ(gcd_pad(2048, 352, 200, kJac).dip, 352);
+  // 200 pads to the nearest odd multiple of 32 >= 200 = 224.
+  EXPECT_EQ(gcd_pad(2048, 200, 200, kJac).dip, 224);
+}
+
+TEST(GcdPad, MaxPadBounds) {
+  // Paper: padding DI by at most 2*TI - 1 = 63, DJ by at most 2*TJ - 1 = 31.
+  for (long di = 8; di <= 600; ++di) {
+    const PadPlan p = gcd_pad(2048, di, di, kJac);
+    EXPECT_GE(p.dip, di);
+    EXPECT_LE(p.dip - di, 2 * 32 - 1) << "di=" << di;
+    EXPECT_GE(p.djp, di);
+    EXPECT_LE(p.djp - di, 2 * 16 - 1) << "dj=" << di;
+  }
+}
+
+TEST(GcdPad, GcdConditionsHold) {
+  // gcd(DIp, Cs) = TI and gcd(DJp, Cs) = TJ (Section 3.4.1).
+  for (long di : {100L, 130L, 200L, 255L, 256L, 341L, 400L, 700L}) {
+    const PadPlan p = gcd_pad(2048, di, di, kJac);
+    EXPECT_EQ(std::gcd(p.dip, 2048L), p.array_tile.ti) << "di=" << di;
+    EXPECT_EQ(std::gcd(p.djp, 2048L), p.array_tile.tj) << "di=" << di;
+  }
+}
+
+TEST(GcdPad, TileVolumeEqualsCache) {
+  for (long cs : {512L, 1024L, 2048L, 4096L, 8192L}) {
+    const PadPlan p = gcd_pad(cs, 200, 200, kJac);
+    EXPECT_EQ(p.array_tile.ti * p.array_tile.tj * p.array_tile.tk, cs);
+    // TI is the smallest power of two >= sqrt(cs/tk).
+    EXPECT_GE(static_cast<double>(p.array_tile.ti) * p.array_tile.ti,
+              static_cast<double>(cs) / p.array_tile.tk - 1e-9);
+  }
+}
+
+TEST(GcdPad, DeepStencilGetsDeeperTk) {
+  StencilSpec deep{"deep", 4, 4, 6};
+  EXPECT_EQ(gcd_pad_tk(deep), 8);
+  const PadPlan p = gcd_pad(2048, 200, 200, deep);
+  EXPECT_EQ(p.array_tile.tk, 8);
+}
+
+TEST(GcdPad, RejectsBadArgs) {
+  EXPECT_THROW(gcd_pad(2000, 200, 200, kJac), std::invalid_argument);
+  EXPECT_THROW(gcd_pad(2048, 0, 200, kJac), std::invalid_argument);
+  EXPECT_THROW(gcd_pad(2, 8, 8, kJac), std::invalid_argument);
+}
+
+class GcdPadConflictFree : public ::testing::TestWithParam<long> {};
+
+TEST_P(GcdPadConflictFree, ArrayTileConflictFreeAtPaddedDims) {
+  const long di = GetParam();
+  const PadPlan p = gcd_pad(2048, di, di + 7, kJac);
+  EXPECT_TRUE(is_conflict_free(2048, p.dip, p.djp, p.array_tile.ti,
+                               p.array_tile.tj, p.array_tile.tk))
+      << "di=" << di << " dip=" << p.dip << " djp=" << p.djp;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcdPadConflictFree,
+                         ::testing::Values(33L, 100L, 130L, 200L, 224L, 225L,
+                                           288L, 289L, 341L, 362L, 400L, 512L,
+                                           555L, 700L, 1023L));
+
+TEST(Pad, CostNeverWorseThanGcdPad) {
+  for (long di : {130L, 200L, 255L, 341L, 362L, 400L, 700L}) {
+    const PadPlan g = gcd_pad(2048, di, di, kJac);
+    const PadPlan p = pad(2048, di, di, kJac);
+    EXPECT_LE(cost(p.tile, kJac), cost(g.tile, kJac) + 1e-12) << "di=" << di;
+  }
+}
+
+TEST(Pad, OverheadNeverWorseThanGcdPad) {
+  for (long di : {130L, 200L, 255L, 341L, 362L, 400L, 700L}) {
+    const PadPlan g = gcd_pad(2048, di, di, kJac);
+    const PadPlan p = pad(2048, di, di, kJac);
+    EXPECT_LE(p.dip, g.dip) << "di=" << di;
+    EXPECT_LE(p.djp, g.djp) << "di=" << di;
+    EXPECT_GE(p.dip, di);
+    EXPECT_GE(p.djp, di);
+  }
+}
+
+TEST(Pad, TileConflictFreeAtChosenDims) {
+  for (long di : {130L, 200L, 341L, 400L}) {
+    const PadPlan p = pad(2048, di, di, kJac);
+    // Reconstruct the untrimmed array tile and verify.
+    EXPECT_TRUE(is_conflict_free(2048, p.dip, p.djp, p.array_tile.ti,
+                                 p.array_tile.tj, p.array_tile.tk))
+        << "di=" << di;
+    EXPECT_EQ(p.tile.ti, p.array_tile.ti - kJac.trim_i);
+    EXPECT_EQ(p.tile.tj, p.array_tile.tj - kJac.trim_j);
+  }
+}
+
+TEST(Pad, NoPadNeededWhenGoodTileExists) {
+  // When the given dims already admit a tile meeting GcdPad's cost
+  // threshold, Pad must not pad at all.  (224, 240) are exactly GcdPad's
+  // own dims: dip odd multiple of 32, djp odd multiple of 16.
+  const PadPlan p = pad(2048, 224, 240, kJac);
+  EXPECT_EQ(p.dip, 224);
+  EXPECT_EQ(p.djp, 240);
+}
+
+TEST(Pad, CoincidingPlanesForcePadding) {
+  // 224 x 224: the plane stride 224^2 = 50176 is 0 mod 2048 at distance 2,
+  // so *no* 3-deep tile exists unpadded — Pad must move off that size.
+  const PadPlan p = pad(2048, 224, 224, kJac);
+  EXPECT_EQ(p.dip, 224);  // I dimension is already fine
+  EXPECT_GT(p.djp, 224);
+  EXPECT_LE(p.djp, 240);
+}
+
+TEST(Pad, PathologicalCase341GetsPadded) {
+  // 341x341's best unpadded tile is ~(110, 4); Pad must find a better one.
+  const PadPlan p = pad(2048, 341, 341, kJac);
+  const double unpadded_cost =
+      cost(euc3d(2048, 341, 341, kJac).tile, kJac);
+  EXPECT_LT(cost(p.tile, kJac), unpadded_cost);
+  EXPECT_GT(p.dip + p.djp, 341 + 341);  // some padding was required
+}
+
+// --- 2D intra-array padding (Section 2.1 / pad2d) ---
+
+TEST(Pad2d, PathologicalDimsGetSmallPads) {
+  // N = 1024 in a 2048-element cache: columns j-1 and j+1 alias exactly.
+  EXPECT_FALSE(columns_well_spaced(2048, 1024, 3, 32));
+  const long p = pad2d(2048, 1024, 3, 32);
+  EXPECT_GT(p, 1024);
+  EXPECT_LE(p - 1024, 40);  // a handful of elements
+  EXPECT_TRUE(columns_well_spaced(2048, p, 3, 32));
+}
+
+TEST(Pad2d, GoodDimsUnchanged) {
+  EXPECT_EQ(pad2d(2048, 200, 3, 32), 200);
+  EXPECT_EQ(pad2d(2048, 300, 3, 32), 300);
+}
+
+TEST(Pad2d, ExactDivisorAliasing) {
+  EXPECT_FALSE(columns_well_spaced(2048, 2048, 2, 1));
+  EXPECT_FALSE(columns_well_spaced(2048, 512, 5, 600));
+  EXPECT_TRUE(columns_well_spaced(2048, 512, 4, 500));
+}
+
+TEST(Pad2d, ResultAlwaysSatisfiesCriterion) {
+  for (long di = 100; di <= 2100; di += 37) {
+    const long p = pad2d(2048, di, 3, 16);
+    EXPECT_GE(p, di);
+    EXPECT_TRUE(columns_well_spaced(2048, p, 3, 16)) << di;
+  }
+}
+
+TEST(Pad2d, RejectsBadArgs) {
+  EXPECT_THROW(pad2d(0, 10, 3, 4), std::invalid_argument);
+  EXPECT_THROW(pad2d(2048, 10, 3, 2000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,128 @@
+// Tests for the transformation planner (Table 2 dispatch) and cost model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rt/core/conflict.hpp"
+#include "rt/core/cost.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/core/square_tile.hpp"
+
+namespace rt::core {
+namespace {
+
+const StencilSpec kJac = StencilSpec::jacobi3d();
+
+TEST(Cost, FavorsSquareTiles) {
+  // Among tiles of equal area the cost is minimal when TI == TJ.
+  EXPECT_LT(cost(16, 16, kJac), cost(32, 8, kJac));
+  EXPECT_LT(cost(16, 16, kJac), cost(64, 4, kJac));
+  EXPECT_LT(cost(16, 16, kJac), cost(8, 32, kJac));
+}
+
+TEST(Cost, MonotoneDecreasingInEachDim) {
+  for (long ti = 1; ti < 64; ++ti) {
+    EXPECT_GT(cost(ti, 10, kJac), cost(ti + 1, 10, kJac));
+    EXPECT_GT(cost(10, ti, kJac), cost(10, ti + 1, kJac));
+  }
+}
+
+TEST(Cost, NonPositiveTileIsInfinite) {
+  EXPECT_TRUE(std::isinf(cost(0, 5, kJac)));
+  EXPECT_TRUE(std::isinf(cost(5, -1, kJac)));
+}
+
+TEST(Cost, PaperValues) {
+  // Section 3.3 worked example: (22,13) from array tile (24,15).
+  EXPECT_NEAR(cost(22, 13, kJac), 360.0 / 286.0, 1e-12);
+  // GcdPad tile (30,14) from (32,16).
+  EXPECT_NEAR(cost(30, 14, kJac), 512.0 / 420.0, 1e-12);
+}
+
+TEST(SquareTile, VolumeRespectsCache) {
+  for (long cs : {512L, 1024L, 2048L, 4096L}) {
+    const auto r = square_tile(cs, kJac);
+    EXPECT_EQ(r.array_tile.ti, r.array_tile.tj);
+    EXPECT_LE(r.array_tile.ti * r.array_tile.tj * r.array_tile.tk, cs);
+    // Next square up would exceed the cache.
+    const long s = r.array_tile.ti + 1;
+    EXPECT_GT(s * s * kJac.atd, cs);
+  }
+}
+
+TEST(SquareTile, Paper2048Value) {
+  // floor(sqrt(2048/3)) = 26.
+  const auto r = square_tile(2048, kJac);
+  EXPECT_EQ(r.array_tile.ti, 26);
+  EXPECT_EQ(r.tile, (IterTile{24, 24}));
+}
+
+TEST(Plan, OrigHasNoTilingNoPadding) {
+  const TilingPlan p = plan_for(Transform::kOrig, 2048, 300, 300, kJac);
+  EXPECT_FALSE(p.tiled);
+  EXPECT_EQ(p.dip, 300);
+  EXPECT_EQ(p.djp, 300);
+}
+
+TEST(Plan, TileIsSquareUnpadded) {
+  const TilingPlan p = plan_for(Transform::kTile, 2048, 300, 300, kJac);
+  EXPECT_TRUE(p.tiled);
+  EXPECT_EQ(p.tile.ti, p.tile.tj);
+  EXPECT_EQ(p.dip, 300);
+}
+
+TEST(Plan, Euc3dUnpadded) {
+  const TilingPlan p = plan_for(Transform::kEuc3d, 2048, 200, 200, kJac);
+  EXPECT_TRUE(p.tiled);
+  EXPECT_EQ(p.tile, (IterTile{22, 13}));
+  EXPECT_EQ(p.dip, 200);
+}
+
+TEST(Plan, GcdPadPadsAndTiles) {
+  const TilingPlan p = plan_for(Transform::kGcdPad, 2048, 300, 300, kJac);
+  EXPECT_TRUE(p.tiled);
+  EXPECT_EQ(p.tile, (IterTile{30, 14}));
+  EXPECT_EQ(p.dip, 352);  // odd multiple of 32 >= 300
+  EXPECT_EQ(p.djp, 304);  // odd multiple of 16 >= 300
+}
+
+TEST(Plan, GcdPadNTPadsOnly) {
+  const TilingPlan p = plan_for(Transform::kGcdPadNT, 2048, 300, 300, kJac);
+  EXPECT_FALSE(p.tiled);
+  EXPECT_EQ(p.dip, 352);
+  EXPECT_EQ(p.djp, 304);
+}
+
+TEST(Plan, PadPlansAreConflictFree) {
+  for (long n : {200L, 300L, 341L, 400L}) {
+    const TilingPlan p = plan_for(Transform::kPad, 2048, n, n, kJac);
+    ASSERT_TRUE(p.tiled);
+    EXPECT_TRUE(is_conflict_free(2048, p.dip, p.djp, p.tile.ti + kJac.trim_i,
+                                 p.tile.tj + kJac.trim_j, kJac.atd))
+        << "n=" << n;
+  }
+}
+
+TEST(Plan, AllTransformsProduceValidDims) {
+  for (Transform tr : all_transforms()) {
+    for (long n : {200L, 257L, 341L, 400L}) {
+      const TilingPlan p = plan_for(tr, 2048, n, n, kJac);
+      EXPECT_GE(p.dip, n) << transform_name(tr);
+      EXPECT_GE(p.djp, n) << transform_name(tr);
+      if (p.tiled) {
+        EXPECT_GT(p.tile.ti, 0) << transform_name(tr);
+        EXPECT_GT(p.tile.tj, 0) << transform_name(tr);
+      }
+    }
+  }
+}
+
+TEST(Plan, TransformNames) {
+  EXPECT_EQ(transform_name(Transform::kOrig), "Orig");
+  EXPECT_EQ(transform_name(Transform::kGcdPadNT), "GcdPadNT");
+  EXPECT_EQ(all_transforms().size(), 6u);
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,92 @@
+// Tests for the 2D tile-selection family (LRW, Esseghir, Euc2D) and the
+// effective-cache-size method.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rt/core/conflict.hpp"
+#include "rt/core/tiling2d.hpp"
+
+namespace rt::core {
+namespace {
+
+TEST(Lrw, SquareAndConflictFree) {
+  for (long n : {130L, 200L, 256L, 300L, 341L, 400L, 700L}) {
+    const IterTile t = lrw_tile(2048, n);
+    EXPECT_EQ(t.ti, t.tj) << n;
+    EXPECT_GE(t.ti, 1) << n;
+    // Square tile of `side` consecutive columns must be conflict-free.
+    EXPECT_TRUE(is_conflict_free(2048, n, n, t.ti, t.tj, 1)) << n;
+    // Maximality: side+1 square must conflict (or exceed capacity).
+    const long s = t.ti + 1;
+    EXPECT_FALSE(s * s <= 2048 && is_conflict_free(2048, n, n, s, s, 1))
+        << n;
+  }
+}
+
+TEST(Lrw, NeverExceedsSqrtCapacity) {
+  for (long n = 100; n <= 500; n += 7) {
+    const IterTile t = lrw_tile(2048, n);
+    EXPECT_LE(t.ti * t.tj, 2048);
+    EXPECT_LE(t.ti, static_cast<long>(std::sqrt(2048.0)));
+  }
+}
+
+TEST(Esseghir, WholeColumns) {
+  EXPECT_EQ(esseghir_tile(2048, 200), (IterTile{200, 10}));
+  EXPECT_EQ(esseghir_tile(2048, 400), (IterTile{400, 5}));
+  EXPECT_EQ(esseghir_tile(2048, 2048), (IterTile{2048, 1}));
+  // Column longer than the cache: still one column (degenerate).
+  EXPECT_EQ(esseghir_tile(2048, 4096), (IterTile{4096, 1}));
+}
+
+TEST(Esseghir, ColumnTilesAreConflictFree) {
+  for (long n : {150L, 200L, 333L, 512L}) {
+    const IterTile t = esseghir_tile(2048, n);
+    if (t.ti * t.tj <= 2048) {
+      EXPECT_TRUE(is_conflict_free(2048, n, n, t.ti, t.tj, 1)) << n;
+    }
+  }
+}
+
+TEST(Cost2d, FavoursLargeSquares) {
+  EXPECT_LT(cost2d(IterTile{40, 40}), cost2d(IterTile{20, 20}));
+  EXPECT_LT(cost2d(IterTile{40, 40}), cost2d(IterTile{200, 8}));
+  EXPECT_TRUE(std::isinf(cost2d(IterTile{0, 5})));
+}
+
+TEST(Euc2d, PicksBalancedRecordFor200) {
+  // Records for (2048, 200): (1,2048),(10,200),(41,48),(256,8); the
+  // balanced (41 cols, 48 high) record wins under cost2d.
+  const Euc2dResult r = euc2d(2048, 200);
+  EXPECT_EQ(r.tile, (IterTile{48, 41}));
+  EXPECT_NEAR(r.tile_cost, 1.0 / 48 + 1.0 / 41, 1e-12);
+}
+
+TEST(Euc2d, AlwaysConflictFreeAndAtLeastLrw) {
+  for (long n = 100; n <= 700; n += 13) {
+    const Euc2dResult r = euc2d(2048, n);
+    EXPECT_TRUE(is_conflict_free(2048, n, n, r.tile.ti, r.tile.tj, 1)) << n;
+    // Euc2D searches a superset of LRW's squares, so it can't be worse.
+    EXPECT_LE(r.tile_cost, cost2d(lrw_tile(2048, n)) + 1e-12) << n;
+  }
+}
+
+TEST(EcsTile, TargetsFraction) {
+  const auto spec = StencilSpec::jacobi3d();
+  const IterTile t = ecs_tile(2048, 0.10, spec);
+  // ~204 elements over 3 planes: side 8.
+  EXPECT_EQ(t.ti, t.tj);
+  EXPECT_LE((t.ti + 2) * (t.tj + 2) * 3, 2048 / 5);
+  EXPECT_THROW(ecs_tile(2048, 0.0, spec), std::invalid_argument);
+  EXPECT_THROW(ecs_tile(2048, 1.5, spec), std::invalid_argument);
+}
+
+TEST(Tiling2d, RejectsBadArgs) {
+  EXPECT_THROW(lrw_tile(0, 10), std::invalid_argument);
+  EXPECT_THROW(esseghir_tile(10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::core

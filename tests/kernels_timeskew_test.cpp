@@ -1,0 +1,64 @@
+// Time-skewed Jacobi must be bitwise equal to the plain ping-pong sweeps
+// for any block size and step count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rt/array/array3d.hpp"
+#include "rt/kernels/timeskew.hpp"
+
+namespace rt::kernels {
+namespace {
+
+using rt::array::Array3D;
+
+Array3D<double> make_grid(long n, long kd, double seed) {
+  Array3D<double> a(n, n, kd);
+  for (long k = 0; k < kd; ++k)
+    for (long j = 0; j < n; ++j)
+      for (long i = 0; i < n; ++i)
+        a(i, j, k) = std::cos(seed + 0.05 * i + 0.11 * j + 0.23 * k);
+  return a;
+}
+
+struct Cfg {
+  long n, kd, bk;
+  int tsteps;
+};
+
+class TimeSkew : public ::testing::TestWithParam<Cfg> {};
+
+TEST_P(TimeSkew, BitwiseEqualToPingPong) {
+  const auto [n, kd, bk, tsteps] = GetParam();
+  Array3D<double> b1 = make_grid(n, kd, 0.7), b2 = b1;
+  Array3D<double> a1(n, n, kd), a2(n, n, kd);
+  jacobi3d_pingpong(a1, b1, 1.0 / 6.0, tsteps);
+  jacobi3d_timeskew(a2, b2, 1.0 / 6.0, tsteps, bk);
+  for (long k = 0; k < kd; ++k)
+    for (long j = 0; j < n; ++j)
+      for (long i = 0; i < n; ++i) {
+        ASSERT_EQ(a1(i, j, k), a2(i, j, k)) << i << "," << j << "," << k;
+        ASSERT_EQ(b1(i, j, k), b2(i, j, k)) << i << "," << j << "," << k;
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TimeSkew,
+    ::testing::Values(Cfg{10, 10, 1, 1}, Cfg{10, 10, 1, 4}, Cfg{10, 10, 2, 3},
+                      Cfg{10, 10, 3, 5}, Cfg{10, 10, 8, 2}, Cfg{10, 10, 100, 6},
+                      Cfg{12, 9, 2, 7}, Cfg{8, 16, 4, 4}, Cfg{8, 16, 5, 3},
+                      Cfg{16, 8, 3, 8}, Cfg{9, 33, 6, 5}));
+
+TEST(TimeSkew, SingleStepEqualsOneSweep) {
+  Array3D<double> b1 = make_grid(12, 12, 0.3), b2 = b1;
+  Array3D<double> a1(12, 12, 12), a2(12, 12, 12);
+  jacobi3d_pingpong(a1, b1, 0.25, 1);
+  jacobi3d_timeskew(a2, b2, 0.25, 1, 3);
+  for (long k = 1; k < 11; ++k)
+    for (long j = 1; j < 11; ++j)
+      for (long i = 1; i < 11; ++i) ASSERT_EQ(a1(i, j, k), a2(i, j, k));
+}
+
+}  // namespace
+}  // namespace rt::kernels

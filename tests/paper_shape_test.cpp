@@ -1,0 +1,100 @@
+// Paper-shape regression tests: the qualitative facts of Figures 14-19
+// pinned as assertions, so refactoring cannot silently lose the
+// reproduction.  (Absolute values are checked loosely; shapes strictly.)
+
+#include <gtest/gtest.h>
+
+#include "rt/bench/runner.hpp"
+
+namespace rt::bench {
+namespace {
+
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+RunOptions opts() {
+  RunOptions o;
+  o.time_steps = 2;
+  return o;
+}
+
+double l1(KernelId k, Transform t, long n) {
+  return run_kernel(k, t, n, opts()).l1_miss_pct;
+}
+
+TEST(PaperShape, OrigSpikesAtPathologicalSizes) {
+  // Fig. 14 top: Orig's miss rate is flat except conflict spikes; N=320
+  // (column stride aliasing: 2*320 divides 2048*... ) is catastrophic.
+  const double base = l1(KernelId::kJacobi, Transform::kOrig, 220);
+  EXPECT_GT(l1(KernelId::kJacobi, Transform::kOrig, 320), base + 15.0);
+  EXPECT_GT(l1(KernelId::kJacobi, Transform::kOrig, 300), base + 3.0);
+}
+
+TEST(PaperShape, GcdPadFlatAcrossSizes) {
+  // Fig. 14 middle: GcdPad's curve is low and stable, including at the
+  // sizes where Orig spikes.
+  double lo = 1e9, hi = -1e9;
+  for (long n : {220L, 260L, 300L, 320L, 400L}) {
+    const double v = l1(KernelId::kJacobi, Transform::kGcdPad, n);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(hi - lo, 2.0) << "GcdPad should be stable (paper Fig. 14)";
+  EXPECT_LT(hi, 31.0);
+}
+
+TEST(PaperShape, PadFlatAcrossSizes) {
+  double hi = -1e9;
+  for (long n : {260L, 320L, 400L}) {
+    hi = std::max(hi, l1(KernelId::kJacobi, Transform::kPad, n));
+  }
+  EXPECT_LT(hi, 31.5);
+}
+
+TEST(PaperShape, Euc3dFailsWhenPlanesAlias) {
+  // N=320: plane stride 320^2 ≡ 0 (mod 2048) — no conflict-free depth-3
+  // tile exists, Euc3D falls back to untiled and inherits Orig's spike.
+  // This is the paper's motivation for padding (Section 3.4).
+  const double euc = l1(KernelId::kJacobi, Transform::kEuc3d, 320);
+  const double orig = l1(KernelId::kJacobi, Transform::kOrig, 320);
+  const double gcd = l1(KernelId::kJacobi, Transform::kGcdPad, 320);
+  EXPECT_NEAR(euc, orig, 1.0);
+  EXPECT_LT(gcd, euc - 15.0);
+}
+
+TEST(PaperShape, PaddingAloneRemovesSpikesKeepsCapacityLoss) {
+  // Fig. 14 bottom: GcdPadNT flattens Orig's spikes but stays above
+  // GcdPad (it cannot recover the K-loop group reuse).
+  const double nt320 = l1(KernelId::kJacobi, Transform::kGcdPadNT, 320);
+  const double nt220 = l1(KernelId::kJacobi, Transform::kGcdPadNT, 220);
+  EXPECT_NEAR(nt320, nt220, 1.5) << "padding alone must remove the spike";
+  EXPECT_GT(nt320, l1(KernelId::kJacobi, Transform::kGcdPad, 320) + 2.0);
+}
+
+TEST(PaperShape, RedBlackGainsExceedJacobi) {
+  // Table 3: REDBLACK's tiling gains dwarf JACOBI's (spatial + temporal
+  // reuse both recovered).
+  const auto o = opts();
+  const auto j_orig = run_kernel(KernelId::kJacobi, Transform::kOrig, 300, o);
+  const auto j_gcd = run_kernel(KernelId::kJacobi, Transform::kGcdPad, 300, o);
+  const auto r_orig =
+      run_kernel(KernelId::kRedBlack, Transform::kOrig, 300, o);
+  const auto r_gcd =
+      run_kernel(KernelId::kRedBlack, Transform::kGcdPad, 300, o);
+  const double j_gain = j_gcd.sim_mflops / j_orig.sim_mflops;
+  const double r_gain = r_gcd.sim_mflops / r_orig.sim_mflops;
+  EXPECT_GT(r_gain, j_gain + 0.3);
+  EXPECT_GT(r_gain, 1.5);
+}
+
+TEST(PaperShape, OrigL1RatesNearPaper) {
+  // Paper Table 3 column 2: JACOBI 32.7, REDBLACK 22.3, RESID 10.1 — our
+  // simulated values must land in the same neighbourhood at a typical
+  // (non-spike) size.
+  EXPECT_NEAR(l1(KernelId::kJacobi, Transform::kOrig, 280), 32.7, 8.0);
+  EXPECT_NEAR(l1(KernelId::kRedBlack, Transform::kOrig, 280), 22.3, 6.0);
+  EXPECT_NEAR(l1(KernelId::kResid, Transform::kOrig, 280), 10.1, 4.0);
+}
+
+}  // namespace
+}  // namespace rt::bench

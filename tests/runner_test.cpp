@@ -1,0 +1,104 @@
+// Integration tests for the bench runner: plans are applied, simulation
+// statistics are plausible, and the paper's qualitative results hold at
+// a few spot sizes (tiling+padding reduces L1 misses at sizes where plane
+// reuse is lost).
+
+#include <gtest/gtest.h>
+
+#include "rt/bench/runner.hpp"
+
+namespace rt::bench {
+namespace {
+
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+RunOptions fast_opts() {
+  RunOptions o;
+  o.time_steps = 1;
+  o.k_dim = 12;
+  return o;
+}
+
+TEST(Runner, OrigJacobiProducesStats) {
+  const RunResult r = run_kernel(KernelId::kJacobi, Transform::kOrig, 64,
+                                 fast_opts());
+  EXPECT_FALSE(r.plan.tiled);
+  EXPECT_GT(r.sim_accesses, 0u);
+  EXPECT_GT(r.sim_mflops, 0.0);
+  EXPECT_GE(r.l1_miss_pct, 0.0);
+  EXPECT_LE(r.l1_miss_pct, 100.0);
+  // 9 accesses per interior point per step (7 stencil + 2 copy).
+  EXPECT_EQ(r.sim_accesses, 9u * 62 * 62 * 10);
+}
+
+TEST(Runner, PlansAreAppliedPerTransform) {
+  for (Transform tr : rt::core::all_transforms()) {
+    const RunResult r =
+        run_kernel(KernelId::kJacobi, tr, 200, fast_opts());
+    const bool should_tile = tr != Transform::kOrig &&
+                             tr != Transform::kGcdPadNT;
+    EXPECT_EQ(r.plan.tiled, should_tile) << rt::core::transform_name(tr);
+    const bool should_pad =
+        tr == Transform::kGcdPad || tr == Transform::kPad ||
+        tr == Transform::kGcdPadNT;
+    EXPECT_EQ(r.plan.dip > 200, should_pad) << rt::core::transform_name(tr);
+  }
+}
+
+TEST(Runner, MemElemsReflectPadding) {
+  const RunResult orig =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 200, fast_opts());
+  const RunResult gcd =
+      run_kernel(KernelId::kJacobi, Transform::kGcdPad, 200, fast_opts());
+  EXPECT_GT(gcd.mem_elems, orig.mem_elems);
+}
+
+TEST(Runner, GcdPadReducesJacobiL1MissesAtLargeN) {
+  RunOptions o = fast_opts();
+  o.k_dim = 30;
+  const RunResult orig =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 300, o);
+  const RunResult gcd =
+      run_kernel(KernelId::kJacobi, Transform::kGcdPad, 300, o);
+  EXPECT_LT(gcd.l1_miss_pct, orig.l1_miss_pct);
+  EXPECT_GT(gcd.sim_mflops, orig.sim_mflops);
+}
+
+TEST(Runner, HostTimingWorks) {
+  RunOptions o = fast_opts();
+  o.simulate = false;
+  o.time_host = true;
+  o.min_host_seconds = 0.01;
+  const RunResult r = run_kernel(KernelId::kResid, Transform::kPad, 64, o);
+  EXPECT_GT(r.host_mflops, 0.0);
+  EXPECT_EQ(r.sim_accesses, 0u);
+}
+
+TEST(Runner, Jacobi2dMissRatesFlatInN) {
+  // The 2D motivation: miss rate should be essentially identical at 200
+  // and 600 (both << 1024-column L1 capacity for two columns).
+  RunOptions o = fast_opts();
+  const MissRates a = run_jacobi2d_missrates(200, o);
+  const MissRates b = run_jacobi2d_missrates(600, o);
+  EXPECT_NEAR(a.l1_pct, b.l1_pct, 3.0);
+}
+
+TEST(Runner, Jacobi3dLosesReuseAtLargeN) {
+  // 3D motivation: at N=300 two planes no longer fit in L1, so the miss
+  // rate is clearly higher than at N=40 (where 2 planes ~ 3200 elems still
+  // exceed L1 but conflicts are mild)... compare against small N=24
+  // (2 planes = 1152 elems fit in the 2048-element L1).
+  RunOptions o = fast_opts();
+  const MissRates small = run_jacobi3d_missrates(24, 12, o);
+  const MissRates large = run_jacobi3d_missrates(300, 12, o);
+  EXPECT_GT(large.l1_pct, small.l1_pct + 5.0);
+}
+
+TEST(Runner, RejectsTinyN) {
+  EXPECT_THROW(run_kernel(KernelId::kJacobi, Transform::kOrig, 2, fast_opts()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::bench

@@ -1,0 +1,106 @@
+// Layout-level properties of the application solvers: the §3.5 base
+// staggering must actually separate same-index elements of different
+// arrays in the cache, and must be controllable.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "rt/core/plan.hpp"
+#include "rt/multigrid/mg_solver.hpp"
+#include "rt/multigrid/sor_solver.hpp"
+
+namespace rt::multigrid {
+namespace {
+
+/// Distance between two byte addresses modulo a cache size.
+long mod_distance(std::uint64_t a, std::uint64_t b, std::uint64_t mod) {
+  const long d = static_cast<long>((a > b ? a - b : b - a) % mod);
+  return std::min<long>(d, static_cast<long>(mod) - d);
+}
+
+TEST(SolverLayout, PaddedMgGridsDoNotAliasAtFinestLevel) {
+  // The padded 160x144x130 allocation is ≡ 8192 (mod 16K); without
+  // staggering, v would land exactly on u's sets (the original -12%
+  // regression).  With staggering (the default), finest-level u, r, v
+  // bases must be well separated modulo the L1.
+  const int lt = 5;
+  const long n = (1L << lt) + 2;
+  MgOptions o;
+  o.lt = lt;
+  o.resid_plan = rt::core::plan_for(rt::core::Transform::kGcdPad, 2048, n, n,
+                                    rt::core::StencilSpec::resid27());
+  rt::cachesim::CacheHierarchy h = rt::cachesim::CacheHierarchy::ultrasparc2();
+  MgSolver s(o, &h);
+  s.setup();
+  // Probe the actual base addresses through one traced element access per
+  // array: read u(1,1,1), r-ish via iterate is complex — instead verify
+  // via the public effect: a full iteration must not exhibit the aliasing
+  // blowup (L1 miss rate stays below the untiled baseline).
+  h.reset_stats();
+  s.iterate();
+  const auto tiled_rate = h.stats().l1.miss_rate();
+
+  MgOptions o2;
+  o2.lt = lt;
+  rt::cachesim::CacheHierarchy h2 =
+      rt::cachesim::CacheHierarchy::ultrasparc2();
+  MgSolver s2(o2, &h2);
+  s2.setup();
+  h2.reset_stats();
+  s2.iterate();
+  const auto orig_rate = h2.stats().l1.miss_rate();
+  EXPECT_LT(tiled_rate, orig_rate * 1.05)
+      << "staggered+tiled finest level must not regress vs orig";
+}
+
+TEST(SolverLayout, StaggerCanBeDisabled) {
+  MgOptions o;
+  o.lt = 3;
+  o.stagger_mod_bytes = 0;
+  MgSolver s(o);  // must construct and run fine without staggering
+  s.setup();
+  EXPECT_GT(s.iterate(), 0.0);
+}
+
+TEST(SolverLayout, StaggeredAndUnstaggeredSameNumerics) {
+  MgOptions a, b;
+  a.lt = b.lt = 4;
+  b.stagger_mod_bytes = 0;
+  MgSolver sa(a), sb(b);
+  sa.setup();
+  sb.setup();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sa.iterate(), sb.iterate()) << "layout must never change math";
+  }
+}
+
+TEST(SolverLayout, ModDistanceHelper) {
+  EXPECT_EQ(mod_distance(0, 8192, 16384), 8192);
+  EXPECT_EQ(mod_distance(16384, 64, 16384), 64);
+  EXPECT_EQ(mod_distance(100, 100, 16384), 0);
+}
+
+TEST(SolverLayout, SorTiledPaddedNeverRegresses) {
+  // End-to-end guard for the SOR app: tiled+padded simulated miss rate
+  // must beat naive at a size where planes do not fit L1.
+  const long n = 100;
+  rt::multigrid::SorOptions naive, tiled;
+  naive.n = tiled.n = n;
+  tiled.plan = rt::core::plan_for(rt::core::Transform::kGcdPad, 2048, n, n,
+                                  rt::core::StencilSpec::redblack3d());
+  rt::cachesim::CacheHierarchy h1 = rt::cachesim::CacheHierarchy::ultrasparc2();
+  rt::cachesim::CacheHierarchy h2 = rt::cachesim::CacheHierarchy::ultrasparc2();
+  SorSolver s1(naive, &h1), s2(tiled, &h2);
+  s1.setup();
+  s2.setup();
+  for (int i = 0; i < 2; ++i) {
+    s1.sweep();
+    s2.sweep();
+  }
+  EXPECT_LT(h2.stats().l1.miss_rate(), h1.stats().l1.miss_rate() * 0.85);
+  EXPECT_EQ(s1.residual_linf(), s2.residual_linf());
+}
+
+}  // namespace
+}  // namespace rt::multigrid
