@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   rt::bench::RunOptions ro;
   ro.time_steps = bo.steps;
   ro.time_host = bo.host;
+  if (bo.threads > 0) ro.threads = bo.threads;
 
   const std::vector<Transform> all = {
       Transform::kOrig,   Transform::kTile, Transform::kEuc3d,
@@ -64,7 +65,11 @@ int main(int argc, char** argv) {
     group("padding alone", mf,
           {Transform::kOrig, Transform::kGcdPadNT, Transform::kGcdPad});
     if (bo.host) {
-      group("host wall-clock MFlops (this machine)", host, all);
+      group(("host wall-clock MFlops (this machine, " +
+             std::to_string(ro.threads) + " thread" +
+             (ro.threads == 1 ? "" : "s") + ")")
+                .c_str(),
+            host, all);
     }
   }
   return 0;

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   ro.time_steps = bo.steps;
   ro.time_host = bo.host;
   ro.simulate = bo.simulate;
+  if (bo.threads > 0) ro.threads = bo.threads;
 
   std::cout << "Table 3: average improvements over problem sizes " <<
       sizes.front() << "-" << sizes.back() << " (NxNx30, "
@@ -82,7 +83,8 @@ int main(int argc, char** argv) {
       return rt::bench::fmt(100.0 * (sum_mf[t] / cnt - o_mf) / o_mf, 0);
     });
     if (bo.host) {
-      add_row("% perf (host)", [&](Transform t) {
+      add_row("% perf (host, " + std::to_string(ro.threads) + "t)",
+              [&](Transform t) {
         return rt::bench::fmt(100.0 * (sum_host[t] / cnt - o_host) / o_host,
                               0);
       });

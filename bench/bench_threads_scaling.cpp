@@ -1,0 +1,175 @@
+// Threads x tile-shape scaling of the parallel tiled kernels (rt::par):
+// host wall-clock MFlops for JACOBI / REDBLACK / RESID under every paper
+// transform, at 1..T threads.  The point being tested: the JI tile grid is
+// an embarrassingly parallel work unit (K stays untiled), so Euc3D/GcdPad/
+// Pad-chosen tiles keep their per-core cache benefit while the grid is
+// spread over cores — tiled configurations should scale at least as well
+// as Orig and stay ahead of it at every thread count.
+//
+// Before timing, each kernel's parallel variant is checked bit-for-bit
+// against its serial counterpart at the benched size (red-black against
+// the naive two-pass schedule, which the serial tiled kernel is itself
+// bit-identical to — see tests/kernels_test.cpp).
+//
+// Flags: --threads=T sets the top of the thread sweep ({1, 2, 4, ..., T});
+// default sweep is {1, 2, 4}.  --nmax=N overrides the problem size
+// (default 400, the acceptance size); --host is implied.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rt/array/array3d.hpp"
+#include "rt/bench/options.hpp"
+#include "rt/bench/runner.hpp"
+#include "rt/bench/table.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/kernel_info.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/kernels/resid.hpp"
+#include "rt/par/par_kernels.hpp"
+
+namespace {
+
+using rt::array::Array3D;
+using rt::array::Dims3;
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+std::vector<int> thread_sweep(int requested) {
+  if (requested <= 1 && requested != 0) return {1};
+  if (requested <= 1) return {1, 2, 4};
+  std::vector<int> ts{1};
+  for (int t = 2; t < requested; t *= 2) ts.push_back(t);
+  ts.push_back(requested);
+  return ts;
+}
+
+Array3D<double> make_grid(const Dims3& d, double seed) {
+  Array3D<double> a(d);
+  for (long k = 0; k < a.n3(); ++k) {
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        a(i, j, k) = seed + 0.001 * static_cast<double>(i) +
+                     0.002 * static_cast<double>(j) +
+                     0.003 * static_cast<double>(k);
+      }
+    }
+  }
+  return a;
+}
+
+bool interiors_equal(const Array3D<double>& a, const Array3D<double>& b) {
+  for (long k = 0; k < a.n3(); ++k) {
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        if (a(i, j, k) != b(i, j, k)) return false;  // bitwise
+      }
+    }
+  }
+  return true;
+}
+
+/// One serial-vs-parallel step of each kernel at the benched size; returns
+/// false (and reports) on any bitwise difference.
+bool verify_bit_identical(long n, long kd, int threads) {
+  const auto plan = rt::core::plan_for(Transform::kGcdPad, 2048, n, n,
+                                       rt::core::StencilSpec::jacobi3d());
+  const Dims3 d = Dims3::padded(n, n, kd, plan.dip, plan.djp);
+  rt::par::ThreadPool pool(threads);
+  bool ok = true;
+
+  {  // JACOBI (+ copy-back)
+    Array3D<double> b1 = make_grid(d, 0.5), b2 = b1;
+    Array3D<double> a1(d), a2(d);
+    rt::kernels::jacobi3d_tiled(a1, b1, 1.0 / 6.0, plan.tile);
+    rt::kernels::copy_interior(b1, a1);
+    rt::par::jacobi3d_tiled_par(pool, a2, b2, 1.0 / 6.0, plan.tile);
+    rt::par::copy_interior_par(pool, b2, a2);
+    if (!interiors_equal(a1, a2) || !interiors_equal(b1, b2)) {
+      std::cerr << "VERIFY FAILED: parallel JACOBI differs from serial\n";
+      ok = false;
+    }
+  }
+  {  // REDBLACK (parallel two-pass vs serial naive == serial tiled)
+    Array3D<double> a1 = make_grid(d, 0.3), a2 = a1;
+    rt::kernels::redblack_naive(a1, 0.4, 0.1);
+    rt::par::redblack_tiled_par(pool, a2, 0.4, 0.1, plan.tile);
+    if (!interiors_equal(a1, a2)) {
+      std::cerr << "VERIFY FAILED: parallel REDBLACK differs from serial\n";
+      ok = false;
+    }
+  }
+  {  // RESID
+    Array3D<double> v = make_grid(d, 0.7), u = make_grid(d, 0.1);
+    Array3D<double> r1(d), r2(d);
+    const auto a = rt::kernels::nas_mg_a();
+    rt::kernels::resid_tiled(r1, v, u, a, plan.tile);
+    rt::par::resid_tiled_par(pool, r2, v, u, a, plan.tile);
+    if (!interiors_equal(r1, r2)) {
+      std::cerr << "VERIFY FAILED: parallel RESID differs from serial\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rt::bench::BenchOptions bo = rt::bench::parse_options(argc, argv);
+  const long n = bo.nmax > 0 ? bo.nmax : 400;
+  const std::vector<int> threads = thread_sweep(bo.threads);
+
+  rt::bench::RunOptions ro;
+  ro.simulate = false;
+  ro.time_host = true;
+
+  const int vthreads = std::max(threads.back(), 4);
+  if (!verify_bit_identical(n, ro.k_dim, vthreads)) return 1;
+  std::cout << "verified: parallel kernels bit-identical to serial at N=" << n
+            << " with " << vthreads << " threads\n\n";
+
+  const std::vector<Transform> transforms = {
+      Transform::kOrig, Transform::kTile, Transform::kEuc3d,
+      Transform::kGcdPad, Transform::kPad};
+  const struct {
+    KernelId kid;
+    const char* name;
+  } kernels[] = {{KernelId::kJacobi, "JACOBI"},
+                 {KernelId::kRedBlack, "REDBLACK"},
+                 {KernelId::kResid, "RESID"}};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& kn : kernels) {
+    for (Transform tr : transforms) {
+      double base_mflops = 0;
+      for (int t : threads) {
+        ro.threads = t;
+        const auto r = rt::bench::run_kernel(kn.kid, tr, n, ro);
+        if (t == 1) base_mflops = r.host_mflops;
+        const std::string tile =
+            r.plan.tiled ? std::to_string(r.plan.tile.ti) + "x" +
+                               std::to_string(r.plan.tile.tj)
+                         : "-";
+        rows.push_back({kn.name, std::string(rt::core::transform_name(tr)),
+                        tile, std::to_string(t),
+                        rt::bench::fmt(r.host_mflops, 1),
+                        rt::bench::fmt(base_mflops > 0
+                                           ? r.host_mflops / base_mflops
+                                           : 0.0,
+                                       2)});
+      }
+    }
+  }
+  std::cout << "Thread scaling, N=" << n << " (K=" << ro.k_dim
+            << "), host wall-clock:\n";
+  rt::bench::print_table(
+      {"kernel", "transform", "tile", "threads", "MFlops", "speedup"}, rows);
+  std::cout << "\nspeedup is vs. the 1-thread run of the same (kernel, "
+               "transform); hardware_concurrency on this host = "
+            << rt::par::ThreadPool::default_threads() << "\n";
+  return 0;
+}

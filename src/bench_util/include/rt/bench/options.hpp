@@ -7,6 +7,7 @@
 //   --steps=N       measured time steps per configuration
 //   --host          also run host wall-clock timing
 //   --no-sim        skip cache simulation
+//   --threads=N     worker threads for host timing (parallel tiled kernels)
 
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@ struct BenchOptions {
   bool simulate = true;
   long nmin = 0, nmax = 0, nstep = 0;  // 0 = bench default
   int steps = 2;
+  int threads = 0;  ///< --threads=N host-timing width (0 = flag not given)
   std::string csv;  ///< --csv=PATH: also append CSV blocks to this file
 
   /// Sweep of problem sizes honouring the defaults and overrides.

@@ -19,6 +19,11 @@ struct RunOptions {
   bool time_host = false;  ///< wall-clock host timing (secondary signal)
   int time_steps = 2;      ///< time-step iterations measured in simulation
   double min_host_seconds = 0.05;
+  /// Execution width for *host* timing: > 1 runs the parallel kernels
+  /// (rt::par) over the JI tile grid.  Trace-driven simulation always
+  /// executes serially — TracedArray3D accessors mutate the shared cache
+  /// hierarchy, and serial execution is what keeps traces deterministic.
+  int threads = 1;
   long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
   rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
   rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
@@ -38,6 +43,7 @@ struct RunResult {
   double l2_miss_pct = 0;
   double sim_mflops = 0;    ///< perf-model MFlops (simulated machine)
   double host_mflops = 0;   ///< wall-clock MFlops on this host (0 if off)
+  int threads = 1;          ///< execution width used for host timing
   std::uint64_t sim_accesses = 0;
   std::uint64_t sim_flops = 0;
   double mem_elems = 0;  ///< total allocated elements across all arrays

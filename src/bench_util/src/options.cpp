@@ -41,12 +41,15 @@ BenchOptions parse_options(int argc, char** argv) {
       o.nstep = num("--nstep=");
     } else if (a.rfind("--steps=", 0) == 0) {
       o.steps = static_cast<int>(num("--steps="));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      o.threads = static_cast<int>(num("--threads="));
+      if (o.threads < 1) o.threads = 1;
     } else if (a.rfind("--csv=", 0) == 0) {
       o.csv = a.substr(6);
       set_csv_sink(o.csv);
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
-                   "--steps= --csv=FILE\n";
+                   "--steps= --threads=N --csv=FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << a << "\n";

@@ -1,6 +1,7 @@
 #include "rt/bench/runner.hpp"
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 
 #include "rt/array/address_space.hpp"
@@ -12,6 +13,8 @@
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
 #include "rt/multigrid/operators.hpp"
+#include "rt/par/par_kernels.hpp"
+#include "rt/par/thread_pool.hpp"
 
 namespace rt::bench {
 
@@ -41,9 +44,13 @@ void init_grid(Array3D<double>& a, double scale) {
   }
 }
 
-std::uint64_t interior(long n, long k) {
-  return static_cast<std::uint64_t>(n - 2) * static_cast<std::uint64_t>(n - 2) *
-         static_cast<std::uint64_t>(k - 2);
+/// Interior points of an n1 x n2 x n3 grid (one boundary layer in every
+/// dimension).  All three extents matter: the old two-scalar form silently
+/// squared n1 and miscounted non-cubic grids.
+std::uint64_t interior(long n1, long n2, long n3) {
+  return static_cast<std::uint64_t>(n1 - 2) *
+         static_cast<std::uint64_t>(n2 - 2) *
+         static_cast<std::uint64_t>(n3 - 2);
 }
 
 double now_seconds() {
@@ -107,8 +114,8 @@ struct PsinvStep {
 };
 
 /// Flops per time step (stencil nest(s); the Jacobi copy-back adds none).
-std::uint64_t flops_per_step(KernelId id, long n, long k) {
-  return rt::kernels::kernel_info(id).flops_per_point * interior(n, k);
+std::uint64_t flops_per_step(KernelId id, long n1, long n2, long n3) {
+  return rt::kernels::kernel_info(id).flops_per_point * interior(n1, n2, n3);
 }
 
 /// Host timing loop: run `step` until the time budget is met.
@@ -161,7 +168,7 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
   }
   res.mem_elems = static_cast<double>(dims.alloc_elems()) * info.num_arrays;
 
-  const std::uint64_t fl_step = flops_per_step(id, n, kd);
+  const std::uint64_t fl_step = flops_per_step(id, n, n, kd);
 
   if (opts.simulate) {
     CacheHierarchy hier(opts.l1, opts.l2);
@@ -204,24 +211,63 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
   }
 
   if (opts.time_host) {
+    // threads > 1 dispatches the native arrays to the rt::par kernels over
+    // the JI tile grid (or over K planes for untiled plans).  PSINV has no
+    // parallel variant yet and times serially regardless.
+    std::unique_ptr<rt::par::ThreadPool> pool;
+    if (opts.threads > 1 && id != KernelId::kPsinv) {
+      pool = std::make_unique<rt::par::ThreadPool>(opts.threads);
+      res.threads = pool->num_threads();
+    }
     switch (id) {
       case KernelId::kJacobi: {
         JacobiStep s{1.0 / 6.0, res.plan};
-        res.host_mflops = time_host_mflops(
-            [&] { s(arrays[0], arrays[1]); }, fl_step, opts.min_host_seconds);
+        auto par_step = [&] {
+          if (res.plan.tiled) {
+            rt::par::jacobi3d_tiled_par(*pool, arrays[0], arrays[1], s.c,
+                                        res.plan.tile);
+          } else {
+            rt::par::jacobi3d_par(*pool, arrays[0], arrays[1], s.c);
+          }
+          rt::par::copy_interior_par(*pool, arrays[1], arrays[0]);
+        };
+        res.host_mflops =
+            pool ? time_host_mflops(par_step, fl_step, opts.min_host_seconds)
+                 : time_host_mflops([&] { s(arrays[0], arrays[1]); }, fl_step,
+                                    opts.min_host_seconds);
         break;
       }
       case KernelId::kRedBlack: {
         RedBlackStep s{0.4, 0.1, res.plan};
-        res.host_mflops = time_host_mflops([&] { s(arrays[0]); }, fl_step,
-                                           opts.min_host_seconds);
+        auto par_step = [&] {
+          if (res.plan.tiled) {
+            rt::par::redblack_tiled_par(*pool, arrays[0], s.c1, s.c2,
+                                        res.plan.tile);
+          } else {
+            rt::par::redblack_par(*pool, arrays[0], s.c1, s.c2);
+          }
+        };
+        res.host_mflops =
+            pool ? time_host_mflops(par_step, fl_step, opts.min_host_seconds)
+                 : time_host_mflops([&] { s(arrays[0]); }, fl_step,
+                                    opts.min_host_seconds);
         break;
       }
       case KernelId::kResid: {
         ResidStep s{rt::kernels::nas_mg_a(), res.plan};
+        auto par_step = [&] {
+          if (res.plan.tiled) {
+            rt::par::resid_tiled_par(*pool, arrays[0], arrays[1], arrays[2],
+                                     s.a, res.plan.tile);
+          } else {
+            rt::par::resid_par(*pool, arrays[0], arrays[1], arrays[2], s.a);
+          }
+        };
         res.host_mflops =
-            time_host_mflops([&] { s(arrays[0], arrays[1], arrays[2]); },
-                             fl_step, opts.min_host_seconds);
+            pool ? time_host_mflops(par_step, fl_step, opts.min_host_seconds)
+                 : time_host_mflops(
+                       [&] { s(arrays[0], arrays[1], arrays[2]); }, fl_step,
+                       opts.min_host_seconds);
         break;
       }
       case KernelId::kPsinv: {

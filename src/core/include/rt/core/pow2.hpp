@@ -1,0 +1,27 @@
+#pragma once
+// Shared power-of-two helpers for the padding heuristics (GcdPad picks
+// power-of-two tile extents; InterPad picks a power-of-two partition
+// count).  Centralised here so every TU gets the same overflow behaviour.
+
+#include <climits>
+#include <stdexcept>
+
+namespace rt::core {
+
+constexpr bool is_pow2(long x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x <= 1 maps to 1).  The largest
+/// representable power of two in a long is 2^(bits-2+1)/... i.e.
+/// LONG_MAX/2 + 1; anything above it has no representable successor, so we
+/// throw instead of shifting into overflow (which used to loop forever).
+inline long next_pow2(long x) {
+  if (x <= 1) return 1;
+  if (x > LONG_MAX / 2 + 1) {
+    throw std::overflow_error("next_pow2: no representable power of two >= x");
+  }
+  long p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace rt::core

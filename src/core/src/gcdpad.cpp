@@ -1,19 +1,14 @@
 #include "rt/core/gcdpad.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "rt/core/pow2.hpp"
 
 namespace rt::core {
 
 namespace {
-bool is_pow2(long x) { return x > 0 && (x & (x - 1)) == 0; }
-
-long next_pow2(long x) {
-  long p = 1;
-  while (p < x) p <<= 1;
-  return p;
-}
-
 /// Smallest odd multiple of t that is >= d: the paper's
 ///   Dp = 2t*floor((D + 3t - 1) / (2t)) - t        (Fig. 10)
 long pad_to_odd_multiple(long d, long t) {
@@ -44,7 +39,11 @@ PadPlan gcd_pad(long cs, long di, long dj, const StencilSpec& spec) {
 
   PadPlan p;
   p.array_tile = ArrayTile{ti, tj, static_cast<int>(tk)};
-  p.tile = IterTile{ti - spec.trim_i, tj - spec.trim_j};
+  // Trimming can swallow a tiny array tile whole (small cs vs. the trims);
+  // a zero/negative iteration tile would make the tiled loops never
+  // advance, so clamp both extents to 1 (a legal, if inefficient, tile).
+  p.tile = IterTile{std::max(ti - spec.trim_i, 1L),
+                    std::max(tj - spec.trim_j, 1L)};
   p.dip = pad_to_odd_multiple(di, ti);
   p.djp = pad_to_odd_multiple(dj, tj);
   return p;

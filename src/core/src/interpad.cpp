@@ -2,15 +2,9 @@
 
 #include <stdexcept>
 
-namespace rt::core {
+#include "rt/core/pow2.hpp"
 
-namespace {
-long next_pow2(long x) {
-  long p = 1;
-  while (p < x) p <<= 1;
-  return p;
-}
-}  // namespace
+namespace rt::core {
 
 InterPadPlan inter_pad(long cs, long di, long dj, const StencilSpec& spec,
                        int num_arrays) {

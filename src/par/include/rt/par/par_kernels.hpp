@@ -1,0 +1,185 @@
+#pragma once
+// Parallel variants of the paper's kernels, executing the (jj, ii) tile
+// grid of the JI-tiling on a rt::par::ThreadPool.
+//
+// Why the tile grid is the unit of parallel work: the paper's 3D tiling
+// deliberately keeps K untiled, so each (TI, TJ) iteration tile owns an
+// independent full-depth column sweep — tiles write disjoint (i, j) ranges
+// and Jacobi/RESID read only arrays that the sweep never writes.  The
+// parallel kernels are therefore *bit-identical* to the serial tiled
+// kernels for any thread count and any schedule.  Red-black runs the red
+// sweep fully before the black sweep (parallel_for is a barrier), which is
+// again bit-identical to redblack_naive — within one color no updated
+// point reads another point of the same color.
+//
+// Thread-safety contract for accessors: concurrent load() anywhere plus
+// concurrent store() to *distinct* elements must be safe.  rt::array's
+// Array3D (plain memory) satisfies it; rt::cachesim::TracedArray3D does
+// NOT (every access mutates the shared cache hierarchy), so trace-driven
+// simulation must keep using the serial kernels — which is also what keeps
+// simulated miss rates deterministic.
+
+#include <algorithm>
+
+#include "rt/core/cost.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/kernels/resid.hpp"
+#include "rt/par/thread_pool.hpp"
+
+namespace rt::par {
+
+using rt::core::IterTile;
+
+/// Run fn(ii, ihi, jj, jhi) once per tile of the [ilo, ihi0) x [jlo, jhi0)
+/// iteration space strip-mined by t, distributed over the pool.  Tiles are
+/// flattened jj-outer / ii-inner, matching the serial tiled loop order so a
+/// 1-thread pool visits tiles in exactly the serial sequence.
+template <class Fn>
+void parallel_for_tiles(ThreadPool& pool, long ilo, long ihi0, long jlo,
+                        long jhi0, IterTile t, Fn&& fn) {
+  if (ihi0 <= ilo || jhi0 <= jlo || t.ti <= 0 || t.tj <= 0) return;
+  const long nti = (ihi0 - ilo + t.ti - 1) / t.ti;
+  const long ntj = (jhi0 - jlo + t.tj - 1) / t.tj;
+  pool.parallel_for(nti * ntj, [&](long idx) {
+    const long jj = jlo + (idx / nti) * t.tj;
+    const long ii = ilo + (idx % nti) * t.ti;
+    fn(ii, std::min(ii + t.ti, ihi0), jj, std::min(jj + t.tj, jhi0));
+  });
+}
+
+/// Parallel tiled 3D Jacobi: each tile runs the full K sweep of its
+/// (TI, TJ) block.  Bit-identical to rt::kernels::jacobi3d_tiled.
+template <class Dst, class Src>
+void jacobi3d_tiled_par(ThreadPool& pool, Dst& a, Src& b, double c,
+                        IterTile t) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  parallel_for_tiles(
+      pool, 1, n1 - 1, 1, n2 - 1, t,
+      [&](long ii, long ihi, long jj, long jhi) {
+        for (long k = 1; k < n3 - 1; ++k) {
+          for (long j = jj; j < jhi; ++j) {
+            for (long i = ii; i < ihi; ++i) {
+              a.store(i, j, k,
+                      c * (b.load(i - 1, j, k) + b.load(i + 1, j, k) +
+                           b.load(i, j - 1, k) + b.load(i, j + 1, k) +
+                           b.load(i, j, k - 1) + b.load(i, j, k + 1)));
+            }
+          }
+        }
+      });
+}
+
+/// Parallel untiled 3D Jacobi (the Orig baseline under threads): K planes
+/// are independent, so the K loop is the parallel dimension.
+template <class Dst, class Src>
+void jacobi3d_par(ThreadPool& pool, Dst& a, Src& b, double c) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    const long k = kk + 1;
+    for (long j = 1; j < n2 - 1; ++j) {
+      for (long i = 1; i < n1 - 1; ++i) {
+        a.store(i, j, k,
+                c * (b.load(i - 1, j, k) + b.load(i + 1, j, k) +
+                     b.load(i, j - 1, k) + b.load(i, j + 1, k) +
+                     b.load(i, j, k - 1) + b.load(i, j, k + 1)));
+      }
+    }
+  });
+}
+
+/// Parallel interior copy-back dst = src, one K plane per work item.
+/// The caller sequences this after the stencil sweep; parallel_for's
+/// barrier guarantees the sweep is complete.
+template <class Dst, class Src>
+void copy_interior_par(ThreadPool& pool, Dst& dst, Src& src) {
+  const long n1 = dst.n1(), n2 = dst.n2(), n3 = dst.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    const long k = kk + 1;
+    for (long j = 1; j < n2 - 1; ++j) {
+      for (long i = 1; i < n1 - 1; ++i) {
+        dst.store(i, j, k, src.load(i, j, k));
+      }
+    }
+  });
+}
+
+/// Parallel tiled red-black: a full parallel red sweep, a barrier, then a
+/// full parallel black sweep.  Within one color every update reads only
+/// opposite-color neighbours (plus its own old centre value), so the
+/// result is independent of schedule and bit-identical to redblack_naive —
+/// and redblack_naive is bit-identical to redblack_tiled (kernels_test).
+/// Note this two-pass schedule intentionally differs from the serial fused
+/// tiled schedule (ATD 4 skewed windows): fusion trades cache depth for an
+/// intra-tile red->black dependency that does not parallelise over tiles.
+template <class Acc>
+void redblack_tiled_par(ThreadPool& pool, Acc& a, double c1, double c2,
+                        IterTile t) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    parallel_for_tiles(
+        pool, 1, n1 - 1, 1, n2 - 1, t,
+        [&](long ii, long ihi, long jj, long jhi) {
+          for (long k = 1; k < n3 - 1; ++k) {
+            for (long j = jj; j < jhi; ++j) {
+              for (long i = rt::kernels::detail::first_with_parity(ii, j, k,
+                                                                   parity);
+                   i < ihi; i += 2) {
+                rt::kernels::rb_update(a, i, j, k, c1, c2);
+              }
+            }
+          }
+        });  // barrier: all red done before any black starts
+  }
+}
+
+/// Parallel untiled red-black: same color barrier, K planes parallel
+/// within each color (a point's same-color neighbours are two planes away).
+template <class Acc>
+void redblack_par(ThreadPool& pool, Acc& a, double c1, double c2) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    pool.parallel_for(n3 - 2, [&](long kk) {
+      const long k = kk + 1;
+      for (long j = 1; j < n2 - 1; ++j) {
+        for (long i = rt::kernels::detail::first_with_parity(1, j, k, parity);
+             i < n1 - 1; i += 2) {
+          rt::kernels::rb_update(a, i, j, k, c1, c2);
+        }
+      }
+    });
+  }
+}
+
+/// Parallel tiled RESID.  Bit-identical to rt::kernels::resid_tiled.
+template <class R, class V, class U>
+void resid_tiled_par(ThreadPool& pool, R& r, V& v, U& u,
+                     const rt::kernels::ResidCoeffs& a, IterTile t) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  parallel_for_tiles(pool, 1, n1 - 1, 1, n2 - 1, t,
+                     [&](long ii, long ihi, long jj, long jhi) {
+                       for (long i3 = 1; i3 < n3 - 1; ++i3) {
+                         for (long i2 = jj; i2 < jhi; ++i2) {
+                           for (long i1 = ii; i1 < ihi; ++i1) {
+                             rt::kernels::resid_point(r, v, u, a, i1, i2, i3);
+                           }
+                         }
+                       }
+                     });
+}
+
+/// Parallel untiled RESID, K planes parallel.
+template <class R, class V, class U>
+void resid_par(ThreadPool& pool, R& r, V& v, U& u,
+               const rt::kernels::ResidCoeffs& a) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    const long i3 = kk + 1;
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      for (long i1 = 1; i1 < n1 - 1; ++i1) {
+        rt::kernels::resid_point(r, v, u, a, i1, i2, i3);
+      }
+    }
+  });
+}
+
+}  // namespace rt::par

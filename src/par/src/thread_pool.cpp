@@ -1,0 +1,78 @@
+#include "rt/par/thread_pool.hpp"
+
+namespace rt::par {
+
+int ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_threads();
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(long)>* body = nullptr;
+    long count = 0;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+    }
+    for (long i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*body)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(long count,
+                              const std::function<void(long)>& body) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1) {
+    // Sequential fast path, index order: what the serial kernels do.
+    for (long i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The calling thread works too; workers and caller share the dispenser.
+  for (long i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    body(i);
+  }
+  std::unique_lock<std::mutex> lk(m_);
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace rt::par

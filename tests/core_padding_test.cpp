@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "rt/core/conflict.hpp"
@@ -71,6 +72,27 @@ TEST(GcdPad, DeepStencilGetsDeeperTk) {
   EXPECT_EQ(gcd_pad_tk(deep), 8);
   const PadPlan p = gcd_pad(2048, 200, 200, deep);
   EXPECT_EQ(p.array_tile.tk, 8);
+}
+
+TEST(GcdPad, TinyCacheTileIsClampedNotDegenerate) {
+  // Regression: with a tiny cache the power-of-two array tile can be
+  // smaller than the stencil trims (cs = 16, tk = 4 -> TI = 2, TJ = 2;
+  // jacobi trims 2/2 would leave a 0 x 0 iteration tile whose tiled loops
+  // never advance).  The trimmed tile must be clamped to >= 1 each way.
+  const PadPlan p = gcd_pad(16, 10, 10, kJac);
+  EXPECT_EQ(p.array_tile, (ArrayTile{2, 2, 4}));
+  EXPECT_GE(p.tile.ti, 1);
+  EXPECT_GE(p.tile.tj, 1);
+}
+
+TEST(GcdPad, ClampedTileStillCostsFinite) {
+  // A clamped tile must be usable by the cost model (degenerate tiles cost
+  // +inf, which would make Pad's threshold accept anything).
+  StencilSpec wide{"wide", 6, 6, 3};
+  const PadPlan p = gcd_pad(64, 20, 20, wide);
+  EXPECT_GE(p.tile.ti, 1);
+  EXPECT_GE(p.tile.tj, 1);
+  EXPECT_TRUE(std::isfinite(cost(p.tile, wide)));
 }
 
 TEST(GcdPad, RejectsBadArgs) {

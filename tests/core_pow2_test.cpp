@@ -1,0 +1,58 @@
+// Shared power-of-two helpers (rt/core/pow2.hpp): values, the x <= 1
+// floor, and the overflow guard that replaced the old per-TU copies (which
+// looped forever for inputs above LONG_MAX/2).
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "rt/core/pow2.hpp"
+
+namespace rt::core {
+namespace {
+
+TEST(Pow2, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_TRUE(is_pow2(1L << 62));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1022));
+}
+
+TEST(Pow2, NextPow2Values) {
+  EXPECT_EQ(next_pow2(-7), 1);
+  EXPECT_EQ(next_pow2(0), 1);
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(4), 4);
+  EXPECT_EQ(next_pow2(5), 8);
+  EXPECT_EQ(next_pow2(1000), 1024);
+  EXPECT_EQ(next_pow2(1025), 2048);
+}
+
+TEST(Pow2, NextPow2IsIdempotentOnPowersOfTwo) {
+  for (long p = 1; p > 0 && p <= (1L << 40); p <<= 1) {
+    EXPECT_EQ(next_pow2(p), p);
+  }
+}
+
+TEST(Pow2, LargestRepresentableInput) {
+  // LONG_MAX/2 + 1 is itself a power of two (2^62 on 64-bit long): the
+  // largest input with a representable result.
+  const long top = LONG_MAX / 2 + 1;
+  EXPECT_TRUE(is_pow2(top));
+  EXPECT_EQ(next_pow2(top), top);
+  EXPECT_EQ(next_pow2(top - 1), top);
+}
+
+TEST(Pow2, OverflowingInputThrowsInsteadOfLooping) {
+  EXPECT_THROW(next_pow2(LONG_MAX / 2 + 2), std::overflow_error);
+  EXPECT_THROW(next_pow2(LONG_MAX), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace rt::core

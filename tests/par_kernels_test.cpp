@@ -1,0 +1,221 @@
+// Parallel-kernel correctness: the rt::par kernels must be bit-identical
+// to their serial counterparts on non-cubic grids and tile sizes that do
+// not divide the interior, for any thread count; and the red-black color
+// barrier must hold under >= 4 threads (black updates may only ever read
+// post-red values).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rt/array/array3d.hpp"
+#include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/kernels/resid.hpp"
+#include "rt/par/par_kernels.hpp"
+#include "rt/par/thread_pool.hpp"
+
+namespace rt::par {
+namespace {
+
+using rt::array::Array3D;
+using rt::array::Dims3;
+using rt::core::IterTile;
+
+Array3D<double> make_grid(long n1, long n2, long n3, double seed,
+                          long p1 = 0, long p2 = 0) {
+  Dims3 d = (p1 > 0) ? Dims3::padded(n1, n2, n3, p1, p2)
+                     : Dims3::unpadded(n1, n2, n3);
+  Array3D<double> a(d);
+  for (long k = 0; k < n3; ++k) {
+    for (long j = 0; j < n2; ++j) {
+      for (long i = 0; i < n1; ++i) {
+        a(i, j, k) = std::sin(seed + 0.1 * i + 0.2 * j + 0.3 * k);
+      }
+    }
+  }
+  return a;
+}
+
+bool interiors_equal(const Array3D<double>& a, const Array3D<double>& b) {
+  for (long k = 0; k < a.n3(); ++k) {
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        if (a(i, j, k) != b(i, j, k)) return false;  // bitwise
+      }
+    }
+  }
+  return true;
+}
+
+/// Non-cubic shapes; several tiles do not divide the interior extent, and
+/// some exceed it entirely.
+struct Shape {
+  long n1, n2, n3, ti, tj;
+};
+
+class ParEquivalence : public ::testing::TestWithParam<Shape> {
+ protected:
+  ThreadPool pool_{4};
+};
+
+TEST_P(ParEquivalence, JacobiTiledParMatchesSerialTiled) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  Array3D<double> b = make_grid(n1, n2, n3, 0.5);
+  Array3D<double> a1(n1, n2, n3), a2(n1, n2, n3);
+  rt::kernels::jacobi3d_tiled(a1, b, 1.0 / 6.0, IterTile{ti, tj});
+  jacobi3d_tiled_par(pool_, a2, b, 1.0 / 6.0, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(a1, a2));
+}
+
+TEST_P(ParEquivalence, JacobiUntiledParMatchesSerial) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  (void)ti;
+  (void)tj;
+  Array3D<double> b = make_grid(n1, n2, n3, 0.5);
+  Array3D<double> a1(n1, n2, n3), a2(n1, n2, n3);
+  rt::kernels::jacobi3d(a1, b, 1.0 / 6.0);
+  jacobi3d_par(pool_, a2, b, 1.0 / 6.0);
+  EXPECT_TRUE(interiors_equal(a1, a2));
+}
+
+TEST_P(ParEquivalence, ResidTiledParMatchesSerialTiled) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  Array3D<double> u = make_grid(n1, n2, n3, 0.1);
+  Array3D<double> v = make_grid(n1, n2, n3, 0.7);
+  Array3D<double> r1(n1, n2, n3), r2(n1, n2, n3);
+  const auto a = rt::kernels::nas_mg_a();
+  rt::kernels::resid_tiled(r1, v, u, a, IterTile{ti, tj});
+  resid_tiled_par(pool_, r2, v, u, a, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(r1, r2));
+  Array3D<double> r3(n1, n2, n3);
+  resid_par(pool_, r3, v, u, a);
+  EXPECT_TRUE(interiors_equal(r1, r3));
+}
+
+TEST_P(ParEquivalence, RedBlackParMatchesSerialSchedules) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  Array3D<double> a1 = make_grid(n1, n2, n3, 0.3);
+  Array3D<double> a2 = a1, a3 = a1, a4 = a1;
+  rt::kernels::redblack_naive(a1, 0.4, 0.1);
+  redblack_tiled_par(pool_, a2, 0.4, 0.1, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(a1, a2));
+  redblack_par(pool_, a3, 0.4, 0.1);
+  EXPECT_TRUE(interiors_equal(a1, a3));
+  // And transitively vs the serial fused tiled schedule.
+  rt::kernels::redblack_tiled(a4, 0.4, 0.1, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(a1, a4));
+}
+
+TEST_P(ParEquivalence, CopyInteriorParMatchesSerial) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  (void)ti;
+  (void)tj;
+  Array3D<double> src = make_grid(n1, n2, n3, 0.9);
+  Array3D<double> d1(n1, n2, n3, 7.0), d2(n1, n2, n3, 7.0);
+  rt::kernels::copy_interior(d1, src);
+  copy_interior_par(pool_, d2, src);
+  // Whole allocation must match: boundaries untouched, interior copied.
+  for (long k = 0; k < n3; ++k)
+    for (long j = 0; j < n2; ++j)
+      for (long i = 0; i < n1; ++i) EXPECT_EQ(d1(i, j, k), d2(i, j, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParEquivalence,
+    ::testing::Values(Shape{8, 8, 8, 3, 3}, Shape{9, 7, 11, 2, 5},
+                      Shape{16, 10, 6, 5, 4}, Shape{17, 9, 30, 4, 4},
+                      Shape{23, 41, 11, 7, 3}, Shape{40, 12, 30, 13, 22},
+                      Shape{41, 6, 9, 41, 1}, Shape{12, 30, 5, 100, 100},
+                      Shape{64, 10, 13, 22, 13}, Shape{31, 33, 29, 1, 1}));
+
+TEST(ParKernels, MultiStepJacobiStaysBitIdentical) {
+  // Several sweep + copy-back time steps with a 4-thread pool: any
+  // divergence (e.g. a missing barrier before the copy-back) compounds.
+  ThreadPool pool(4);
+  Array3D<double> b1 = make_grid(20, 14, 12, 0.9), b2 = b1;
+  Array3D<double> a1(20, 14, 12), a2(20, 14, 12);
+  for (int t = 0; t < 4; ++t) {
+    rt::kernels::jacobi3d_tiled(a1, b1, 1.0 / 6.0, IterTile{5, 3});
+    rt::kernels::copy_interior(b1, a1);
+    jacobi3d_tiled_par(pool, a2, b2, 1.0 / 6.0, IterTile{5, 3});
+    copy_interior_par(pool, b2, a2);
+  }
+  EXPECT_TRUE(interiors_equal(a1, a2));
+  EXPECT_TRUE(interiors_equal(b1, b2));
+}
+
+TEST(ParKernels, PaddedArraysComputeSameValues) {
+  ThreadPool pool(4);
+  Array3D<double> b1 = make_grid(12, 18, 8, 0.2);
+  Array3D<double> b2 = make_grid(12, 18, 8, 0.2, 17, 23);
+  Array3D<double> a1(12, 18, 8);
+  Array3D<double> a2(Dims3::padded(12, 18, 8, 17, 23));
+  rt::kernels::jacobi3d_tiled(a1, b1, 1.0 / 6.0, IterTile{5, 4});
+  jacobi3d_tiled_par(pool, a2, b2, 1.0 / 6.0, IterTile{5, 4});
+  EXPECT_TRUE(interiors_equal(a1, a2));
+}
+
+TEST(ParKernels, RedBlackColorBarrierHoldsUnderManyThreads) {
+  // With c1 = 0, c2 = 1 and a single red hot point, a correct schedule
+  // zeroes the whole interior: the red sweep replaces every red point by
+  // the sum of its (all-zero) black neighbours — including the hot point —
+  // and the black sweep then reads only post-red (zero) values.  If any
+  // black update ran before the barrier it could read the stale 1.0 and
+  // leave a nonzero black point behind.  Tiny tiles maximise the number of
+  // concurrently executing work items; repeat to shake out interleavings.
+  ThreadPool pool(5);
+  for (int rep = 0; rep < 50; ++rep) {
+    Array3D<double> a(17, 13, 9);
+    a(4, 4, 4) = 1.0;  // (4+4+4) even -> red
+    redblack_tiled_par(pool, a, 0.0, 1.0, IterTile{2, 2});
+    for (long k = 1; k < 8; ++k) {
+      for (long j = 1; j < 12; ++j) {
+        for (long i = 1; i < 16; ++i) {
+          ASSERT_EQ(a(i, j, k), 0.0)
+              << "rep=" << rep << " at (" << i << "," << j << "," << k << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ParKernels, RedBlackRepeatedRunsAreDeterministic) {
+  // Scheduling nondeterminism must never leak into values: 20 runs under
+  // 4 threads all equal the serial result bit-for-bit.
+  ThreadPool pool(4);
+  Array3D<double> ref = make_grid(19, 23, 10, 0.6);
+  rt::kernels::redblack_naive(ref, 0.4, 0.1);
+  for (int rep = 0; rep < 20; ++rep) {
+    Array3D<double> a = make_grid(19, 23, 10, 0.6);
+    redblack_tiled_par(pool, a, 0.4, 0.1, IterTile{3, 2});
+    ASSERT_TRUE(interiors_equal(ref, a)) << "rep=" << rep;
+  }
+}
+
+TEST(ParKernels, OneThreadPoolMatchesSerialExactly) {
+  // The documented serial/deterministic degeneration: a 1-thread pool.
+  ThreadPool pool(1);
+  Array3D<double> b = make_grid(15, 11, 9, 0.4);
+  Array3D<double> a1(15, 11, 9), a2(15, 11, 9);
+  rt::kernels::jacobi3d_tiled(a1, b, 1.0 / 6.0, IterTile{4, 3});
+  jacobi3d_tiled_par(pool, a2, b, 1.0 / 6.0, IterTile{4, 3});
+  EXPECT_TRUE(interiors_equal(a1, a2));
+}
+
+TEST(ParKernels, DegenerateTileOrEmptyInteriorIsSafe) {
+  ThreadPool pool(4);
+  Array3D<double> b = make_grid(4, 4, 4, 0.1);
+  Array3D<double> a(4, 4, 4);
+  // Tile {1,1} (the gcd_pad clamp floor) and an interior of 2x2x2.
+  jacobi3d_tiled_par(pool, a, b, 1.0 / 6.0, IterTile{1, 1});
+  Array3D<double> ref(4, 4, 4);
+  rt::kernels::jacobi3d(ref, b, 1.0 / 6.0);
+  EXPECT_TRUE(interiors_equal(ref, a));
+  // Non-positive tile extents: parallel_for_tiles declines to iterate
+  // rather than looping forever.
+  jacobi3d_tiled_par(pool, a, b, 1.0 / 6.0, IterTile{0, 5});
+}
+
+}  // namespace
+}  // namespace rt::par

@@ -1,0 +1,84 @@
+// ThreadPool unit tests: exact index coverage under contention, reuse
+// across many jobs, the sequential 1-thread fast path, and edge counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "rt/par/thread_pool.hpp"
+
+namespace rt::par {
+namespace {
+
+TEST(ThreadPool, DefaultThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+  ThreadPool p;
+  EXPECT_GE(p.num_threads(), 1);
+}
+
+TEST(ThreadPool, RequestedWidth) {
+  EXPECT_EQ(ThreadPool(1).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(4).num_threads(), 4);
+  EXPECT_EQ(ThreadPool(7).num_threads(), 7);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const long count = 10000;
+  std::vector<std::atomic<int>> hits(count);
+  pool.parallel_for(count, [&](long i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (long i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, CountSmallerThanPool) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  pool.parallel_for(3, [&](long i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountAreNoOps) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](long) { calls.fetch_add(1); });
+  pool.parallel_for(-5, [&](long) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 200; ++job) {
+    pool.parallel_for(17, [&](long) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200 * 17);
+}
+
+TEST(ThreadPool, SingleThreadRunsSequentiallyInOrder) {
+  // The 1-thread pool must behave exactly like a plain loop: same thread,
+  // ascending index order (this is what keeps traced runs deterministic).
+  ThreadPool pool(1);
+  std::vector<long> order;
+  pool.parallel_for(50, [&](long i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 50u);
+  for (long i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ParallelForIsABarrier) {
+  // All writes from the job must be visible after parallel_for returns,
+  // without any extra synchronisation in the caller.
+  ThreadPool pool(4);
+  std::vector<long> out(1000, 0);
+  pool.parallel_for(1000, [&](long i) { out[static_cast<std::size_t>(i)] = i * i; });
+  for (long i = 0; i < 1000; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+}  // namespace
+}  // namespace rt::par
