@@ -1,9 +1,23 @@
 // Host-machine kernel throughput (google-benchmark): the secondary,
 // wall-clock signal.  On a modern associative-cache host the paper's
 // conflict effects are absent (see bench_ablation_assoc), but tiling can
-// still help or at least must not hurt; this microbenchmark tracks that.
+// still help or at least must not hurt; this microbenchmark tracks that,
+// and — since PR 2 — how much the rt::simd row kernels recover over the
+// scalar accessor path (the memory-starved-stencil gap).
+//
+// Benchmarks are registered dynamically as
+//   KERNEL/<n>/<transform>/<simd>/<threads>
+// so downstream tooling (scripts/bench_to_json.sh) can split the name on
+// '/'.  Extra flags, stripped before google-benchmark sees the rest:
+//   --simd=off|auto|avx2   run only that SIMD mode (default: off AND auto)
+//   --threads=T            additionally run at T threads (default: 1 only)
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "rt/array/array3d.hpp"
 #include "rt/core/plan.hpp"
@@ -11,18 +25,30 @@
 #include "rt/kernels/kernel_info.hpp"
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
+#include "rt/par/par_kernels.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/simd/par_rows.hpp"
+#include "rt/simd/row_kernels.hpp"
+#include "rt/simd/simd.hpp"
 
 namespace {
 
 using rt::array::Array3D;
 using rt::array::Dims3;
 using rt::core::Transform;
+using rt::kernels::KernelId;
+using rt::simd::SimdLevel;
+using rt::simd::SimdMode;
 
-Dims3 dims_for(Transform tr, long n, long kd,
-               const rt::core::StencilSpec& spec, rt::core::TilingPlan* plan) {
-  *plan = rt::core::plan_for(tr, 2048, n, n, spec);
-  return Dims3::padded(n, n, kd, plan->dip, plan->djp);
-}
+constexpr long kDim = 30;  // paper's fixed third dimension
+
+struct Cfg {
+  KernelId id;
+  long n;
+  Transform tr;
+  SimdMode simd;
+  int threads;
+};
 
 void init(Array3D<double>& a) {
   for (long k = 0; k < a.n3(); ++k)
@@ -31,88 +57,196 @@ void init(Array3D<double>& a) {
         a(i, j, k) = 0.001 * static_cast<double>(i + 2 * j + 3 * k);
 }
 
-void BM_Jacobi(benchmark::State& state) {
-  const long n = state.range(0);
-  const auto tr = static_cast<Transform>(state.range(1));
-  rt::core::TilingPlan plan;
-  const Dims3 d = dims_for(tr, n, 30, rt::core::StencilSpec::jacobi3d(), &plan);
-  Array3D<double> a(d), b(d);
-  init(b);
-  for (auto _ : state) {
-    if (plan.tiled) {
-      rt::kernels::jacobi3d_tiled(a, b, 1.0 / 6.0, plan.tile);
-    } else {
-      rt::kernels::jacobi3d(a, b, 1.0 / 6.0);
-    }
-    rt::kernels::copy_interior(b, a);
-    benchmark::ClobberMemory();
-  }
-  state.counters["MFlops"] = benchmark::Counter(
-      6.0 * static_cast<double>((n - 2) * (n - 2) * 28) *
-          static_cast<double>(state.iterations()) / 1e6,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Jacobi)
-    ->ArgsProduct({{200, 300, 400},
-                   {static_cast<long>(Transform::kOrig),
-                    static_cast<long>(Transform::kGcdPad)}})
-    ->Unit(benchmark::kMillisecond);
+void BM_Kernel(benchmark::State& state, Cfg cfg) {
+  const rt::kernels::KernelInfo& info = rt::kernels::kernel_info(cfg.id);
+  const rt::core::TilingPlan plan =
+      rt::core::plan_for(cfg.tr, 2048, cfg.n, cfg.n, info.spec);
+  const Dims3 d = Dims3::padded(cfg.n, cfg.n, kDim, plan.dip, plan.djp);
+  const SimdLevel lvl = rt::simd::resolve(cfg.simd);
+  std::unique_ptr<rt::par::ThreadPool> pool;
+  if (cfg.threads > 1) pool = std::make_unique<rt::par::ThreadPool>(cfg.threads);
 
-void BM_RedBlack(benchmark::State& state) {
-  const long n = state.range(0);
-  const auto tr = static_cast<Transform>(state.range(1));
-  rt::core::TilingPlan plan;
-  const Dims3 d =
-      dims_for(tr, n, 30, rt::core::StencilSpec::redblack3d(), &plan);
-  Array3D<double> a(d);
-  init(a);
-  for (auto _ : state) {
-    if (plan.tiled) {
-      rt::kernels::redblack_tiled(a, 0.4, 0.1, plan.tile);
-    } else {
-      rt::kernels::redblack_naive(a, 0.4, 0.1);
-    }
-    benchmark::ClobberMemory();
+  std::vector<Array3D<double>> arr;
+  for (int i = 0; i < info.num_arrays; ++i) {
+    arr.emplace_back(d);
+    init(arr.back());
   }
-  state.counters["MFlops"] = benchmark::Counter(
-      8.0 * static_cast<double>((n - 2) * (n - 2) * 28) *
-          static_cast<double>(state.iterations()) / 1e6,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_RedBlack)
-    ->ArgsProduct({{200, 300, 400},
-                   {static_cast<long>(Transform::kOrig),
-                    static_cast<long>(Transform::kGcdPad)}})
-    ->Unit(benchmark::kMillisecond);
+  const auto rc = rt::kernels::nas_mg_a();
 
-void BM_Resid(benchmark::State& state) {
-  const long n = state.range(0);
-  const auto tr = static_cast<Transform>(state.range(1));
-  rt::core::TilingPlan plan;
-  const Dims3 d = dims_for(tr, n, 30, rt::core::StencilSpec::resid27(), &plan);
-  Array3D<double> r(d), v(d), u(d);
-  init(v);
-  init(u);
-  const auto a = rt::kernels::nas_mg_a();
-  for (auto _ : state) {
-    if (plan.tiled) {
-      rt::kernels::resid_tiled(r, v, u, a, plan.tile);
-    } else {
-      rt::kernels::resid(r, v, u, a);
+  auto step = [&] {
+    switch (cfg.id) {
+      case KernelId::kJacobi: {
+        const double c = 1.0 / 6.0;
+        if (lvl != SimdLevel::kScalar && pool) {
+          if (plan.tiled) {
+            rt::simd::jacobi3d_tiled_rows_par(*pool, arr[0], arr[1], c,
+                                              plan.tile, lvl);
+          } else {
+            rt::simd::jacobi3d_rows_par(*pool, arr[0], arr[1], c, lvl);
+          }
+          rt::simd::copy_interior_rows_par(*pool, arr[1], arr[0], lvl);
+        } else if (lvl != SimdLevel::kScalar) {
+          if (plan.tiled) {
+            rt::simd::jacobi3d_tiled_rows(arr[0], arr[1], c, plan.tile, lvl);
+          } else {
+            rt::simd::jacobi3d_rows(arr[0], arr[1], c, lvl);
+          }
+          rt::simd::copy_interior_rows(arr[1], arr[0], lvl);
+        } else if (pool) {
+          if (plan.tiled) {
+            rt::par::jacobi3d_tiled_par(*pool, arr[0], arr[1], c, plan.tile);
+          } else {
+            rt::par::jacobi3d_par(*pool, arr[0], arr[1], c);
+          }
+          rt::par::copy_interior_par(*pool, arr[1], arr[0]);
+        } else {
+          if (plan.tiled) {
+            rt::kernels::jacobi3d_tiled(arr[0], arr[1], c, plan.tile);
+          } else {
+            rt::kernels::jacobi3d(arr[0], arr[1], c);
+          }
+          rt::kernels::copy_interior(arr[1], arr[0]);
+        }
+        break;
+      }
+      case KernelId::kRedBlack: {
+        const double c1 = 0.4, c2 = 0.1;
+        if (lvl != SimdLevel::kScalar && pool) {
+          if (plan.tiled) {
+            rt::simd::redblack_tiled_rows_par(*pool, arr[0], c1, c2,
+                                              plan.tile, lvl);
+          } else {
+            rt::simd::redblack_rows_par(*pool, arr[0], c1, c2, lvl);
+          }
+        } else if (lvl != SimdLevel::kScalar) {
+          if (plan.tiled) {
+            rt::simd::redblack_tiled_rows(arr[0], c1, c2, plan.tile, lvl);
+          } else {
+            rt::simd::redblack_rows(arr[0], c1, c2, lvl);
+          }
+        } else if (pool) {
+          if (plan.tiled) {
+            rt::par::redblack_tiled_par(*pool, arr[0], c1, c2, plan.tile);
+          } else {
+            rt::par::redblack_par(*pool, arr[0], c1, c2);
+          }
+        } else {
+          if (plan.tiled) {
+            rt::kernels::redblack_tiled(arr[0], c1, c2, plan.tile);
+          } else {
+            rt::kernels::redblack_naive(arr[0], c1, c2);
+          }
+        }
+        break;
+      }
+      case KernelId::kResid: {
+        if (lvl != SimdLevel::kScalar && pool) {
+          if (plan.tiled) {
+            rt::simd::resid_tiled_rows_par(*pool, arr[0], arr[1], arr[2], rc,
+                                           plan.tile, lvl);
+          } else {
+            rt::simd::resid_rows_par(*pool, arr[0], arr[1], arr[2], rc, lvl);
+          }
+        } else if (lvl != SimdLevel::kScalar) {
+          if (plan.tiled) {
+            rt::simd::resid_tiled_rows(arr[0], arr[1], arr[2], rc, plan.tile,
+                                       lvl);
+          } else {
+            rt::simd::resid_rows(arr[0], arr[1], arr[2], rc, lvl);
+          }
+        } else if (pool) {
+          if (plan.tiled) {
+            rt::par::resid_tiled_par(*pool, arr[0], arr[1], arr[2], rc,
+                                     plan.tile);
+          } else {
+            rt::par::resid_par(*pool, arr[0], arr[1], arr[2], rc);
+          }
+        } else {
+          if (plan.tiled) {
+            rt::kernels::resid_tiled(arr[0], arr[1], arr[2], rc, plan.tile);
+          } else {
+            rt::kernels::resid(arr[0], arr[1], arr[2], rc);
+          }
+        }
+        break;
+      }
+      default:
+        break;
     }
+  };
+
+  for (auto _ : state) {
+    step();
     benchmark::ClobberMemory();
   }
+  const double flops_per_iter =
+      static_cast<double>(info.flops_per_point) *
+      static_cast<double>((cfg.n - 2) * (cfg.n - 2) * (kDim - 2));
   state.counters["MFlops"] = benchmark::Counter(
-      31.0 * static_cast<double>((n - 2) * (n - 2) * 28) *
-          static_cast<double>(state.iterations()) / 1e6,
+      flops_per_iter * static_cast<double>(state.iterations()) / 1e6,
       benchmark::Counter::kIsRate);
+  state.SetLabel(rt::simd::simd_level_name(lvl));
 }
-BENCHMARK(BM_Resid)
-    ->ArgsProduct({{200, 300, 400},
-                   {static_cast<long>(Transform::kOrig),
-                    static_cast<long>(Transform::kGcdPad)}})
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags; everything else goes to google-benchmark.
+  std::vector<SimdMode> simd_modes = {SimdMode::kOff, SimdMode::kAuto};
+  std::vector<int> threads = {1};
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--simd=", 0) == 0) {
+      SimdMode m;
+      if (!rt::simd::parse_simd_mode(a.substr(7), &m)) {
+        fprintf(stderr, "bad --simd value (want off|auto|avx2): %s\n",
+                a.c_str());
+        return 2;
+      }
+      simd_modes = {m};
+    } else if (a.rfind("--threads=", 0) == 0) {
+      const int t = std::atoi(a.c_str() + 10);
+      if (t > 1) threads = {1, t};
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  const struct {
+    KernelId id;
+    const char* name;
+  } kernels[] = {{KernelId::kJacobi, "JACOBI"},
+                 {KernelId::kRedBlack, "REDBLACK"},
+                 {KernelId::kResid, "RESID"}};
+  const long sizes[] = {200, 300, 400};
+  const Transform transforms[] = {Transform::kOrig, Transform::kGcdPad};
+
+  for (const auto& kn : kernels) {
+    for (long n : sizes) {
+      for (Transform tr : transforms) {
+        for (SimdMode m : simd_modes) {
+          for (int t : threads) {
+            const std::string name =
+                std::string(kn.name) + "/" + std::to_string(n) + "/" +
+                std::string(rt::core::transform_name(tr)) + "/" +
+                rt::simd::simd_mode_name(m) + "/" + std::to_string(t);
+            benchmark::RegisterBenchmark(name.c_str(), BM_Kernel,
+                                         Cfg{kn.id, n, tr, m, t})
+                ->Unit(benchmark::kMillisecond);
+          }
+        }
+      }
+    }
+  }
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,7 +13,9 @@
 //
 // Flags: --threads=T sets the top of the thread sweep ({1, 2, 4, ..., T});
 // default sweep is {1, 2, 4}.  --nmax=N overrides the problem size
-// (default 400, the acceptance size); --host is implied.
+// (default 400, the acceptance size); --host is implied.  --simd=MODE
+// restricts the SIMD axis (default sweeps off AND auto, so the table shows
+// the scalar-vs-row-kernel gap at every thread count).
 
 #include <iostream>
 #include <map>
@@ -30,6 +32,8 @@
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
 #include "rt/par/par_kernels.hpp"
+#include "rt/simd/par_rows.hpp"
+#include "rt/simd/row_kernels.hpp"
 
 namespace {
 
@@ -113,6 +117,39 @@ bool verify_bit_identical(long n, long kd, int threads) {
       ok = false;
     }
   }
+  {  // Row kernels (serial and parallel) at the host's resolved auto level.
+    const auto lvl = rt::simd::resolve(rt::simd::SimdMode::kAuto);
+    Array3D<double> b1 = make_grid(d, 0.5), b2 = b1, b3 = b1;
+    Array3D<double> a1(d), a2(d), a3(d);
+    rt::kernels::jacobi3d_tiled(a1, b1, 1.0 / 6.0, plan.tile);
+    rt::kernels::copy_interior(b1, a1);
+    rt::simd::jacobi3d_tiled_rows(a2, b2, 1.0 / 6.0, plan.tile, lvl);
+    rt::simd::copy_interior_rows(b2, a2, lvl);
+    rt::simd::jacobi3d_tiled_rows_par(pool, a3, b3, 1.0 / 6.0, plan.tile,
+                                      lvl);
+    rt::simd::copy_interior_rows_par(pool, b3, a3, lvl);
+    if (!interiors_equal(a1, a2) || !interiors_equal(b1, b2) ||
+        !interiors_equal(a1, a3) || !interiors_equal(b1, b3)) {
+      std::cerr << "VERIFY FAILED: simd row JACOBI differs from accessor\n";
+      ok = false;
+    }
+    Array3D<double> v = make_grid(d, 0.7), u = make_grid(d, 0.1);
+    Array3D<double> r1(d), r2(d);
+    const auto a = rt::kernels::nas_mg_a();
+    rt::kernels::resid_tiled(r1, v, u, a, plan.tile);
+    rt::simd::resid_tiled_rows_par(pool, r2, v, u, a, plan.tile, lvl);
+    if (!interiors_equal(r1, r2)) {
+      std::cerr << "VERIFY FAILED: simd row RESID differs from accessor\n";
+      ok = false;
+    }
+    Array3D<double> c1 = make_grid(d, 0.3), c2 = c1;
+    rt::kernels::redblack_naive(c1, 0.4, 0.1);
+    rt::simd::redblack_tiled_rows_par(pool, c2, 0.4, 0.1, plan.tile, lvl);
+    if (!interiors_equal(c1, c2)) {
+      std::cerr << "VERIFY FAILED: simd row REDBLACK differs from accessor\n";
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -129,8 +166,13 @@ int main(int argc, char** argv) {
 
   const int vthreads = std::max(threads.back(), 4);
   if (!verify_bit_identical(n, ro.k_dim, vthreads)) return 1;
-  std::cout << "verified: parallel kernels bit-identical to serial at N=" << n
-            << " with " << vthreads << " threads\n\n";
+  std::cout << "verified: parallel + simd-row kernels bit-identical to "
+               "serial at N=" << n << " with " << vthreads << " threads\n\n";
+
+  const std::vector<rt::simd::SimdMode> simd_modes =
+      bo.simd_given ? std::vector<rt::simd::SimdMode>{bo.simd}
+                    : std::vector<rt::simd::SimdMode>{
+                          rt::simd::SimdMode::kOff, rt::simd::SimdMode::kAuto};
 
   const std::vector<Transform> transforms = {
       Transform::kOrig, Transform::kTile, Transform::kEuc3d,
@@ -145,29 +187,34 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> rows;
   for (const auto& kn : kernels) {
     for (Transform tr : transforms) {
-      double base_mflops = 0;
-      for (int t : threads) {
-        ro.threads = t;
-        const auto r = rt::bench::run_kernel(kn.kid, tr, n, ro);
-        if (t == 1) base_mflops = r.host_mflops;
-        const std::string tile =
-            r.plan.tiled ? std::to_string(r.plan.tile.ti) + "x" +
-                               std::to_string(r.plan.tile.tj)
-                         : "-";
-        rows.push_back({kn.name, std::string(rt::core::transform_name(tr)),
-                        tile, std::to_string(t),
-                        rt::bench::fmt(r.host_mflops, 1),
-                        rt::bench::fmt(base_mflops > 0
-                                           ? r.host_mflops / base_mflops
-                                           : 0.0,
-                                       2)});
+      for (rt::simd::SimdMode sm : simd_modes) {
+        ro.simd = sm;
+        double base_mflops = 0;
+        for (int t : threads) {
+          ro.threads = t;
+          const auto r = rt::bench::run_kernel(kn.kid, tr, n, ro);
+          if (t == 1) base_mflops = r.host_mflops;
+          const std::string tile =
+              r.plan.tiled ? std::to_string(r.plan.tile.ti) + "x" +
+                                 std::to_string(r.plan.tile.tj)
+                           : "-";
+          rows.push_back({kn.name, std::string(rt::core::transform_name(tr)),
+                          tile, rt::simd::simd_level_name(r.simd),
+                          std::to_string(t),
+                          rt::bench::fmt(r.host_mflops, 1),
+                          rt::bench::fmt(base_mflops > 0
+                                             ? r.host_mflops / base_mflops
+                                             : 0.0,
+                                         2)});
+        }
       }
     }
   }
   std::cout << "Thread scaling, N=" << n << " (K=" << ro.k_dim
             << "), host wall-clock:\n";
   rt::bench::print_table(
-      {"kernel", "transform", "tile", "threads", "MFlops", "speedup"}, rows);
+      {"kernel", "transform", "tile", "simd", "threads", "MFlops", "speedup"},
+      rows);
   std::cout << "\nspeedup is vs. the 1-thread run of the same (kernel, "
                "transform); hardware_concurrency on this host = "
             << rt::par::ThreadPool::default_threads() << "\n";

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Export host-perf kernel throughput as machine-readable JSON: runs
+# bench_kernels_hostperf (google-benchmark) and reshapes its JSON into a
+# flat record list {kernel, n, transform, simd, simd_level, threads,
+# mflops} — the schema tracked in results/BENCH_2.json.
+#
+# The benchmark names are "KERNEL/<n>/<transform>/<simd-mode>/<threads>";
+# `simd` is the requested mode (off/auto/avx2) split from the name, and
+# `simd_level` is the level that actually ran (the benchmark's label, e.g.
+# auto -> avx2 on an AVX2 host, scalar under off).
+#
+# Env overrides:
+#   BUILD_DIR  build tree containing bench/bench_kernels_hostperf (build)
+#   OUT        output path (results/BENCH_2.json)
+#   FILTER     --benchmark_filter regex (default "/200/": the N=200 rows
+#              the PR 2 acceptance compares at)
+# Extra arguments are forwarded to the benchmark binary (e.g. --threads=4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-results/BENCH_2.json}"
+FILTER="${FILTER:-/200/}"
+BIN="${BUILD_DIR}/bench/bench_kernels_hostperf"
+
+if [ ! -x "${BIN}" ]; then
+  echo "error: ${BIN} not found; build the bench_kernels_hostperf target" >&2
+  exit 1
+fi
+if ! command -v jq >/dev/null 2>&1; then
+  echo "error: jq is required" >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "${OUT}")"
+raw="$(mktemp)"
+trap 'rm -f "${raw}"' EXIT
+
+"${BIN}" "$@" --benchmark_filter="${FILTER}" --benchmark_format=json \
+  > "${raw}"
+
+jq '[.benchmarks[]
+     | (.name | split("/")) as $p
+     | {kernel: $p[0],
+        n: ($p[1] | tonumber),
+        transform: $p[2],
+        simd: $p[3],
+        simd_level: .label,
+        threads: ($p[4] | tonumber),
+        mflops: (.MFlops * 1000 | round / 1000)}]' "${raw}" > "${OUT}"
+
+echo "wrote $(jq length "${OUT}") records to ${OUT}"

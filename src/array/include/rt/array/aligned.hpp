@@ -1,0 +1,47 @@
+#pragma once
+// Minimal aligned allocator so Array3D/Array2D storage starts on a
+// cache-line (and vector-register) boundary.  std::vector's default
+// allocator only guarantees alignof(std::max_align_t) (16 on x86-64);
+// the rt::simd row kernels want 64-byte alignment so a row that starts
+// at a multiple of the vector width is genuinely aligned in memory, and
+// so arrays never straddle a cache line at element 0 (the cache-line
+// model rt::cachesim assumes when it places arrays at aligned bases).
+//
+// Alignment is a performance property only: kernels never require it
+// (all vector paths use unaligned loads), so results are identical
+// whatever the allocator returns.
+
+#include <cstddef>
+#include <new>
+
+namespace rt::array {
+
+/// C++17 aligned-new backed allocator.  Drop-in for std::allocator<T>.
+template <class T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two >= alignof(T)");
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Align};
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlign);
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace rt::array

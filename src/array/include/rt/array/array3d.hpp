@@ -9,12 +9,20 @@
 // p2 >= n2).  Element (i, j, k) lives at linear index i + p1*(j + p2*k).
 // Inter-array padding is handled by rt::array::AddressSpace.
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "rt/array/aligned.hpp"
+
 namespace rt::array {
+
+/// Storage vector shared by Array3D/Array2D: 64-byte-aligned so element 0
+/// sits on a cache-line boundary (see aligned.hpp).
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
 
 /// Logical + padded dimensions of a 3D array.  All values in elements.
 struct Dims3 {
@@ -90,7 +98,24 @@ class Array3D {
 
  private:
   Dims3 d_{};
-  std::vector<T> data_;
+  AlignedVector<T> data_;
+};
+
+/// Logical + padded dimensions of a 2D array (Dims3 analogue).
+struct Dims2 {
+  long n1 = 0;  ///< logical extent of the fastest (I) dimension
+  long n2 = 0;  ///< logical extent of the second (J) dimension
+  long p1 = 0;  ///< padded leading dimension, p1 >= n1
+
+  static constexpr Dims2 unpadded(long n1, long n2) {
+    return Dims2{n1, n2, n1};
+  }
+  static constexpr Dims2 padded(long n1, long n2, long p1) {
+    return Dims2{n1, n2, p1};
+  }
+  constexpr long alloc_elems() const { return p1 * n2; }
+  constexpr bool valid() const { return n1 > 0 && n2 > 0 && p1 >= n1; }
+  friend constexpr bool operator==(const Dims2&, const Dims2&) = default;
 };
 
 /// Column-major 2D array (used by the 2D-vs-3D motivation study).
@@ -98,11 +123,13 @@ template <class T>
 class Array2D {
  public:
   Array2D() = default;
-  Array2D(long n1, long n2, long p1 = -1)
-      : n1_(n1), n2_(n2), p1_(p1 < 0 ? n1 : p1),
-        data_(static_cast<std::size_t>(p1_ * n2), T{}) {
-    assert(n1 > 0 && n2 > 0 && p1_ >= n1);
+  explicit Array2D(Dims2 d, T init = T{})
+      : n1_(d.n1), n2_(d.n2), p1_(d.p1),
+        data_(static_cast<std::size_t>(d.alloc_elems()), init) {
+    assert(d.valid());
   }
+  Array2D(long n1, long n2, long p1 = -1)
+      : Array2D(Dims2{n1, n2, p1 < 0 ? n1 : p1}) {}
 
   long n1() const { return n1_; }
   long n2() const { return n2_; }
@@ -121,11 +148,15 @@ class Array2D {
   T load(long i, long j) const { return (*this)(i, j); }
   void store(long i, long j, T v) { (*this)(i, j) = v; }
 
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
   std::size_t size() const { return data_.size(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
  private:
   long n1_ = 0, n2_ = 0, p1_ = 0;
-  std::vector<T> data_;
+  AlignedVector<T> data_;
 };
 
 }  // namespace rt::array

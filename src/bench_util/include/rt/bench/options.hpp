@@ -8,9 +8,13 @@
 //   --host          also run host wall-clock timing
 //   --no-sim        skip cache simulation
 //   --threads=N     worker threads for host timing (parallel tiled kernels)
+//   --simd=MODE     host-timing SIMD fast path: off | auto | avx2
+//   --simd-align    round padded leading dims up to the vector width
 
 #include <string>
 #include <vector>
+
+#include "rt/simd/simd.hpp"
 
 namespace rt::bench {
 
@@ -21,6 +25,9 @@ struct BenchOptions {
   long nmin = 0, nmax = 0, nstep = 0;  // 0 = bench default
   int steps = 2;
   int threads = 0;  ///< --threads=N host-timing width (0 = flag not given)
+  rt::simd::SimdMode simd = rt::simd::SimdMode::kOff;  ///< --simd=MODE
+  bool simd_given = false;  ///< --simd= was on the command line
+  bool simd_align = false;  ///< --simd-align leading-dim rounding
   std::string csv;  ///< --csv=PATH: also append CSV blocks to this file
 
   /// Sweep of problem sizes honouring the defaults and overrides.

@@ -11,6 +11,7 @@
 #include "rt/cachesim/perf_model.hpp"
 #include "rt/core/plan.hpp"
 #include "rt/kernels/kernel_info.hpp"
+#include "rt/simd/simd.hpp"
 
 namespace rt::bench {
 
@@ -24,6 +25,14 @@ struct RunOptions {
   /// executes serially — TracedArray3D accessors mutate the shared cache
   /// hierarchy, and serial execution is what keeps traces deterministic.
   int threads = 1;
+  /// SIMD fast path for *host* timing: kOff runs the accessor kernels,
+  /// kAuto/kAvx2 dispatch to the rt::simd row kernels (bit-identical; see
+  /// rt/simd/row_kernels.hpp).  Trace-driven simulation always uses the
+  /// accessor kernels — TracedArray3D *is* the accessor concept.
+  rt::simd::SimdMode simd = rt::simd::SimdMode::kOff;
+  /// Opt-in: round the planned leading dimension up to the vector width
+  /// (rt::simd::align_leading) after the padding search.
+  bool simd_align = false;
   long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
   rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
   rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
@@ -44,6 +53,9 @@ struct RunResult {
   double sim_mflops = 0;    ///< perf-model MFlops (simulated machine)
   double host_mflops = 0;   ///< wall-clock MFlops on this host (0 if off)
   int threads = 1;          ///< execution width used for host timing
+  /// Resolved SIMD level the host timing actually ran (kScalar when the
+  /// accessor kernels ran, e.g. --simd=off or a kernel with no row path).
+  rt::simd::SimdLevel simd = rt::simd::SimdLevel::kScalar;
   std::uint64_t sim_accesses = 0;
   std::uint64_t sim_flops = 0;
   double mem_elems = 0;  ///< total allocated elements across all arrays

@@ -44,12 +44,21 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (a.rfind("--threads=", 0) == 0) {
       o.threads = static_cast<int>(num("--threads="));
       if (o.threads < 1) o.threads = 1;
+    } else if (a.rfind("--simd=", 0) == 0) {
+      if (!rt::simd::parse_simd_mode(a.substr(7), &o.simd)) {
+        std::cerr << "bad --simd value (want off|auto|avx2): " << a << "\n";
+        std::exit(2);
+      }
+      o.simd_given = true;
+    } else if (a == "--simd-align") {
+      o.simd_align = true;
     } else if (a.rfind("--csv=", 0) == 0) {
       o.csv = a.substr(6);
       set_csv_sink(o.csv);
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
-                   "--steps= --threads=N --csv=FILE\n";
+                   "--steps= --threads=N --simd=off|auto|avx2 --simd-align "
+                   "--csv=FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << a << "\n";

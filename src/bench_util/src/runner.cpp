@@ -1,6 +1,7 @@
 #include "rt/bench/runner.hpp"
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
@@ -15,6 +16,8 @@
 #include "rt/multigrid/operators.hpp"
 #include "rt/par/par_kernels.hpp"
 #include "rt/par/thread_pool.hpp"
+#include "rt/simd/par_rows.hpp"
+#include "rt/simd/row_kernels.hpp"
 
 namespace rt::bench {
 
@@ -149,6 +152,11 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
   const rt::kernels::KernelInfo& info = rt::kernels::kernel_info(id);
   RunResult res;
   res.plan = plan;
+  if (opts.simd_align) {
+    // Opt-in vector alignment: round the allocation's leading dimension up
+    // after the padding search (never changes which pad the planner chose).
+    res.plan.dip = rt::simd::align_leading(res.plan.dip);
+  }
 
   const long kd = opts.k_dim;
   const Dims3 dims = Dims3::padded(n, n, kd, res.plan.dip, res.plan.djp);
@@ -212,78 +220,151 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
 
   if (opts.time_host) {
     // threads > 1 dispatches the native arrays to the rt::par kernels over
-    // the JI tile grid (or over K planes for untiled plans).  PSINV has no
-    // parallel variant yet and times serially regardless.
+    // the JI tile grid (or over K planes for untiled plans); --simd=auto/
+    // avx2 swaps the accessor loops for the rt::simd row sweeps in both
+    // the serial and the parallel case (bit-identical either way).  PSINV
+    // has no parallel or row variant yet and times serially regardless.
+    using rt::simd::SimdLevel;
     std::unique_ptr<rt::par::ThreadPool> pool;
     if (opts.threads > 1 && id != KernelId::kPsinv) {
       pool = std::make_unique<rt::par::ThreadPool>(opts.threads);
       res.threads = pool->num_threads();
     }
+    const SimdLevel lvl = id == KernelId::kPsinv
+                              ? SimdLevel::kScalar
+                              : rt::simd::resolve(opts.simd);
+    res.simd = lvl;
+    const bool tiled = res.plan.tiled;
+    const rt::core::IterTile tile = res.plan.tile;
+    std::function<void()> step;
     switch (id) {
       case KernelId::kJacobi: {
-        JacobiStep s{1.0 / 6.0, res.plan};
-        auto par_step = [&] {
-          if (res.plan.tiled) {
-            rt::par::jacobi3d_tiled_par(*pool, arrays[0], arrays[1], s.c,
-                                        res.plan.tile);
-          } else {
-            rt::par::jacobi3d_par(*pool, arrays[0], arrays[1], s.c);
-          }
-          rt::par::copy_interior_par(*pool, arrays[1], arrays[0]);
-        };
-        res.host_mflops =
-            pool ? time_host_mflops(par_step, fl_step, opts.min_host_seconds)
-                 : time_host_mflops([&] { s(arrays[0], arrays[1]); }, fl_step,
-                                    opts.min_host_seconds);
+        const double c = 1.0 / 6.0;
+        if (lvl != SimdLevel::kScalar && pool) {
+          step = [&, c, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::jacobi3d_tiled_rows_par(*pool, arrays[0], arrays[1],
+                                                c, tile, lvl);
+            } else {
+              rt::simd::jacobi3d_rows_par(*pool, arrays[0], arrays[1], c,
+                                          lvl);
+            }
+            rt::simd::copy_interior_rows_par(*pool, arrays[1], arrays[0],
+                                             lvl);
+          };
+        } else if (lvl != SimdLevel::kScalar) {
+          step = [&, c, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::jacobi3d_tiled_rows(arrays[0], arrays[1], c, tile,
+                                            lvl);
+            } else {
+              rt::simd::jacobi3d_rows(arrays[0], arrays[1], c, lvl);
+            }
+            rt::simd::copy_interior_rows(arrays[1], arrays[0], lvl);
+          };
+        } else if (pool) {
+          step = [&, c, tiled, tile] {
+            if (tiled) {
+              rt::par::jacobi3d_tiled_par(*pool, arrays[0], arrays[1], c,
+                                          tile);
+            } else {
+              rt::par::jacobi3d_par(*pool, arrays[0], arrays[1], c);
+            }
+            rt::par::copy_interior_par(*pool, arrays[1], arrays[0]);
+          };
+        } else {
+          step = [&] { JacobiStep{1.0 / 6.0, res.plan}(arrays[0], arrays[1]); };
+        }
         break;
       }
       case KernelId::kRedBlack: {
-        RedBlackStep s{0.4, 0.1, res.plan};
-        auto par_step = [&] {
-          if (res.plan.tiled) {
-            rt::par::redblack_tiled_par(*pool, arrays[0], s.c1, s.c2,
-                                        res.plan.tile);
-          } else {
-            rt::par::redblack_par(*pool, arrays[0], s.c1, s.c2);
-          }
-        };
-        res.host_mflops =
-            pool ? time_host_mflops(par_step, fl_step, opts.min_host_seconds)
-                 : time_host_mflops([&] { s(arrays[0]); }, fl_step,
-                                    opts.min_host_seconds);
+        const double c1 = 0.4, c2 = 0.1;
+        if (lvl != SimdLevel::kScalar && pool) {
+          step = [&, c1, c2, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::redblack_tiled_rows_par(*pool, arrays[0], c1, c2,
+                                                tile, lvl);
+            } else {
+              rt::simd::redblack_rows_par(*pool, arrays[0], c1, c2, lvl);
+            }
+          };
+        } else if (lvl != SimdLevel::kScalar) {
+          step = [&, c1, c2, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::redblack_tiled_rows(arrays[0], c1, c2, tile, lvl);
+            } else {
+              rt::simd::redblack_rows(arrays[0], c1, c2, lvl);
+            }
+          };
+        } else if (pool) {
+          step = [&, c1, c2, tiled, tile] {
+            if (tiled) {
+              rt::par::redblack_tiled_par(*pool, arrays[0], c1, c2, tile);
+            } else {
+              rt::par::redblack_par(*pool, arrays[0], c1, c2);
+            }
+          };
+        } else {
+          step = [&] { RedBlackStep{0.4, 0.1, res.plan}(arrays[0]); };
+        }
         break;
       }
       case KernelId::kResid: {
-        ResidStep s{rt::kernels::nas_mg_a(), res.plan};
-        auto par_step = [&] {
-          if (res.plan.tiled) {
-            rt::par::resid_tiled_par(*pool, arrays[0], arrays[1], arrays[2],
-                                     s.a, res.plan.tile);
-          } else {
-            rt::par::resid_par(*pool, arrays[0], arrays[1], arrays[2], s.a);
-          }
-        };
-        res.host_mflops =
-            pool ? time_host_mflops(par_step, fl_step, opts.min_host_seconds)
-                 : time_host_mflops(
-                       [&] { s(arrays[0], arrays[1], arrays[2]); }, fl_step,
-                       opts.min_host_seconds);
+        const auto a = rt::kernels::nas_mg_a();
+        if (lvl != SimdLevel::kScalar && pool) {
+          step = [&, a, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::resid_tiled_rows_par(*pool, arrays[0], arrays[1],
+                                             arrays[2], a, tile, lvl);
+            } else {
+              rt::simd::resid_rows_par(*pool, arrays[0], arrays[1],
+                                       arrays[2], a, lvl);
+            }
+          };
+        } else if (lvl != SimdLevel::kScalar) {
+          step = [&, a, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::resid_tiled_rows(arrays[0], arrays[1], arrays[2], a,
+                                         tile, lvl);
+            } else {
+              rt::simd::resid_rows(arrays[0], arrays[1], arrays[2], a, lvl);
+            }
+          };
+        } else if (pool) {
+          step = [&, a, tiled, tile] {
+            if (tiled) {
+              rt::par::resid_tiled_par(*pool, arrays[0], arrays[1],
+                                       arrays[2], a, tile);
+            } else {
+              rt::par::resid_par(*pool, arrays[0], arrays[1], arrays[2], a);
+            }
+          };
+        } else {
+          step = [&] {
+            ResidStep{rt::kernels::nas_mg_a(), res.plan}(arrays[0], arrays[1],
+                                                         arrays[2]);
+          };
+        }
         break;
       }
       case KernelId::kPsinv: {
-        PsinvStep s{rt::multigrid::nas_mg_c(), res.plan};
-        res.host_mflops = time_host_mflops([&] { s(arrays[0], arrays[1]); },
-                                           fl_step, opts.min_host_seconds);
+        step = [&] {
+          PsinvStep{rt::multigrid::nas_mg_c(), res.plan}(arrays[0],
+                                                         arrays[1]);
+        };
         break;
       }
     }
+    res.host_mflops =
+        time_host_mflops(step, fl_step, opts.min_host_seconds);
   }
   return res;
 }
 
 MissRates run_jacobi2d_missrates(long n, const RunOptions& opts, long p1) {
   if (p1 <= 0) p1 = n;
-  Array2D<double> a(n, n, p1), b(n, n, p1);
+  const rt::array::Dims2 d2 = rt::array::Dims2::padded(n, n, p1);
+  Array2D<double> a(d2), b(d2);
   for (long j = 0; j < n; ++j) {
     for (long i = 0; i < n; ++i) {
       b(i, j) = 0.001 * static_cast<double>(i + j);

@@ -1,0 +1,106 @@
+#pragma once
+// rt::par x rt::simd composition: the parallel work decomposition of
+// rt/par/par_kernels.hpp (JI tile grid for tiled kernels, K planes for
+// untiled ones) with each work item executing a row sweep instead of
+// accessor loops.  Same bit-identity argument as rt::par — work items
+// write disjoint (i, j) ranges or disjoint planes, every read is of data
+// no concurrent item writes, and parallel_for's barrier sequences the
+// red/black colours — composed with the row kernels' own identity to the
+// accessor kernels.  Net: for any thread count and any SimdLevel these
+// produce the exact bits of the serial accessor kernels.
+
+#include "rt/par/par_kernels.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/simd/row_kernels.hpp"
+
+namespace rt::simd {
+
+using rt::par::ThreadPool;
+
+/// Parallel tiled Jacobi, row sweeps: each tile runs its full-K column
+/// sweep through jacobi_sweep.  == rt::kernels::jacobi3d_tiled bitwise.
+inline void jacobi3d_tiled_rows_par(ThreadPool& pool, Array3D<double>& a,
+                                    const Array3D<double>& b, double c,
+                                    IterTile t, SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  rt::par::parallel_for_tiles(pool, 1, n1 - 1, 1, n2 - 1, t,
+                              [&](long ii, long ihi, long jj, long jhi) {
+                                jacobi_sweep(a, b, c, ii, ihi, jj, jhi, 1,
+                                             n3 - 1, lvl);
+                              });
+}
+
+/// Parallel untiled Jacobi, one K plane of rows per work item.
+inline void jacobi3d_rows_par(ThreadPool& pool, Array3D<double>& a,
+                              const Array3D<double>& b, double c,
+                              SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    jacobi_sweep(a, b, c, 1, n1 - 1, 1, n2 - 1, kk + 1, kk + 2, lvl);
+  });
+}
+
+/// Parallel interior copy-back, one K plane of rows per work item.
+inline void copy_interior_rows_par(ThreadPool& pool, Array3D<double>& dst,
+                                   const Array3D<double>& src,
+                                   SimdLevel lvl) {
+  const long n1 = dst.n1(), n2 = dst.n2(), n3 = dst.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    copy_sweep(dst, src, 1, n1 - 1, 1, n2 - 1, kk + 1, kk + 2, lvl);
+  });
+}
+
+/// Parallel tiled red-black, row sweeps, colour barrier between passes.
+inline void redblack_tiled_rows_par(ThreadPool& pool, Array3D<double>& a,
+                                    double c1, double c2, IterTile t,
+                                    SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    rt::par::parallel_for_tiles(
+        pool, 1, n1 - 1, 1, n2 - 1, t,
+        [&](long ii, long ihi, long jj, long jhi) {
+          redblack_sweep(a, c1, c2, parity, ii, ihi, jj, jhi, 1, n3 - 1,
+                         lvl);
+        });  // barrier: all red before any black
+  }
+}
+
+/// Parallel untiled red-black, K planes per colour (same-colour
+/// neighbours are two planes apart, so planes of one colour pass are
+/// write-disjoint from everything they read).
+inline void redblack_rows_par(ThreadPool& pool, Array3D<double>& a,
+                              double c1, double c2, SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    pool.parallel_for(n3 - 2, [&](long kk) {
+      redblack_sweep(a, c1, c2, parity, 1, n1 - 1, 1, n2 - 1, kk + 1,
+                     kk + 2, lvl);
+    });
+  }
+}
+
+/// Parallel tiled RESID, row sweeps.
+inline void resid_tiled_rows_par(ThreadPool& pool, Array3D<double>& r,
+                                 const Array3D<double>& v,
+                                 const Array3D<double>& u,
+                                 const rt::kernels::ResidCoeffs& a,
+                                 IterTile t, SimdLevel lvl) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  rt::par::parallel_for_tiles(pool, 1, n1 - 1, 1, n2 - 1, t,
+                              [&](long ii, long ihi, long jj, long jhi) {
+                                resid_sweep(r, v, u, a, ii, ihi, jj, jhi, 1,
+                                            n3 - 1, lvl);
+                              });
+}
+
+/// Parallel untiled RESID, K planes of rows.
+inline void resid_rows_par(ThreadPool& pool, Array3D<double>& r,
+                           const Array3D<double>& v, const Array3D<double>& u,
+                           const rt::kernels::ResidCoeffs& a, SimdLevel lvl) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    resid_sweep(r, v, u, a, 1, n1 - 1, 1, n2 - 1, kk + 1, kk + 2, lvl);
+  });
+}
+
+}  // namespace rt::simd

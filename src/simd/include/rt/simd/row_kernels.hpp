@@ -1,0 +1,99 @@
+#pragma once
+// Raw-pointer row-sweep variants of the paper's stencil kernels.
+//
+// The accessor kernels (rt/kernels/*.hpp) address every point through
+// load(i, j, k), recomputing i + p1*(j + p2*k) per access.  The row
+// kernels instead materialise, once per (j, k) row, one restrict-qualified
+// pointer per distinct stencil row — e.g. Jacobi needs the centre row of B
+// plus its four neighbour rows — and sweep the contiguous I range with a
+// `#pragma omp simd` hint.  The I loop is contiguous by construction in
+// the column-major Array3D, so the compiler auto-vectorizes it; because
+// vectorizing across I preserves each element's own operation order, the
+// results are bit-identical to the accessor kernels for every SimdLevel
+// (asserted exhaustively by tests/simd_kernels_test.cpp).
+//
+// Two ISA instantiations of every sweep are compiled (baseline, and a
+// target("avx2") clone on x86); SimdLevel picks one at run time, so no
+// global -mavx2 build flag is needed.  Building with -DRT_SIMD_AVX2=ON
+// additionally swaps the Jacobi/copy AVX2 sweeps for hand-written
+// intrinsics (same left-associated add chain, still bit-identical).
+//
+// Aliasing contract: destination and source arrays must be distinct
+// allocations (the accessor kernels are only ever used that way too);
+// red-black updates in place, where the row decomposition itself
+// guarantees the written row is disjoint from the neighbour rows read
+// through other pointers.
+//
+// The *_sweep functions cover the interior sub-box [ilo,ihi) x [jlo,jhi)
+// x [klo,khi); they are the composition point with rt::par — each
+// parallel tile or plane work item calls one sweep (rt/simd/par_rows.hpp).
+
+#include "rt/array/array3d.hpp"
+#include "rt/core/cost.hpp"
+#include "rt/kernels/resid.hpp"
+#include "rt/simd/simd.hpp"
+
+namespace rt::simd {
+
+using rt::array::Array3D;
+using rt::core::IterTile;
+
+// --- Mid-level sweeps over an interior sub-box (par composition unit) ---
+
+/// a(i,j,k) = c * (six face neighbours of b); a and b share dims.
+void jacobi_sweep(Array3D<double>& a, const Array3D<double>& b, double c,
+                  long ilo, long ihi, long jlo, long jhi, long klo, long khi,
+                  SimdLevel lvl);
+
+/// dst = src over the box.
+void copy_sweep(Array3D<double>& dst, const Array3D<double>& src, long ilo,
+                long ihi, long jlo, long jhi, long klo, long khi,
+                SimdLevel lvl);
+
+/// One colour of red-black SOR over the box ((i+j+k) % 2 == parity).
+void redblack_sweep(Array3D<double>& a, double c1, double c2, long parity,
+                    long ilo, long ihi, long jlo, long jhi, long klo,
+                    long khi, SimdLevel lvl);
+
+/// r = v - A u (27-point RESID) over the box; r, v, u share dims.
+void resid_sweep(Array3D<double>& r, const Array3D<double>& v,
+                 const Array3D<double>& u, const rt::kernels::ResidCoeffs& a,
+                 long ilo, long ihi, long jlo, long jhi, long klo, long khi,
+                 SimdLevel lvl);
+
+// --- Full kernels, bit-identical to their rt::kernels counterparts ---
+
+/// == rt::kernels::jacobi3d.
+void jacobi3d_rows(Array3D<double>& a, const Array3D<double>& b, double c,
+                   SimdLevel lvl);
+
+/// == rt::kernels::jacobi3d_tiled (same jj-outer / ii-inner tile walk).
+void jacobi3d_tiled_rows(Array3D<double>& a, const Array3D<double>& b,
+                         double c, IterTile t, SimdLevel lvl);
+
+/// == rt::kernels::copy_interior.
+void copy_interior_rows(Array3D<double>& dst, const Array3D<double>& src,
+                        SimdLevel lvl);
+
+/// == rt::kernels::redblack_naive (two-pass colour schedule).
+void redblack_rows(Array3D<double>& a, double c1, double c2, SimdLevel lvl);
+
+/// Tiled two-pass red-black over the JI tile grid.  Uses the same
+/// colour-barrier schedule as rt::par::redblack_tiled_par, which is
+/// bit-identical to redblack_naive *and* to the serial fused
+/// redblack_tiled (within one colour no update reads same-colour values).
+void redblack_tiled_rows(Array3D<double>& a, double c1, double c2, IterTile t,
+                         SimdLevel lvl);
+
+/// == rt::kernels::resid.
+void resid_rows(Array3D<double>& r, const Array3D<double>& v,
+                const Array3D<double>& u, const rt::kernels::ResidCoeffs& a,
+                SimdLevel lvl);
+
+/// == rt::kernels::resid_tiled.
+void resid_tiled_rows(Array3D<double>& r, const Array3D<double>& v,
+                      const Array3D<double>& u,
+                      const rt::kernels::ResidCoeffs& a, IterTile t,
+                      SimdLevel lvl);
+
+}  // namespace rt::simd

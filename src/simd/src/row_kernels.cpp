@@ -1,0 +1,228 @@
+#include "rt/simd/row_kernels.hpp"
+
+#include <cassert>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RT_SIMD_X86 1
+#else
+#define RT_SIMD_X86 0
+#endif
+
+#if RT_SIMD_X86 && defined(RT_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace rt::simd {
+namespace {
+
+#define RT_SIMD_RESTRICT __restrict__
+#define RT_SIMD_CAT2(a, b) a##_##b
+#define RT_SIMD_CAT(a, b) RT_SIMD_CAT2(a, b)
+
+// Baseline-ISA stamp (whatever the build targets; x86-64 baseline = SSE2).
+#define RT_SIMD_FN(name) RT_SIMD_CAT(name, base)
+#define RT_SIMD_ATTR
+#include "row_sweeps.inl"
+#undef RT_SIMD_FN
+#undef RT_SIMD_ATTR
+
+#if RT_SIMD_X86
+// AVX2 stamp: same loop bodies re-vectorized 4-wide.  target("avx2") does
+// not enable FMA, so no contraction can change the add/mul sequence — the
+// clone stays bit-identical to the baseline stamp.
+#define RT_SIMD_FN(name) RT_SIMD_CAT(name, avx2)
+#define RT_SIMD_ATTR __attribute__((target("avx2")))
+#include "row_sweeps.inl"
+#undef RT_SIMD_FN
+#undef RT_SIMD_ATTR
+
+#ifdef RT_SIMD_AVX2
+// Hand-written intrinsics for the Jacobi row (the optional RT_SIMD_AVX2
+// path): explicit left-associated add chain, exactly the accessor order
+// c * (b[i-1] + b[i+1] + bjm + bjp + bkm + bkp), mul and add kept separate
+// (no FMA) so each lane reproduces the scalar bit pattern.
+__attribute__((target("avx2"))) void jacobi_sweep_intrin(
+    double* RT_SIMD_RESTRICT a, const double* RT_SIMD_RESTRICT b, long s1,
+    long s2, double c, long ilo, long ihi, long jlo, long jhi, long klo,
+    long khi) {
+  const __m256d vc = _mm256_set1_pd(c);
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      const long off = s1 * j + s2 * k;
+      double* RT_SIMD_RESTRICT ar = a + off;
+      const double* RT_SIMD_RESTRICT bc = b + off;
+      long i = ilo;
+      for (; i + 4 <= ihi; i += 4) {
+        __m256d s = _mm256_add_pd(_mm256_loadu_pd(bc + i - 1),
+                                  _mm256_loadu_pd(bc + i + 1));
+        s = _mm256_add_pd(s, _mm256_loadu_pd(bc + i - s1));
+        s = _mm256_add_pd(s, _mm256_loadu_pd(bc + i + s1));
+        s = _mm256_add_pd(s, _mm256_loadu_pd(bc + i - s2));
+        s = _mm256_add_pd(s, _mm256_loadu_pd(bc + i + s2));
+        _mm256_storeu_pd(ar + i, _mm256_mul_pd(vc, s));
+      }
+      for (; i < ihi; ++i) {
+        ar[i] = c * (bc[i - 1] + bc[i + 1] + bc[i - s1] + bc[i + s1] +
+                     bc[i - s2] + bc[i + s2]);
+      }
+    }
+  }
+}
+#endif  // RT_SIMD_AVX2
+#endif  // RT_SIMD_X86
+
+/// True when the AVX2 stamp should run: requested *and* executable here.
+bool run_avx2(SimdLevel lvl) {
+#if RT_SIMD_X86
+  return lvl == SimdLevel::kAvx2 && avx2_supported();
+#else
+  (void)lvl;
+  return false;
+#endif
+}
+
+}  // namespace
+
+void jacobi_sweep(Array3D<double>& a, const Array3D<double>& b, double c,
+                  long ilo, long ihi, long jlo, long jhi, long klo, long khi,
+                  SimdLevel lvl) {
+  assert(a.dims() == b.dims());
+  const long s1 = a.dims().column_stride(), s2 = a.dims().plane_stride();
+#if RT_SIMD_X86
+  if (run_avx2(lvl)) {
+#ifdef RT_SIMD_AVX2
+    jacobi_sweep_intrin(a.data(), b.data(), s1, s2, c, ilo, ihi, jlo, jhi,
+                        klo, khi);
+#else
+    jacobi_sweep_avx2(a.data(), b.data(), s1, s2, c, ilo, ihi, jlo, jhi, klo,
+                      khi);
+#endif
+    return;
+  }
+#endif
+  (void)lvl;
+  jacobi_sweep_base(a.data(), b.data(), s1, s2, c, ilo, ihi, jlo, jhi, klo,
+                    khi);
+}
+
+void copy_sweep(Array3D<double>& dst, const Array3D<double>& src, long ilo,
+                long ihi, long jlo, long jhi, long klo, long khi,
+                SimdLevel lvl) {
+  assert(dst.dims() == src.dims());
+  const long s1 = dst.dims().column_stride(), s2 = dst.dims().plane_stride();
+#if RT_SIMD_X86
+  if (run_avx2(lvl)) {
+    copy_sweep_avx2(dst.data(), src.data(), s1, s2, ilo, ihi, jlo, jhi, klo,
+                    khi);
+    return;
+  }
+#endif
+  (void)lvl;
+  copy_sweep_base(dst.data(), src.data(), s1, s2, ilo, ihi, jlo, jhi, klo,
+                  khi);
+}
+
+void redblack_sweep(Array3D<double>& a, double c1, double c2, long parity,
+                    long ilo, long ihi, long jlo, long jhi, long klo,
+                    long khi, SimdLevel lvl) {
+  const long s1 = a.dims().column_stride(), s2 = a.dims().plane_stride();
+#if RT_SIMD_X86
+  if (run_avx2(lvl)) {
+    redblack_sweep_avx2(a.data(), s1, s2, c1, c2, parity, ilo, ihi, jlo, jhi,
+                        klo, khi);
+    return;
+  }
+#endif
+  (void)lvl;
+  redblack_sweep_base(a.data(), s1, s2, c1, c2, parity, ilo, ihi, jlo, jhi,
+                      klo, khi);
+}
+
+void resid_sweep(Array3D<double>& r, const Array3D<double>& v,
+                 const Array3D<double>& u, const rt::kernels::ResidCoeffs& a,
+                 long ilo, long ihi, long jlo, long jhi, long klo, long khi,
+                 SimdLevel lvl) {
+  assert(r.dims() == v.dims() && r.dims() == u.dims());
+  const long s1 = r.dims().column_stride(), s2 = r.dims().plane_stride();
+#if RT_SIMD_X86
+  if (run_avx2(lvl)) {
+    resid_sweep_avx2(r.data(), v.data(), u.data(), s1, s2, a[0], a[1], a[2],
+                     a[3], ilo, ihi, jlo, jhi, klo, khi);
+    return;
+  }
+#endif
+  (void)lvl;
+  resid_sweep_base(r.data(), v.data(), u.data(), s1, s2, a[0], a[1], a[2],
+                   a[3], ilo, ihi, jlo, jhi, klo, khi);
+}
+
+void jacobi3d_rows(Array3D<double>& a, const Array3D<double>& b, double c,
+                   SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  jacobi_sweep(a, b, c, 1, n1 - 1, 1, n2 - 1, 1, n3 - 1, lvl);
+}
+
+void jacobi3d_tiled_rows(Array3D<double>& a, const Array3D<double>& b,
+                         double c, IterTile t, SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  if (t.ti <= 0 || t.tj <= 0) return;
+  for (long jj = 1; jj < n2 - 1; jj += t.tj) {
+    const long jhi = std::min(jj + t.tj, n2 - 1);
+    for (long ii = 1; ii < n1 - 1; ii += t.ti) {
+      const long ihi = std::min(ii + t.ti, n1 - 1);
+      jacobi_sweep(a, b, c, ii, ihi, jj, jhi, 1, n3 - 1, lvl);
+    }
+  }
+}
+
+void copy_interior_rows(Array3D<double>& dst, const Array3D<double>& src,
+                        SimdLevel lvl) {
+  const long n1 = dst.n1(), n2 = dst.n2(), n3 = dst.n3();
+  copy_sweep(dst, src, 1, n1 - 1, 1, n2 - 1, 1, n3 - 1, lvl);
+}
+
+void redblack_rows(Array3D<double>& a, double c1, double c2, SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    redblack_sweep(a, c1, c2, parity, 1, n1 - 1, 1, n2 - 1, 1, n3 - 1, lvl);
+  }
+}
+
+void redblack_tiled_rows(Array3D<double>& a, double c1, double c2, IterTile t,
+                         SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  if (t.ti <= 0 || t.tj <= 0) return;
+  for (long parity = 0; parity < 2; ++parity) {
+    for (long jj = 1; jj < n2 - 1; jj += t.tj) {
+      const long jhi = std::min(jj + t.tj, n2 - 1);
+      for (long ii = 1; ii < n1 - 1; ii += t.ti) {
+        const long ihi = std::min(ii + t.ti, n1 - 1);
+        redblack_sweep(a, c1, c2, parity, ii, ihi, jj, jhi, 1, n3 - 1, lvl);
+      }
+    }
+  }
+}
+
+void resid_rows(Array3D<double>& r, const Array3D<double>& v,
+                const Array3D<double>& u, const rt::kernels::ResidCoeffs& a,
+                SimdLevel lvl) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  resid_sweep(r, v, u, a, 1, n1 - 1, 1, n2 - 1, 1, n3 - 1, lvl);
+}
+
+void resid_tiled_rows(Array3D<double>& r, const Array3D<double>& v,
+                      const Array3D<double>& u,
+                      const rt::kernels::ResidCoeffs& a, IterTile t,
+                      SimdLevel lvl) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  if (t.ti <= 0 || t.tj <= 0) return;
+  for (long jj = 1; jj < n2 - 1; jj += t.tj) {
+    const long jhi = std::min(jj + t.tj, n2 - 1);
+    for (long ii = 1; ii < n1 - 1; ii += t.ti) {
+      const long ihi = std::min(ii + t.ti, n1 - 1);
+      resid_sweep(r, v, u, a, ii, ihi, jj, jhi, 1, n3 - 1, lvl);
+    }
+  }
+}
+
+}  // namespace rt::simd

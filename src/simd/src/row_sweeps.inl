@@ -1,0 +1,106 @@
+// Row-sweep loop bodies, textually stamped once per instruction set by
+// row_kernels.cpp: the including TU defines RT_SIMD_FN(name) (appends the
+// ISA suffix) and RT_SIMD_ATTR (empty, or a target("...") attribute under
+// which GCC/Clang re-vectorize these exact loops for the wider ISA).
+// Keeping one source of truth for the loop bodies is what guarantees the
+// ISA variants stay bit-identical to each other: the floating-point
+// expressions below are *the* definition, and every stamp executes them
+// with the same per-element operation order (vectorization across the
+// contiguous I dimension never reassociates within an element).
+//
+// The expressions must mirror the accessor kernels term for term —
+// jacobi3d's sum order differs from rb_update's, and resid_point's s1/s2/
+// s3 groups have a fixed neighbour sequence; do not "tidy" them.
+
+RT_SIMD_ATTR void RT_SIMD_FN(jacobi_sweep)(
+    double* RT_SIMD_RESTRICT a, const double* RT_SIMD_RESTRICT b, long s1,
+    long s2, double c, long ilo, long ihi, long jlo, long jhi, long klo,
+    long khi) {
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      const long off = s1 * j + s2 * k;
+      double* RT_SIMD_RESTRICT ar = a + off;
+      const double* RT_SIMD_RESTRICT bc = b + off;
+      const double* RT_SIMD_RESTRICT bjm = bc - s1;
+      const double* RT_SIMD_RESTRICT bjp = bc + s1;
+      const double* RT_SIMD_RESTRICT bkm = bc - s2;
+      const double* RT_SIMD_RESTRICT bkp = bc + s2;
+#pragma omp simd
+      for (long i = ilo; i < ihi; ++i) {
+        ar[i] = c * (bc[i - 1] + bc[i + 1] + bjm[i] + bjp[i] + bkm[i] +
+                     bkp[i]);
+      }
+    }
+  }
+}
+
+RT_SIMD_ATTR void RT_SIMD_FN(copy_sweep)(
+    double* RT_SIMD_RESTRICT dst, const double* RT_SIMD_RESTRICT src,
+    long s1, long s2, long ilo, long ihi, long jlo, long jhi, long klo,
+    long khi) {
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      const long off = s1 * j + s2 * k;
+      double* RT_SIMD_RESTRICT d = dst + off;
+      const double* RT_SIMD_RESTRICT s = src + off;
+#pragma omp simd
+      for (long i = ilo; i < ihi; ++i) d[i] = s[i];
+    }
+  }
+}
+
+RT_SIMD_ATTR void RT_SIMD_FN(redblack_sweep)(
+    double* RT_SIMD_RESTRICT a, long s1, long s2, double c1, double c2,
+    long parity, long ilo, long ihi, long jlo, long jhi, long klo,
+    long khi) {
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      double* RT_SIMD_RESTRICT ar = a + s1 * j + s2 * k;
+      const double* RT_SIMD_RESTRICT ajm = ar - s1;
+      const double* RT_SIMD_RESTRICT ajp = ar + s1;
+      const double* RT_SIMD_RESTRICT akm = ar - s2;
+      const double* RT_SIMD_RESTRICT akp = ar + s2;
+      // First i >= ilo with (i + j + k) % 2 == parity, then stride 2:
+      // within one colour the row never reads what it writes (all six
+      // neighbours are the opposite colour).
+      for (long i = ilo + (((ilo + j + k) ^ parity) & 1); i < ihi; i += 2) {
+        ar[i] = c1 * ar[i] + c2 * (ar[i - 1] + ajm[i] + ar[i + 1] + ajp[i] +
+                                   akm[i] + akp[i]);
+      }
+    }
+  }
+}
+
+RT_SIMD_ATTR void RT_SIMD_FN(resid_sweep)(
+    double* RT_SIMD_RESTRICT r, const double* RT_SIMD_RESTRICT v,
+    const double* RT_SIMD_RESTRICT u, long s1, long s2, double a0, double a1,
+    double a2, double a3, long ilo, long ihi, long jlo, long jhi, long klo,
+    long khi) {
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      const long off = s1 * j + s2 * k;
+      double* RT_SIMD_RESTRICT rr = r + off;
+      const double* RT_SIMD_RESTRICT vv = v + off;
+      const double* RT_SIMD_RESTRICT u00 = u + off;
+      const double* RT_SIMD_RESTRICT ujm = u00 - s1;
+      const double* RT_SIMD_RESTRICT ujp = u00 + s1;
+      const double* RT_SIMD_RESTRICT ukm = u00 - s2;
+      const double* RT_SIMD_RESTRICT ukp = u00 + s2;
+      const double* RT_SIMD_RESTRICT umm = u00 - s1 - s2;
+      const double* RT_SIMD_RESTRICT upm = u00 + s1 - s2;
+      const double* RT_SIMD_RESTRICT ump = u00 - s1 + s2;
+      const double* RT_SIMD_RESTRICT upp = u00 + s1 + s2;
+#pragma omp simd
+      for (long i = ilo; i < ihi; ++i) {
+        const double t1 = u00[i - 1] + u00[i + 1] + ujm[i] + ujp[i] +
+                          ukm[i] + ukp[i];
+        const double t2 = ujm[i - 1] + ujm[i + 1] + ujp[i - 1] + ujp[i + 1] +
+                          umm[i] + upm[i] + ump[i] + upp[i] + ukm[i - 1] +
+                          ukp[i - 1] + ukm[i + 1] + ukp[i + 1];
+        const double t3 = umm[i - 1] + umm[i + 1] + upm[i - 1] + upm[i + 1] +
+                          ump[i - 1] + ump[i + 1] + upp[i - 1] + upp[i + 1];
+        rr[i] = vv[i] - a0 * u00[i] - a1 * t1 - a2 * t2 - a3 * t3;
+      }
+    }
+  }
+}

@@ -48,6 +48,38 @@ INSTANTIATE_TEST_SUITE_P(Tiles, CopyOpt,
                                            IterTile{18, 18}, IterTile{1, 1},
                                            IterTile{7, 18}, IterTile{18, 7}));
 
+/// Non-cubic and minimum-size grids: the tile walk, the rolling-plane
+/// window, and the halo copies must all respect n1 != n2 != n3 — a
+/// transposed extent bug would survive the cubic suite above.
+struct Shape {
+  long n1, n2, n3, ti, tj;
+};
+
+class CopyOptShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CopyOptShapes, MatchesPlainKernelBitwise) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  const IterTile t{ti, tj};
+  Array3D<double> b = make_grid(n1, n2, n3, 0.4);
+  Array3D<double> a1(n1, n2, n3), a2(n1, n2, n3);
+  Array3D<double> buf(t.ti + 2, t.tj + 2, 3);
+  jacobi3d(a1, b, 1.0 / 6.0);
+  jacobi3d_tiled_copy(a2, b, buf, 1.0 / 6.0, t);
+  for (long k = 1; k < n3 - 1; ++k)
+    for (long j = 1; j < n2 - 1; ++j)
+      for (long i = 1; i < n1 - 1; ++i)
+        ASSERT_EQ(a1(i, j, k), a2(i, j, k)) << i << "," << j << "," << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonCubicAndMinimum, CopyOptShapes,
+    ::testing::Values(Shape{3, 3, 3, 1, 1},    // single interior point
+                      Shape{3, 3, 3, 4, 4},    // tile exceeds interior
+                      Shape{3, 9, 5, 2, 3}, Shape{9, 3, 5, 3, 2},
+                      Shape{5, 7, 3, 2, 2},    // one interior plane
+                      Shape{17, 9, 30, 4, 4}, Shape{23, 41, 11, 7, 3},
+                      Shape{40, 12, 6, 13, 22}, Shape{12, 30, 5, 5, 9}));
+
 TEST(CopyOptTrace, CopyOverheadIsVisible) {
   const long n = 32, kd = 12;
   const IterTile t{10, 10};

@@ -50,6 +50,44 @@ INSTANTIATE_TEST_SUITE_P(
                       Cfg{12, 9, 2, 7}, Cfg{8, 16, 4, 4}, Cfg{8, 16, 5, 3},
                       Cfg{16, 8, 3, 8}, Cfg{9, 33, 6, 5}));
 
+/// Fully non-cubic grids (n1 != n2 != n3) and the minimum 3^3 grid: the
+/// skewed K-block bounds and the plane sweeps must use the right extent
+/// for each dimension independently.
+struct Shape {
+  long n1, n2, n3, bk;
+  int tsteps;
+};
+
+class TimeSkewShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TimeSkewShapes, BitwiseEqualToPingPong) {
+  const auto [n1, n2, n3, bk, tsteps] = GetParam();
+  Array3D<double> b1(n1, n2, n3), a1(n1, n2, n3), a2(n1, n2, n3);
+  for (long k = 0; k < n3; ++k)
+    for (long j = 0; j < n2; ++j)
+      for (long i = 0; i < n1; ++i)
+        b1(i, j, k) = std::cos(0.7 + 0.05 * i + 0.11 * j + 0.23 * k);
+  Array3D<double> b2 = b1;
+  jacobi3d_pingpong(a1, b1, 1.0 / 6.0, tsteps);
+  jacobi3d_timeskew(a2, b2, 1.0 / 6.0, tsteps, bk);
+  for (long k = 0; k < n3; ++k)
+    for (long j = 0; j < n2; ++j)
+      for (long i = 0; i < n1; ++i) {
+        ASSERT_EQ(a1(i, j, k), a2(i, j, k)) << i << "," << j << "," << k;
+        ASSERT_EQ(b1(i, j, k), b2(i, j, k)) << i << "," << j << "," << k;
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonCubicAndMinimum, TimeSkewShapes,
+    ::testing::Values(Shape{3, 3, 3, 1, 1},   // single interior point
+                      Shape{3, 3, 3, 2, 5},   // multi-step on minimum grid
+                      Shape{3, 3, 3, 100, 3},
+                      Shape{3, 9, 6, 2, 4}, Shape{9, 3, 6, 2, 4},
+                      Shape{6, 9, 3, 2, 6},   // one interior plane
+                      Shape{7, 12, 20, 3, 5}, Shape{20, 7, 12, 4, 3},
+                      Shape{11, 5, 31, 6, 7}));
+
 TEST(TimeSkew, SingleStepEqualsOneSweep) {
   Array3D<double> b1 = make_grid(12, 12, 0.3), b2 = b1;
   Array3D<double> a1(12, 12, 12), a2(12, 12, 12);
