@@ -182,9 +182,11 @@ int main(int argc, char** argv) {
     const char* name;
   } kernels[] = {{KernelId::kJacobi, "JACOBI"},
                  {KernelId::kRedBlack, "REDBLACK"},
-                 {KernelId::kResid, "RESID"}};
+                 {KernelId::kResid, "RESID"},
+                 {KernelId::kPsinv, "PSINV"}};
 
   std::vector<std::vector<std::string>> rows;
+  long skipped_fallback = 0;
   for (const auto& kn : kernels) {
     for (Transform tr : transforms) {
       for (rt::simd::SimdMode sm : simd_modes) {
@@ -193,6 +195,14 @@ int main(int argc, char** argv) {
         for (int t : threads) {
           ro.threads = t;
           const auto r = rt::bench::run_kernel(kn.kid, tr, n, ro);
+          // A kernel with no parallel/simd variant (PSINV) times serially
+          // whatever was requested; every such configuration beyond the
+          // serial-scalar one would print an identical row masquerading as
+          // a real data point — skip it and say so below.
+          if (r.degraded()) {
+            ++skipped_fallback;
+            continue;
+          }
           if (t == 1) base_mflops = r.host_mflops;
           const std::string tile =
               r.plan.tiled ? std::to_string(r.plan.tile.ti) + "x" +
@@ -218,5 +228,10 @@ int main(int argc, char** argv) {
   std::cout << "\nspeedup is vs. the 1-thread run of the same (kernel, "
                "transform); hardware_concurrency on this host = "
             << rt::par::ThreadPool::default_threads() << "\n";
+  if (skipped_fallback > 0) {
+    std::cout << "skipped " << skipped_fallback
+              << " serial-fallback duplicates (PSINV has no parallel or "
+                 "simd variant;\nonly its serial scalar row is real data)\n";
+  }
   return 0;
 }

@@ -4,6 +4,11 @@
 # flat record list {kernel, n, transform, simd, simd_level, threads,
 # mflops} — the schema tracked in results/BENCH_2.json.
 #
+# Legacy path: new benches emit this schema (and more) directly from C++
+# via --json=FILE (rt::obs::MetricsWriter; see bench_hw_validation and
+# results/BENCH_3.json).  This script stays as a thin wrapper for the
+# google-benchmark binaries until they migrate.
+#
 # The benchmark names are "KERNEL/<n>/<transform>/<simd-mode>/<threads>";
 # `simd` is the requested mode (off/auto/avx2) split from the name, and
 # `simd_level` is the level that actually ran (the benchmark's label, e.g.
@@ -39,14 +44,17 @@ trap 'rm -f "${raw}"' EXIT
 "${BIN}" "$@" --benchmark_filter="${FILTER}" --benchmark_format=json \
   > "${raw}"
 
+# Defaults: benchmarks registered without a threads field in the name
+# ($p[4]) or without a SetLabel() call (.label) must not crash the
+# reshape — assume serial scalar, the registration default.
 jq '[.benchmarks[]
      | (.name | split("/")) as $p
      | {kernel: $p[0],
         n: ($p[1] | tonumber),
-        transform: $p[2],
-        simd: $p[3],
-        simd_level: .label,
-        threads: ($p[4] | tonumber),
+        transform: ($p[2] // "Orig"),
+        simd: ($p[3] // "off"),
+        simd_level: (.label // "scalar"),
+        threads: (($p[4] // "1") | tonumber),
         mflops: (.MFlops * 1000 | round / 1000)}]' "${raw}" > "${OUT}"
 
 echo "wrote $(jq length "${OUT}") records to ${OUT}"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the rt::par and rt::simd subsystems: configure
-# a separate build tree with -DRT_SANITIZE=thread, build the parallel- and
-# simd-kernel tests, and run them under TSan.  Any reported race fails the
-# script (TSan exits nonzero on findings; halt_on_error makes the first
-# one fatal).  Registered as a CTest test under the "sanitize" label:
+# ThreadSanitizer gate for the rt::par, rt::simd and rt::obs subsystems:
+# configure a separate build tree with -DRT_SANITIZE=thread, build the
+# parallel-/simd-kernel and observability tests, and run them under TSan
+# (obs_test drives phase timers and perf counters from inside rt::par
+# workers).  Any reported race fails the script (TSan exits nonzero on
+# findings; halt_on_error makes the first one fatal).  Registered as a
+# CTest test under the "sanitize" label:
 #   ctest -L sanitize
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,11 +22,12 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DRT_SANITIZE=thread \
   -DRT_BUILD_BENCH=OFF -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
-  --target par_pool_test par_kernels_test simd_kernels_test
+  --target par_pool_test par_kernels_test simd_kernels_test obs_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/par_pool_test"
 "${BUILD_DIR}/tests/par_kernels_test"
 "${BUILD_DIR}/tests/simd_kernels_test"
+"${BUILD_DIR}/tests/obs_test"
 echo "TSan clean: par_pool_test + par_kernels_test + simd_kernels_test" \
-     "reported no races."
+     "+ obs_test reported no races."

@@ -23,4 +23,10 @@ mkdir -p results
   done
 } 2>&1 | tee bench_output.txt
 cp bench_output.txt results/bench_all.txt
-echo "Done: test_output.txt, bench_output.txt"
+
+# Machine-readable artifacts through the C++ emitter (rt::obs): hardware
+# counters degrade to "unavailable" on hosts without perf-event access,
+# the run itself always succeeds.
+build/bench/bench_hw_validation ${FULL_FLAG} --json=results/BENCH_3.json
+
+echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json"

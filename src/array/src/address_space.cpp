@@ -9,6 +9,25 @@ namespace {
 std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
   return (x + a - 1) / a * a;
 }
+
+/// The new range [base, base + bytes) must not intersect any placed array:
+/// the cursor is monotonic so this can only fire on arithmetic overflow or
+/// a future placement-policy bug, but a silently overlapping pair corrupts
+/// every cross-interference measurement downstream, so check anyway.
+void assert_disjoint(const std::vector<Placement>& placed, std::uint64_t base,
+                     std::uint64_t bytes) {
+#ifdef NDEBUG
+  (void)placed;
+  (void)base;
+  (void)bytes;
+#else
+  for (const Placement& p : placed) {
+    const std::uint64_t p_end = p.base_bytes + p.elems * p.elem_bytes;
+    assert(base >= p_end || base + bytes <= p.base_bytes);
+  }
+  assert(base + bytes >= base);  // no wraparound
+#endif
+}
 }  // namespace
 
 AddressSpace::AddressSpace(std::uint64_t base_bytes, std::uint64_t align_bytes)
@@ -20,6 +39,7 @@ std::uint64_t AddressSpace::place(std::string name, std::uint64_t elems,
                                   std::uint32_t elem_bytes) {
   next_ = align_up(next_, align_);
   const std::uint64_t base = next_;
+  assert_disjoint(placements_, base, elems * elem_bytes);
   placements_.push_back(Placement{std::move(name), base, elems, elem_bytes});
   next_ += elems * elem_bytes;
   return base;
@@ -36,6 +56,7 @@ std::uint64_t AddressSpace::place_mod(std::string name, std::uint64_t elems,
     next_ += (off_bytes + mod_bytes - rem) % mod_bytes;
   }
   const std::uint64_t base = next_;
+  assert_disjoint(placements_, base, elems * elem_bytes);
   placements_.push_back(Placement{std::move(name), base, elems, elem_bytes});
   next_ += elems * elem_bytes;
   return base;

@@ -10,10 +10,16 @@
 //   --threads=N     worker threads for host timing (parallel tiled kernels)
 //   --simd=MODE     host-timing SIMD fast path: off | auto | avx2
 //   --simd-align    round padded leading dims up to the vector width
+//   --counters=M    hardware counters around host timing: off | auto | on
+//   --json=FILE     write records through rt::obs::MetricsWriter
+//
+// Numeric flags are validated in full: `--nmin=abc` or `--threads=` exit 2
+// with a message instead of silently becoming 0 (and the default).
 
 #include <string>
 #include <vector>
 
+#include "rt/obs/perf_counters.hpp"
 #include "rt/simd/simd.hpp"
 
 namespace rt::bench {
@@ -29,6 +35,9 @@ struct BenchOptions {
   bool simd_given = false;  ///< --simd= was on the command line
   bool simd_align = false;  ///< --simd-align leading-dim rounding
   std::string csv;  ///< --csv=PATH: also append CSV blocks to this file
+  /// --counters=off|auto|on hardware-counter policy for host timing.
+  rt::obs::CounterMode counters = rt::obs::CounterMode::kAuto;
+  std::string json;  ///< --json=PATH: write MetricsWriter records here
 
   /// Sweep of problem sizes honouring the defaults and overrides.
   std::vector<long> sweep(long def_min, long def_max, long def_step,

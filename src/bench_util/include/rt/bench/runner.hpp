@@ -6,11 +6,15 @@
 // reports the paper's metrics.
 
 #include <cstdint>
+#include <string>
 
 #include "rt/cachesim/config.hpp"
 #include "rt/cachesim/perf_model.hpp"
 #include "rt/core/plan.hpp"
 #include "rt/kernels/kernel_info.hpp"
+#include "rt/obs/metrics_writer.hpp"
+#include "rt/obs/perf_counters.hpp"
+#include "rt/obs/phase_timer.hpp"
 #include "rt/simd/simd.hpp"
 
 namespace rt::bench {
@@ -33,6 +37,11 @@ struct RunOptions {
   /// Opt-in: round the planned leading dimension up to the vector width
   /// (rt::simd::align_leading) after the padding search.
   bool simd_align = false;
+  /// Hardware counters (rt::obs::PerfCounters) around the measured host
+  /// loop: kOff never opens them, kAuto opens them when the capability
+  /// probe succeeds, kOn always tries (reporting unavailable on failure).
+  /// Only meaningful with time_host; simulation has exact counts already.
+  rt::obs::CounterMode counters = rt::obs::CounterMode::kOff;
   long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
   rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
   rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
@@ -41,6 +50,16 @@ struct RunOptions {
 
   /// Planner target: L1 capacity in doubles (2048 for the 16K L1).
   long cs_elems() const { return static_cast<long>(l1.size_bytes / 8); }
+};
+
+/// Hardware-counter measurements of the host timing loop (rt::obs).
+struct HwStats {
+  bool requested = false;  ///< counters were enabled for this run
+  bool available = false;  ///< the counter group actually opened
+  /// Counter totals over the measured loop (warm-up excluded), already
+  /// multiplex-scaled; slots that failed to open read invalid.
+  rt::obs::CounterReadings readings;
+  int iters = 0;  ///< measured step() iterations the totals cover
 };
 
 struct RunResult {
@@ -56,9 +75,25 @@ struct RunResult {
   /// Resolved SIMD level the host timing actually ran (kScalar when the
   /// accessor kernels ran, e.g. --simd=off or a kernel with no row path).
   rt::simd::SimdLevel simd = rt::simd::SimdLevel::kScalar;
+  /// What the caller asked for, before kernel capability fallbacks (PSINV
+  /// has no parallel or row variant and silently times serially; a sweep
+  /// over those axes would otherwise print identical rows that look like
+  /// real data points).  degraded() flags that case so benches can
+  /// annotate or skip the duplicates.
+  int threads_requested = 1;
+  rt::simd::SimdMode simd_requested = rt::simd::SimdMode::kOff;
+  bool degraded() const {
+    return threads < threads_requested ||
+           rt::simd::resolve(simd_requested) != simd;
+  }
   std::uint64_t sim_accesses = 0;
   std::uint64_t sim_flops = 0;
   double mem_elems = 0;  ///< total allocated elements across all arrays
+  /// Host-timing phase breakdown: the single warm-up step and every
+  /// measured step (count == HwStats::iters when counters ran).
+  rt::obs::PhaseStats warmup;
+  rt::obs::PhaseStats measure;
+  HwStats hw;  ///< hardware counters (all-off unless RunOptions::counters)
 };
 
 /// Run one (kernel, transform, N) configuration on N x N x k_dim arrays.
@@ -83,5 +118,13 @@ MissRates run_jacobi2d_missrates(long n, const RunOptions& opts, long p1 = 0);
 
 /// Same for 3D Jacobi on n x n x k arrays without tiling.
 MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts);
+
+/// Append one flat record in the results/BENCH_*.json schema to @p w:
+/// identification (kernel, n, transform, tile, simd, threads, requested
+/// axes), host throughput, and nested "sim" / "hw" blocks (JSON null when
+/// that signal was off).  This is the C++ replacement for the jq
+/// reshaping in scripts/bench_to_json.sh.
+void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
+                        long n, const RunResult& r);
 
 }  // namespace rt::bench

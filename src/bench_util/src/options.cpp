@@ -2,6 +2,7 @@
 
 #include "rt/bench/table.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -24,8 +25,19 @@ BenchOptions parse_options(int argc, char** argv) {
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    // Full-string numeric validation: atol would silently turn "--nmin=abc"
+    // or an empty "--threads=" into 0, which then falls back to a default.
     const auto num = [&](const char* prefix) -> long {
-      return std::atol(a.c_str() + std::strlen(prefix));
+      const char* s = a.c_str() + std::strlen(prefix);
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(s, &end, 10);
+      if (end == s || *end != '\0' || errno == ERANGE) {
+        std::cerr << "bad numeric value for " << prefix << " flag: " << a
+                  << "\n";
+        std::exit(2);
+      }
+      return v;
     };
     if (a == "--full") {
       o.full = true;
@@ -55,10 +67,21 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (a.rfind("--csv=", 0) == 0) {
       o.csv = a.substr(6);
       set_csv_sink(o.csv);
+    } else if (a.rfind("--counters=", 0) == 0) {
+      if (!rt::obs::parse_counter_mode(a.substr(11), &o.counters)) {
+        std::cerr << "bad --counters value (want off|auto|on): " << a << "\n";
+        std::exit(2);
+      }
+    } else if (a.rfind("--json=", 0) == 0) {
+      o.json = a.substr(7);
+      if (o.json.empty()) {
+        std::cerr << "empty --json= path\n";
+        std::exit(2);
+      }
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
                    "--steps= --threads=N --simd=off|auto|avx2 --simd-align "
-                   "--csv=FILE\n";
+                   "--csv=FILE --counters=off|auto|on --json=FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << a << "\n";

@@ -1,8 +1,10 @@
 #include "rt/bench/runner.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "rt/array/address_space.hpp"
@@ -121,21 +123,44 @@ std::uint64_t flops_per_step(KernelId id, long n1, long n2, long n3) {
   return rt::kernels::kernel_info(id).flops_per_point * interior(n1, n2, n3);
 }
 
-/// Host timing loop: run `step` until the time budget is met.
+/// Host timing loop: run `step` until the time budget is met.  Fills in
+/// res.host_mflops, the warm-up/measure phase stats, and — when
+/// opts.counters resolves to enabled — the hardware-counter block over the
+/// measured iterations (warm-up excluded).
 template <class StepFn>
-double time_host_mflops(StepFn&& step, std::uint64_t flops_per_iter,
-                        double min_seconds) {
-  // Warm-up iteration (page faults, cache warm-up).
-  step();
+void time_host(StepFn&& step, std::uint64_t flops_per_iter,
+               const RunOptions& opts, RunResult& res) {
+  {
+    // Warm-up iteration (page faults, cache warm-up).
+    rt::obs::ScopedTimer t(res.warmup);
+    step();
+  }
+  // requested records the *intent* (any mode but off), so a host without
+  // perf-event access still reports an explicit hw block with
+  // available == false instead of silently omitting it.
+  res.hw.requested = opts.counters != rt::obs::CounterMode::kOff;
+  std::optional<rt::obs::PerfCounters> pc;
+  if (rt::obs::counters_enabled(opts.counters)) {
+    pc.emplace();
+    res.hw.available = pc->available();
+  }
   int iters = 0;
+  if (pc) pc->start();
   const double t0 = now_seconds();
   double t1 = t0;
   do {
+    rt::obs::ScopedTimer t(res.measure);
     step();
     ++iters;
     t1 = now_seconds();
-  } while (t1 - t0 < min_seconds);
-  return static_cast<double>(flops_per_iter) * iters / (t1 - t0) / 1e6;
+  } while (t1 - t0 < opts.min_host_seconds);
+  if (pc) {
+    pc->stop();
+    res.hw.readings = pc->read();
+  }
+  res.hw.iters = iters;
+  res.host_mflops =
+      static_cast<double>(flops_per_iter) * iters / (t1 - t0) / 1e6;
 }
 
 }  // namespace
@@ -225,6 +250,8 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
     // the serial and the parallel case (bit-identical either way).  PSINV
     // has no parallel or row variant yet and times serially regardless.
     using rt::simd::SimdLevel;
+    res.threads_requested = opts.threads > 1 ? opts.threads : 1;
+    res.simd_requested = opts.simd;
     std::unique_ptr<rt::par::ThreadPool> pool;
     if (opts.threads > 1 && id != KernelId::kPsinv) {
       pool = std::make_unique<rt::par::ThreadPool>(opts.threads);
@@ -355,8 +382,7 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
         break;
       }
     }
-    res.host_mflops =
-        time_host_mflops(step, fl_step, opts.min_host_seconds);
+    time_host(step, fl_step, opts, res);
   }
   return res;
 }
@@ -371,10 +397,12 @@ MissRates run_jacobi2d_missrates(long n, const RunOptions& opts, long p1) {
     }
   }
   rt::array::AddressSpace space(0, 64);
+  // Use the allocator's own element count: a hand-computed p1 * n would
+  // silently overlap the two ranges if Dims2 ever grew alignment slack.
   const std::uint64_t ba =
-      space.place("a", static_cast<std::uint64_t>(p1 * n));
+      space.place("a", static_cast<std::uint64_t>(d2.alloc_elems()));
   const std::uint64_t bb =
-      space.place("b", static_cast<std::uint64_t>(p1 * n));
+      space.place("b", static_cast<std::uint64_t>(d2.alloc_elems()));
   CacheHierarchy hier(opts.l1, opts.l2);
   TracedArray2D<double> ta(a, ba, hier), tb(b, bb, hier);
   // Stencil nest only (no copy-back): with the write-around L1 the store
@@ -404,6 +432,54 @@ MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts) {
   }
   const auto st = hier.stats();
   return MissRates{100.0 * st.l1.miss_rate(), 100.0 * st.l2_global_miss_rate()};
+}
+
+void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
+                        long n, const RunResult& r) {
+  using rt::obs::CounterKind;
+  using rt::obs::JsonValue;
+  JsonValue& rec = w.add_record();
+  rec.set("kernel", kernel)
+      .set("n", n)
+      .set("transform",
+           std::string(rt::core::transform_name(r.plan.transform)))
+      .set("tile", r.plan.tiled
+                       ? JsonValue(std::to_string(r.plan.tile.ti) + "x" +
+                                   std::to_string(r.plan.tile.tj))
+                       : JsonValue())
+      .set("simd", rt::simd::simd_mode_name(r.simd_requested))
+      .set("simd_level", rt::simd::simd_level_name(r.simd))
+      .set("threads", r.threads)
+      .set("threads_requested", r.threads_requested)
+      .set("degraded", r.degraded())
+      // milli-MFlops precision, the rounding the jq reshape applied
+      .set("mflops", std::round(r.host_mflops * 1000.0) / 1000.0);
+
+  if (r.sim_accesses > 0) {
+    JsonValue sim = JsonValue::object();
+    sim.set("l1_miss_pct", r.l1_miss_pct)
+        .set("l2_miss_pct", r.l2_miss_pct)
+        .set("mflops", r.sim_mflops)
+        .set("accesses", static_cast<std::int64_t>(r.sim_accesses));
+    rec.set("sim", std::move(sim));
+  } else {
+    rec.set("sim", JsonValue());
+  }
+
+  if (r.hw.requested) {
+    JsonValue hw = JsonValue::object();
+    hw.set("available", r.hw.available).set("iters", r.hw.iters);
+    for (int i = 0; i < rt::obs::kNumCounters; ++i) {
+      const auto k = static_cast<CounterKind>(i);
+      const rt::obs::CounterValue& c = r.hw.readings[k];
+      hw.set(rt::obs::counter_name(k),
+             c.valid ? JsonValue(static_cast<std::int64_t>(c.value))
+                     : JsonValue());
+    }
+    rec.set("hw", std::move(hw));
+  } else {
+    rec.set("hw", JsonValue());
+  }
 }
 
 }  // namespace rt::bench

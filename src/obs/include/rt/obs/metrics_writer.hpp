@@ -1,0 +1,104 @@
+#pragma once
+// Minimal JSON metrics emitter: the C++ replacement for the jq reshaping in
+// scripts/bench_to_json.sh.  Benches build flat records (one per measured
+// configuration), MetricsWriter serializes them as a JSON array matching
+// the results/BENCH_*.json schema — stable key order, correct string
+// escaping, round-trippable numbers.
+//
+// Deliberately not a JSON parser or a general DOM: JsonValue supports
+// exactly what the schema needs (null, bool, integer, double, string,
+// array, ordered object), so the golden-file test in tests/obs_test.cpp
+// pins the byte-exact output.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rt::obs {
+
+/// One JSON value.  Objects keep insertion order (schema readability and
+/// byte-stable goldens); set() replaces an existing key in place.
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  // Spelled as the fundamental integer types (not the <cstdint> aliases,
+  // which collide with them on LP64) so every integral argument converts
+  // without ambiguity against the double overload.
+  JsonValue(long long i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(unsigned long long u) : JsonValue(static_cast<long long>(u)) {}
+  JsonValue(int i) : JsonValue(static_cast<long long>(i)) {}
+  JsonValue(long i) : JsonValue(static_cast<long long>(i)) {}
+  JsonValue(unsigned long u) : JsonValue(static_cast<long long>(u)) {}
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  static JsonValue array() { return JsonValue(Kind::kArray); }
+  static JsonValue object() { return JsonValue(Kind::kObject); }
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object access: set (insert or replace) and lookup (null if absent).
+  JsonValue& set(const std::string& key, JsonValue v);
+  const JsonValue* find(const std::string& key) const;
+
+  /// Array append.
+  JsonValue& push_back(JsonValue v);
+  std::size_t size() const { return items_.size(); }
+
+  /// Serialize.  indent < 0: compact one-line; indent >= 0: pretty-printed
+  /// with that many spaces per level (the results/ files use 2).
+  std::string dump(int indent = -1) const;
+
+  /// Format a double the way dump() does (shortest round-trip form) —
+  /// exposed for tests.
+  static std::string format_double(double d);
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  explicit JsonValue(Kind k) : kind_(k) {}
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;              // array elements
+  std::vector<std::string> keys_;             // object keys (with items_)
+};
+
+/// Escape a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Accumulates flat records and writes them as a JSON array.
+///
+///   MetricsWriter w;
+///   JsonValue& rec = w.add_record();
+///   rec.set("kernel", "JACOBI").set("n", 200L).set("mflops", 3873.3);
+///   w.write_file("results/BENCH_3.json");
+class MetricsWriter {
+ public:
+  /// Append an empty object record and return a reference to fill in.
+  /// (References stay valid: records are heap-allocated individually.)
+  JsonValue& add_record();
+
+  std::size_t num_records() const { return records_.size(); }
+
+  /// The whole document as a pretty-printed JSON array (trailing newline).
+  std::string dump() const;
+
+  /// Write dump() to @p path; returns false (and leaves a partial file at
+  /// worst) if the file cannot be opened or written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::unique_ptr<JsonValue>> records_;
+};
+
+}  // namespace rt::obs

@@ -1,0 +1,139 @@
+#pragma once
+// Hardware performance counters over Linux perf_event_open: the real-machine
+// complement to rt::cachesim.  The simulator predicts *why* a tiling plan
+// should win (miss rates on the modelled UltraSparc2); this layer measures
+// what the host actually did (cycles, instructions, L1D/LLC/dTLB load
+// misses), so the two can be printed side by side (bench_hw_validation).
+//
+// Design constraints, in order:
+//  * graceful degradation — unprivileged containers, CI runners and
+//    non-Linux hosts must run every bench unchanged, reporting counters as
+//    "unavailable" instead of erroring (perf_event_paranoid, missing PMU,
+//    and seccomp all deny perf_event_open in the wild);
+//  * per-counter degradation — a host that exposes cycles but not dTLB
+//    misses still reports the counters it has (each event is opened
+//    independently; failures mark just that slot invalid);
+//  * RAII — counters are closed on destruction, and a moved-from group is
+//    inert, so a PerfCounters member can live inside result structs.
+//
+// Multiplexing: all events are opened in one group (leader = first event
+// that opens) so they are scheduled onto the PMU together; time_enabled /
+// time_running are reported so callers can detect scaling.  With the small
+// default set (5 events) groups normally run unmultiplexed.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace rt::obs {
+
+/// The counter slots PerfCounters knows how to open, in report order.
+enum class CounterKind : int {
+  kCycles = 0,        ///< PERF_COUNT_HW_CPU_CYCLES
+  kInstructions,      ///< PERF_COUNT_HW_INSTRUCTIONS
+  kL1dLoads,          ///< L1D cache read accesses
+  kL1dLoadMisses,     ///< L1D cache read misses
+  kLlcLoadMisses,     ///< last-level cache read misses
+  kDtlbLoadMisses,    ///< dTLB read misses
+};
+inline constexpr int kNumCounters = 6;
+
+/// Short stable name used in tables and JSON keys (e.g. "l1d_load_misses").
+const char* counter_name(CounterKind k);
+
+/// One counter's value after stop(): valid == false means the event could
+/// not be opened (or was not requested) on this host.
+struct CounterValue {
+  std::uint64_t value = 0;
+  bool valid = false;
+};
+
+/// A snapshot of every slot plus the group's scheduling times.
+struct CounterReadings {
+  std::array<CounterValue, kNumCounters> counts{};
+  /// Nanoseconds the group was enabled / actually on the PMU.  When
+  /// time_running < time_enabled the kernel multiplexed the group and the
+  /// values are already scaled up by enabled/running.
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+
+  const CounterValue& operator[](CounterKind k) const {
+    return counts[static_cast<int>(k)];
+  }
+  /// True when at least one slot holds a real measurement.
+  bool any_valid() const;
+};
+
+/// RAII group of hardware counters for the calling process (all threads:
+/// the events are opened with inherit=1 so work done inside rt::par
+/// workers is counted too).
+///
+///   PerfCounters pc;          // opens (or degrades to unavailable)
+///   pc.start();
+///   ... measured region ...
+///   pc.stop();
+///   CounterReadings r = pc.read();
+///
+/// All member functions are safe to call when unavailable: start/stop are
+/// no-ops and read() returns all-invalid slots.
+class PerfCounters {
+ public:
+  /// Opens the default event set.  Never throws: open failures leave the
+  /// affected slots (or the whole group) unavailable.
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(PerfCounters&& other) noexcept;
+  PerfCounters& operator=(PerfCounters&& other) noexcept;
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when at least one event opened.
+  bool available() const;
+
+  /// Reset and enable the group (no-op when unavailable).
+  void start();
+  /// Disable the group (no-op when unavailable).
+  void stop();
+  /// Read the stopped group; values are multiplex-scaled.  Returns
+  /// all-invalid readings when unavailable.
+  CounterReadings read() const;
+
+  /// One-shot capability probe: can this process open a hardware cycles
+  /// counter?  Cached after the first call (the answer cannot change
+  /// mid-run); false on non-Linux builds, when the PMU is hidden (common
+  /// in VMs), when perf_event_paranoid forbids it, or when counters are
+  /// force-disabled (see below).
+  static bool probe();
+
+  /// Test/CI hook: force the unavailable path for every PerfCounters
+  /// constructed afterwards, exactly as if perf_event_open were denied.
+  /// Also settable from the environment: RT_OBS_DISABLE=1.
+  static void force_unavailable(bool on);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  // null when unavailable
+};
+
+/// Human-readable one-liner for why counters are off / degraded (for bench
+/// headers): e.g. "perf counters: available" or
+/// "perf counters: unavailable (perf_event_open failed: Permission denied)".
+std::string describe_counter_support();
+
+/// Bench-level counter policy (the --counters= flag).
+enum class CounterMode {
+  kOff,   ///< never open counters
+  kAuto,  ///< open them when probe() says the host allows it
+  kOn,    ///< always try; report unavailable (but keep running) on failure
+};
+
+const char* counter_mode_name(CounterMode m);
+
+/// Parse "off" / "auto" / "on" (anything else returns false).
+bool parse_counter_mode(const std::string& s, CounterMode* out);
+
+/// Resolve a mode against the host capability probe: should this run open
+/// a PerfCounters group?
+bool counters_enabled(CounterMode m);
+
+}  // namespace rt::obs

@@ -1,0 +1,80 @@
+#pragma once
+// Scoped wall-clock phase timing for the bench runner and the parallel
+// kernels: cheap enough to wrap every warm-up / measured step, and a
+// mutex-guarded variant for per-sweep timing inside rt::par workers.
+//
+//   PhaseStats warmup;
+//   { ScopedTimer t(warmup); step(); }          // one timed phase
+//   warmup.count, warmup.total_s, warmup.mean_s()
+//
+// PhaseStats is a plain value (copyable, no synchronisation) so it can sit
+// inside result structs; ConcurrentPhaseStats wraps one behind a mutex for
+// concurrent add() from pool workers and hands out consistent snapshots.
+
+#include <chrono>
+#include <mutex>
+
+namespace rt::obs {
+
+/// Accumulated timings of one named phase.  Times in seconds.
+struct PhaseStats {
+  long count = 0;
+  double total_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+
+  void add(double seconds) {
+    if (count == 0 || seconds < min_s) min_s = seconds;
+    if (count == 0 || seconds > max_s) max_s = seconds;
+    ++count;
+    total_s += seconds;
+  }
+  double mean_s() const { return count > 0 ? total_s / count : 0.0; }
+};
+
+/// Thread-safe PhaseStats for concurrent add() from rt::par workers.
+class ConcurrentPhaseStats {
+ public:
+  void add(double seconds) {
+    std::lock_guard<std::mutex> lock(m_);
+    stats_.add(seconds);
+  }
+  PhaseStats snapshot() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  PhaseStats stats_;
+};
+
+/// RAII timer: measures from construction to destruction (or stop()) and
+/// adds the elapsed seconds to the bound stats object.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseStats& s) : plain_(&s) {}
+  explicit ScopedTimer(ConcurrentPhaseStats& s) : shared_(&s) {}
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Record now instead of at destruction (idempotent).
+  void stop() {
+    if (done_) return;
+    done_ = true;
+    const double s =
+        std::chrono::duration<double>(clock::now() - t0_).count();
+    if (plain_ != nullptr) plain_->add(s);
+    if (shared_ != nullptr) shared_->add(s);
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  PhaseStats* plain_ = nullptr;
+  ConcurrentPhaseStats* shared_ = nullptr;
+  clock::time_point t0_ = clock::now();
+  bool done_ = false;
+};
+
+}  // namespace rt::obs

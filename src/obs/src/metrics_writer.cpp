@@ -1,0 +1,159 @@
+#include "rt/obs/metrics_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace rt::obs {
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      items_[i] = std::move(v);
+      return *this;
+    }
+  }
+  keys_.push_back(key);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &items_[i];
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::format_double(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no NaN/Inf
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == d) break;
+  }
+  std::string s(buf);
+  // Keep doubles visually distinct from integers (jq-compatible readers
+  // don't care, humans diffing goldens do).
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : "";
+  const std::string pad_close =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* kv_sep = pretty ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: out += format_double(double_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].write(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += pad_close;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (items_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += json_escape(keys_[i]);
+        out += '"';
+        out += kv_sep;
+        items_[i].write(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += pad_close;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+JsonValue& MetricsWriter::add_record() {
+  records_.push_back(std::make_unique<JsonValue>(JsonValue::object()));
+  return *records_.back();
+}
+
+std::string MetricsWriter::dump() const {
+  JsonValue arr = JsonValue::array();
+  for (const auto& r : records_) arr.push_back(*r);
+  return arr.dump(2) + "\n";
+}
+
+bool MetricsWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << dump();
+  return static_cast<bool>(f.flush());
+}
+
+}  // namespace rt::obs

@@ -1,0 +1,297 @@
+#include "rt/obs/perf_counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define RT_OBS_HAVE_PERF 1
+#else
+#define RT_OBS_HAVE_PERF 0
+#endif
+
+namespace rt::obs {
+
+namespace {
+
+std::atomic<bool> g_force_unavailable{false};
+
+bool env_disabled() {
+  const char* v = std::getenv("RT_OBS_DISABLE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+bool disabled() { return g_force_unavailable.load() || env_disabled(); }
+
+// Remembers the errno of the first failed open so describe_counter_support
+// can explain *why* the host degraded.
+std::atomic<int> g_first_open_errno{0};
+
+}  // namespace
+
+const char* counter_name(CounterKind k) {
+  switch (k) {
+    case CounterKind::kCycles: return "cycles";
+    case CounterKind::kInstructions: return "instructions";
+    case CounterKind::kL1dLoads: return "l1d_loads";
+    case CounterKind::kL1dLoadMisses: return "l1d_load_misses";
+    case CounterKind::kLlcLoadMisses: return "llc_load_misses";
+    case CounterKind::kDtlbLoadMisses: return "dtlb_load_misses";
+  }
+  return "?";
+}
+
+bool CounterReadings::any_valid() const {
+  for (const CounterValue& c : counts) {
+    if (c.valid) return true;
+  }
+  return false;
+}
+
+#if RT_OBS_HAVE_PERF
+
+namespace {
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+EventSpec event_spec(CounterKind k) {
+  const auto cache = [](std::uint64_t id, std::uint64_t op, std::uint64_t res) {
+    return id | (op << 8) | (res << 16);
+  };
+  switch (k) {
+    case CounterKind::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case CounterKind::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case CounterKind::kL1dLoads:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_ACCESS)};
+    case CounterKind::kL1dLoadMisses:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case CounterKind::kLlcLoadMisses:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case CounterKind::kDtlbLoadMisses:
+      return {PERF_TYPE_HW_CACHE,
+              cache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                    PERF_COUNT_HW_CACHE_RESULT_MISS)};
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+
+int perf_open(const EventSpec& ev, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = ev.type;
+  attr.config = ev.config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // group enabled via the leader
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Count child threads too: rt::par workers are spawned after the pool is
+  // constructed, which may be before or after the counters open, so inherit
+  // alone is not enough — but the pool's workers belong to this process, and
+  // per-process (pid=0, cpu=-1) counting covers threads that already exist.
+  // inherit covers any spawned later.  inherit requires no PERF_FORMAT_GROUP
+  // reads on some kernels, so each event is read via its own fd instead.
+  attr.inherit = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          group_fd, /*flags=*/0UL);
+  if (fd < 0) {
+    int expected = 0;
+    g_first_open_errno.compare_exchange_strong(expected, errno);
+  }
+  return static_cast<int>(fd);
+}
+
+}  // namespace
+
+struct PerfCounters::Impl {
+  std::array<int, kNumCounters> fds;
+  Impl() { fds.fill(-1); }
+  ~Impl() {
+    for (int fd : fds) {
+      if (fd >= 0) close(fd);
+    }
+  }
+  int leader() const {
+    for (int fd : fds) {
+      if (fd >= 0) return fd;
+    }
+    return -1;
+  }
+};
+
+PerfCounters::PerfCounters() {
+  if (disabled()) return;
+  auto impl = new Impl();
+  int group = -1;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const int fd = perf_open(event_spec(static_cast<CounterKind>(i)), group);
+    impl->fds[static_cast<std::size_t>(i)] = fd;
+    if (fd >= 0 && group == -1) group = fd;
+  }
+  if (group == -1) {
+    delete impl;  // nothing opened: whole group unavailable
+    return;
+  }
+  impl_ = impl;
+}
+
+PerfCounters::~PerfCounters() { delete impl_; }
+
+PerfCounters::PerfCounters(PerfCounters&& other) noexcept
+    : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+
+PerfCounters& PerfCounters::operator=(PerfCounters&& other) noexcept {
+  if (this != &other) {
+    delete impl_;
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+
+bool PerfCounters::available() const { return impl_ != nullptr; }
+
+void PerfCounters::start() {
+  if (!impl_) return;
+  const int fd = impl_->leader();
+  ioctl(fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfCounters::stop() {
+  if (!impl_) return;
+  ioctl(impl_->leader(), PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+CounterReadings PerfCounters::read() const {
+  CounterReadings out;
+  if (!impl_) return out;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const int fd = impl_->fds[static_cast<std::size_t>(i)];
+    if (fd < 0) continue;
+    // read_format: value, time_enabled, time_running.
+    std::uint64_t buf[3] = {0, 0, 0};
+    const ssize_t rd = ::read(fd, buf, sizeof(buf));
+    if (rd != static_cast<ssize_t>(sizeof(buf))) continue;
+    std::uint64_t value = buf[0];
+    if (buf[2] > 0 && buf[2] < buf[1]) {
+      // Multiplexed: scale up by enabled/running (standard perf estimate).
+      value = static_cast<std::uint64_t>(
+          static_cast<double>(value) * static_cast<double>(buf[1]) /
+          static_cast<double>(buf[2]));
+    }
+    out.counts[static_cast<std::size_t>(i)] = CounterValue{value, true};
+    if (out.time_enabled_ns == 0) {
+      out.time_enabled_ns = buf[1];
+      out.time_running_ns = buf[2];
+    }
+  }
+  return out;
+}
+
+bool PerfCounters::probe() {
+  if (disabled()) return false;
+  static const bool ok = [] {
+    const int fd = perf_open(event_spec(CounterKind::kCycles), -1);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return ok && !disabled();
+}
+
+std::string describe_counter_support() {
+  if (disabled()) {
+    return "perf counters: disabled (RT_OBS_DISABLE / force_unavailable)";
+  }
+  if (PerfCounters::probe()) return "perf counters: available";
+  const int err = g_first_open_errno.load();
+  std::string why = err != 0 ? std::strerror(err) : "unknown";
+  return "perf counters: unavailable (perf_event_open failed: " + why + ")";
+}
+
+#else  // !RT_OBS_HAVE_PERF
+
+struct PerfCounters::Impl {};
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() { delete impl_; }
+PerfCounters::PerfCounters(PerfCounters&& other) noexcept
+    : impl_(other.impl_) {
+  other.impl_ = nullptr;
+}
+PerfCounters& PerfCounters::operator=(PerfCounters&& other) noexcept {
+  if (this != &other) {
+    delete impl_;
+    impl_ = other.impl_;
+    other.impl_ = nullptr;
+  }
+  return *this;
+}
+bool PerfCounters::available() const { return false; }
+void PerfCounters::start() {}
+void PerfCounters::stop() {}
+CounterReadings PerfCounters::read() const { return CounterReadings{}; }
+bool PerfCounters::probe() { return false; }
+
+std::string describe_counter_support() {
+  return "perf counters: unavailable (not a Linux build)";
+}
+
+#endif  // RT_OBS_HAVE_PERF
+
+void PerfCounters::force_unavailable(bool on) {
+  g_force_unavailable.store(on);
+}
+
+const char* counter_mode_name(CounterMode m) {
+  switch (m) {
+    case CounterMode::kOff: return "off";
+    case CounterMode::kAuto: return "auto";
+    case CounterMode::kOn: return "on";
+  }
+  return "?";
+}
+
+bool parse_counter_mode(const std::string& s, CounterMode* out) {
+  if (s == "off") {
+    *out = CounterMode::kOff;
+  } else if (s == "auto") {
+    *out = CounterMode::kAuto;
+  } else if (s == "on") {
+    *out = CounterMode::kOn;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool counters_enabled(CounterMode m) {
+  switch (m) {
+    case CounterMode::kOff: return false;
+    case CounterMode::kAuto: return PerfCounters::probe();
+    case CounterMode::kOn: return true;
+  }
+  return false;
+}
+
+}  // namespace rt::obs

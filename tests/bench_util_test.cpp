@@ -66,6 +66,42 @@ TEST(Options, SweepAlwaysIncludesEndpoint) {
   EXPECT_EQ(xs[1], 400);
 }
 
+TEST(Options, CountersAndJsonFlags) {
+  const BenchOptions d = parse({});
+  EXPECT_EQ(d.counters, rt::obs::CounterMode::kAuto);
+  EXPECT_TRUE(d.json.empty());
+  const BenchOptions o = parse({"--counters=on", "--json=/tmp/out.json"});
+  EXPECT_EQ(o.counters, rt::obs::CounterMode::kOn);
+  EXPECT_EQ(o.json, "/tmp/out.json");
+  const BenchOptions off = parse({"--counters=off"});
+  EXPECT_EQ(off.counters, rt::obs::CounterMode::kOff);
+}
+
+// Numeric flags are validated in full: garbage must exit(2) with a
+// message instead of silently parsing as 0 and selecting a default.
+TEST(OptionsDeathTest, RejectsGarbageNumbers) {
+  EXPECT_EXIT(parse({"--nmin=abc"}), testing::ExitedWithCode(2),
+              "bad numeric value");
+  EXPECT_EXIT(parse({"--threads="}), testing::ExitedWithCode(2),
+              "bad numeric value");
+  EXPECT_EXIT(parse({"--nmax=12x"}), testing::ExitedWithCode(2),
+              "bad numeric value");
+  EXPECT_EXIT(parse({"--steps=999999999999999999999"}),
+              testing::ExitedWithCode(2), "bad numeric value");
+}
+
+TEST(OptionsDeathTest, RejectsBadEnumValues) {
+  EXPECT_EXIT(parse({"--counters=maybe"}), testing::ExitedWithCode(2),
+              "bad --counters value");
+  EXPECT_EXIT(parse({"--json="}), testing::ExitedWithCode(2),
+              "empty --json");
+}
+
+TEST(Options, NegativeThreadsClampsToOne) {
+  const BenchOptions o = parse({"--threads=-3"});
+  EXPECT_EQ(o.threads, 1);
+}
+
 TEST(Table, FmtPrecision) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt(3.14159, 0), "3");

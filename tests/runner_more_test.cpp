@@ -98,5 +98,64 @@ TEST(RunnerMore, EcsPlanViaExplicitPath) {
   EXPECT_GT(r.sim_accesses, 0u);
 }
 
+TEST(RunnerMore, PsinvMarksThreadAndSimdFallback) {
+  RunOptions o = fast_opts();
+  o.simulate = false;
+  o.time_host = true;
+  o.min_host_seconds = 0.001;
+  o.threads = 4;
+  o.simd = rt::simd::SimdMode::kAuto;
+  const auto r = run_kernel(KernelId::kPsinv, Transform::kOrig, 32, o);
+  EXPECT_EQ(r.threads, 1);               // ran serial scalar ...
+  EXPECT_EQ(r.simd, rt::simd::SimdLevel::kScalar);
+  EXPECT_EQ(r.threads_requested, 4);     // ... but remembers the request
+  EXPECT_EQ(r.simd_requested, rt::simd::SimdMode::kAuto);
+  EXPECT_TRUE(r.degraded());
+
+  const auto j = run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  EXPECT_EQ(j.threads, 4);
+  EXPECT_FALSE(j.degraded());
+}
+
+TEST(RunnerMore, HostRunReportsPhasesAndUnavailableCounters) {
+  rt::obs::PerfCounters::force_unavailable(true);
+  RunOptions o = fast_opts();
+  o.simulate = false;
+  o.time_host = true;
+  o.min_host_seconds = 0.001;
+  o.counters = rt::obs::CounterMode::kOn;
+  const auto r = run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  rt::obs::PerfCounters::force_unavailable(false);
+  EXPECT_GT(r.host_mflops, 0.0);
+  EXPECT_EQ(r.warmup.count, 1);
+  EXPECT_GE(r.measure.count, 1);
+  EXPECT_EQ(r.measure.count, r.hw.iters);
+  // Counters were requested but the host (forced) denied them: the run
+  // still succeeds and reports the block as unavailable.
+  EXPECT_TRUE(r.hw.requested);
+  EXPECT_FALSE(r.hw.available);
+  EXPECT_FALSE(r.hw.readings.any_valid());
+
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "JACOBI", 32, r);
+  const std::string doc = w.dump();
+  EXPECT_NE(doc.find("\"available\": false"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"cycles\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"sim\": null"), std::string::npos) << doc;
+}
+
+TEST(RunnerMore, CountersOffOmitsHwBlock) {
+  RunOptions o = fast_opts();
+  o.simulate = false;
+  o.time_host = true;
+  o.min_host_seconds = 0.001;
+  ASSERT_EQ(o.counters, rt::obs::CounterMode::kOff);  // RunOptions default
+  const auto r = run_kernel(KernelId::kResid, Transform::kOrig, 32, o);
+  EXPECT_FALSE(r.hw.requested);
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "RESID", 32, r);
+  EXPECT_NE(w.dump().find("\"hw\": null"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rt::bench
