@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
   ro.counters = bo.counters;
   if (bo.threads > 0) ro.threads = bo.threads;
   ro.simd = bo.simd;
+  ro.verify = bo.verify;
+  ro.timeout_seconds = bo.timeout_seconds;
 
   std::cout << rt::obs::describe_counter_support() << "\n";
   if (ro.counters == rt::obs::CounterMode::kOff) {
@@ -97,7 +99,13 @@ int main(int argc, char** argv) {
         const auto& cyc = r.hw.readings[CounterKind::kCycles];
         const auto& ins = r.hw.readings[CounterKind::kInstructions];
         std::string note;
-        if (r.degraded()) {
+        if (r.status != rt::guard::Status::kOk) {
+          note = rt::guard::status_name(r.status);
+          any_degraded = true;
+        } else if (r.plan_status != rt::guard::Status::kOk) {
+          note = std::string("plan: ") + rt::guard::status_name(r.plan_status);
+          any_degraded = true;
+        } else if (r.degraded()) {
           note = "serial fallback";
           any_degraded = true;
         } else if (r.hw.requested && !r.hw.available) {

@@ -163,6 +163,8 @@ int main(int argc, char** argv) {
   rt::bench::RunOptions ro;
   ro.simulate = false;
   ro.time_host = true;
+  ro.verify = bo.verify;
+  ro.timeout_seconds = bo.timeout_seconds;
 
   const int vthreads = std::max(threads.back(), 4);
   if (!verify_bit_identical(n, ro.k_dim, vthreads)) return 1;

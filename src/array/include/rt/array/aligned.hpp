@@ -12,11 +12,17 @@
 // whatever the allocator returns.
 
 #include <cstddef>
+#include <limits>
 #include <new>
+
+#include "rt/guard/fault_injector.hpp"
 
 namespace rt::array {
 
 /// C++17 aligned-new backed allocator.  Drop-in for std::allocator<T>.
+/// Failure surface: throws std::bad_alloc on byte-count overflow, real
+/// exhaustion, or an armed rt::guard alloc fault — callers that want a
+/// skipped-and-recorded row instead of a crash catch exactly that type.
 template <class T, std::size_t Align = 64>
 struct AlignedAllocator {
   static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
@@ -29,6 +35,14 @@ struct AlignedAllocator {
   AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
 
   T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    if (rt::guard::FaultInjector::armed(rt::guard::FaultKind::kAlloc) &&
+        rt::guard::FaultInjector::instance().should_fail(
+            rt::guard::FaultKind::kAlloc)) {
+      throw std::bad_alloc();
+    }
     return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
   }
   void deallocate(T* p, std::size_t) noexcept {

@@ -13,6 +13,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "rt/array/aligned.hpp"
@@ -44,6 +46,18 @@ struct Dims3 {
   constexpr long column_stride() const { return p1; }
   constexpr long plane_stride() const { return p1 * p2; }
   constexpr long alloc_elems() const { return p1 * p2 * n3; }
+  /// alloc_elems() with the p1*p2*n3 product overflow-checked: nullopt when
+  /// it does not fit a long (plane_stride()/alloc_elems() would silently
+  /// wrap, which is signed-overflow UB *and* a wrong allocation size).
+  /// Every allocation-size consumer goes through this.
+  constexpr std::optional<long> checked_alloc_elems() const {
+    long plane = 0, total = 0;
+    if (__builtin_mul_overflow(p1, p2, &plane) ||
+        __builtin_mul_overflow(plane, n3, &total)) {
+      return std::nullopt;
+    }
+    return total;
+  }
   constexpr bool valid() const {
     return n1 > 0 && n2 > 0 && n3 > 0 && p1 >= n1 && p2 >= n2;
   }
@@ -59,7 +73,7 @@ class Array3D {
  public:
   Array3D() = default;
   explicit Array3D(Dims3 d, T init = T{})
-      : d_(d), data_(static_cast<std::size_t>(d.alloc_elems()), init) {
+      : d_(d), data_(checked_count(d), init) {
     assert(d.valid());
   }
   Array3D(long n1, long n2, long n3, T init = T{})
@@ -97,6 +111,14 @@ class Array3D {
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
  private:
+  static std::size_t checked_count(const Dims3& d) {
+    const std::optional<long> n = d.checked_alloc_elems();
+    if (!n || *n < 0) {
+      throw std::length_error("Array3D: allocation size overflows long");
+    }
+    return static_cast<std::size_t>(*n);
+  }
+
   Dims3 d_{};
   AlignedVector<T> data_;
 };
@@ -114,6 +136,12 @@ struct Dims2 {
     return Dims2{n1, n2, p1};
   }
   constexpr long alloc_elems() const { return p1 * n2; }
+  /// Overflow-checked alloc_elems() (see Dims3::checked_alloc_elems).
+  constexpr std::optional<long> checked_alloc_elems() const {
+    long total = 0;
+    if (__builtin_mul_overflow(p1, n2, &total)) return std::nullopt;
+    return total;
+  }
   constexpr bool valid() const { return n1 > 0 && n2 > 0 && p1 >= n1; }
   friend constexpr bool operator==(const Dims2&, const Dims2&) = default;
 };
@@ -124,8 +152,7 @@ class Array2D {
  public:
   Array2D() = default;
   explicit Array2D(Dims2 d, T init = T{})
-      : n1_(d.n1), n2_(d.n2), p1_(d.p1),
-        data_(static_cast<std::size_t>(d.alloc_elems()), init) {
+      : n1_(d.n1), n2_(d.n2), p1_(d.p1), data_(checked_count(d), init) {
     assert(d.valid());
   }
   Array2D(long n1, long n2, long p1 = -1)
@@ -155,6 +182,14 @@ class Array2D {
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
  private:
+  static std::size_t checked_count(const Dims2& d) {
+    const std::optional<long> n = d.checked_alloc_elems();
+    if (!n || *n < 0) {
+      throw std::length_error("Array2D: allocation size overflows long");
+    }
+    return static_cast<std::size_t>(*n);
+  }
+
   long n1_ = 0, n2_ = 0, p1_ = 0;
   AlignedVector<T> data_;
 };

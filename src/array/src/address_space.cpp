@@ -1,6 +1,7 @@
 #include "rt/array/address_space.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace rt::array {
@@ -8,6 +9,17 @@ namespace rt::array {
 namespace {
 std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
   return (x + a - 1) / a * a;
+}
+
+/// elems * elem_bytes, overflow-checked: a wrapped byte count would pass
+/// assert_disjoint (the range looks tiny) and silently alias every later
+/// placement, so fail loudly in all build types.
+std::uint64_t checked_bytes(std::uint64_t elems, std::uint32_t elem_bytes) {
+  std::uint64_t bytes = 0;
+  if (__builtin_mul_overflow(elems, std::uint64_t{elem_bytes}, &bytes)) {
+    throw std::length_error("AddressSpace: placement byte size overflows");
+  }
+  return bytes;
 }
 
 /// The new range [base, base + bytes) must not intersect any placed array:
@@ -39,9 +51,10 @@ std::uint64_t AddressSpace::place(std::string name, std::uint64_t elems,
                                   std::uint32_t elem_bytes) {
   next_ = align_up(next_, align_);
   const std::uint64_t base = next_;
-  assert_disjoint(placements_, base, elems * elem_bytes);
+  const std::uint64_t bytes = checked_bytes(elems, elem_bytes);
+  assert_disjoint(placements_, base, bytes);
   placements_.push_back(Placement{std::move(name), base, elems, elem_bytes});
-  next_ += elems * elem_bytes;
+  next_ += bytes;
   return base;
 }
 
@@ -56,9 +69,10 @@ std::uint64_t AddressSpace::place_mod(std::string name, std::uint64_t elems,
     next_ += (off_bytes + mod_bytes - rem) % mod_bytes;
   }
   const std::uint64_t base = next_;
-  assert_disjoint(placements_, base, elems * elem_bytes);
+  const std::uint64_t bytes = checked_bytes(elems, elem_bytes);
+  assert_disjoint(placements_, base, bytes);
   placements_.push_back(Placement{std::move(name), base, elems, elem_bytes});
-  next_ += elems * elem_bytes;
+  next_ += bytes;
   return base;
 }
 

@@ -12,6 +12,9 @@
 //   --simd-align    round padded leading dims up to the vector width
 //   --counters=M    hardware counters around host timing: off | auto | on
 //   --json=FILE     write records through rt::obs::MetricsWriter
+//   --verify=M      post-run NaN/Inf sweep: off | post | para (rt::guard)
+//   --timeout=SECS  per-run watchdog deadline; a hung run becomes a
+//                   recorded "timeout" row instead of wedging the sweep
 //
 // Numeric flags are validated in full: `--nmin=abc` or `--threads=` exit 2
 // with a message instead of silently becoming 0 (and the default).
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "rt/guard/verify.hpp"
 #include "rt/obs/perf_counters.hpp"
 #include "rt/simd/simd.hpp"
 
@@ -38,6 +42,10 @@ struct BenchOptions {
   /// --counters=off|auto|on hardware-counter policy for host timing.
   rt::obs::CounterMode counters = rt::obs::CounterMode::kAuto;
   std::string json;  ///< --json=PATH: write MetricsWriter records here
+  /// --verify=off|post|para post-run NaN/Inf sweep (rt::guard).
+  rt::guard::VerifyMode verify = rt::guard::VerifyMode::kOff;
+  /// --timeout=SECS per-run watchdog deadline (0 = off).
+  double timeout_seconds = 0;
 
   /// Sweep of problem sizes honouring the defaults and overrides.
   std::vector<long> sweep(long def_min, long def_max, long def_step,

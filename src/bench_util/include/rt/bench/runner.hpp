@@ -11,6 +11,8 @@
 #include "rt/cachesim/config.hpp"
 #include "rt/cachesim/perf_model.hpp"
 #include "rt/core/plan.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/guard/verify.hpp"
 #include "rt/kernels/kernel_info.hpp"
 #include "rt/obs/metrics_writer.hpp"
 #include "rt/obs/perf_counters.hpp"
@@ -42,6 +44,15 @@ struct RunOptions {
   /// probe succeeds, kOn always tries (reporting unavailable on failure).
   /// Only meaningful with time_host; simulation has exact counts already.
   rt::obs::CounterMode counters = rt::obs::CounterMode::kOff;
+  /// Post-run NaN/Inf sweep over every array's logical region (--verify=):
+  /// kPost sweeps serially, kPara splits K planes over a thread pool of
+  /// `threads` workers.  A non-zero count marks the run kNonFinite.
+  rt::guard::VerifyMode verify = rt::guard::VerifyMode::kOff;
+  /// Watchdog deadline for the whole run (--timeout=SECS): > 0 runs the
+  /// configuration on a supervised worker thread, and a run that exceeds
+  /// the deadline returns a recorded Status::kTimeout row instead of
+  /// wedging the sweep.  0 disables the watchdog.
+  double timeout_seconds = 0;
   long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
   rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
   rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
@@ -84,8 +95,25 @@ struct RunResult {
   rt::simd::SimdMode simd_requested = rt::simd::SimdMode::kOff;
   bool degraded() const {
     return threads < threads_requested ||
-           rt::simd::resolve(simd_requested) != simd;
+           rt::simd::resolve(simd_requested) != simd ||
+           status != rt::guard::Status::kOk ||
+           plan_status != rt::guard::Status::kOk;
   }
+  /// Run-level outcome: kOk for a normal run; kOverflow / kAllocFailed when
+  /// the configuration was skipped-and-recorded instead of run; kNonFinite
+  /// when the verify sweep found NaN/Inf; kTimeout when the watchdog fired.
+  /// Metrics of a non-kOk row are partial or zero — record, don't compare.
+  rt::guard::Status status = rt::guard::Status::kOk;
+  std::string status_detail;  ///< human-readable reason when status != kOk
+  /// Planner outcome from plan_for_checked (run_kernel only): records the
+  /// typed reason when the requested transform degraded (kFellBackUntiled,
+  /// kInvalidArgument, kInfeasible) while the run itself proceeded on the
+  /// fallback plan.
+  rt::guard::Status plan_status = rt::guard::Status::kOk;
+  std::string plan_detail;
+  /// Verify sweep results (all-zero when RunOptions::verify was kOff).
+  rt::guard::VerifyMode verify_mode = rt::guard::VerifyMode::kOff;
+  long nonfinite = 0;  ///< non-finite elements found across all arrays
   std::uint64_t sim_accesses = 0;
   std::uint64_t sim_flops = 0;
   double mem_elems = 0;  ///< total allocated elements across all arrays

@@ -78,10 +78,26 @@ BenchOptions parse_options(int argc, char** argv) {
         std::cerr << "empty --json= path\n";
         std::exit(2);
       }
+    } else if (a.rfind("--verify=", 0) == 0) {
+      if (!rt::guard::parse_verify_mode(a.substr(9), &o.verify)) {
+        std::cerr << "bad --verify value (want off|post|para): " << a << "\n";
+        std::exit(2);
+      }
+    } else if (a.rfind("--timeout=", 0) == 0) {
+      const char* s = a.c_str() + 10;
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0' || errno == ERANGE || !(v > 0)) {
+        std::cerr << "bad --timeout value (want seconds > 0): " << a << "\n";
+        std::exit(2);
+      }
+      o.timeout_seconds = v;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
                    "--steps= --threads=N --simd=off|auto|avx2 --simd-align "
-                   "--csv=FILE --counters=off|auto|on --json=FILE\n";
+                   "--csv=FILE --counters=off|auto|on --json=FILE "
+                   "--verify=off|post|para --timeout=SECS\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << a << "\n";

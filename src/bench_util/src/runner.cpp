@@ -3,11 +3,15 @@
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
 #include "rt/array/address_space.hpp"
+#include "rt/guard/fault_injector.hpp"
+#include "rt/guard/watchdog.hpp"
 #include "rt/array/array3d.hpp"
 #include "rt/cachesim/hierarchy.hpp"
 #include "rt/cachesim/traced_array.hpp"
@@ -149,6 +153,11 @@ void time_host(StepFn&& step, std::uint64_t flops_per_iter,
   const double t0 = now_seconds();
   double t1 = t0;
   do {
+    // Injected-hang site (rt::guard kHang): a wedged measured step, the
+    // case the run watchdog exists for.  armed() is one relaxed load.
+    if (rt::guard::FaultInjector::armed(rt::guard::FaultKind::kHang)) {
+      rt::guard::FaultInjector::instance().hang_point();
+    }
     rt::obs::ScopedTimer t(res.measure);
     step();
     ++iters;
@@ -163,16 +172,9 @@ void time_host(StepFn&& step, std::uint64_t flops_per_iter,
       static_cast<double>(flops_per_iter) * iters / (t1 - t0) / 1e6;
 }
 
-}  // namespace
-
-RunResult run_kernel(KernelId id, Transform tr, long n, const RunOptions& opts) {
-  const rt::core::TilingPlan plan = rt::core::plan_for(
-      tr, opts.cs_elems(), n, n, rt::kernels::kernel_info(id).spec);
-  return run_kernel_with_plan(id, plan, n, opts);
-}
-
-RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
-                               long n, const RunOptions& opts) {
+/// The body of run_kernel_with_plan, minus planning and watchdog concerns.
+RunResult run_with_plan_impl(KernelId id, const rt::core::TilingPlan& plan,
+                             long n, const RunOptions& opts) {
   if (n < 4) throw std::invalid_argument("run_kernel: n too small");
   const rt::kernels::KernelInfo& info = rt::kernels::kernel_info(id);
   RunResult res;
@@ -185,13 +187,44 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
 
   const long kd = opts.k_dim;
   const Dims3 dims = Dims3::padded(n, n, kd, res.plan.dip, res.plan.djp);
+  if (!dims.checked_alloc_elems()) {
+    // External plans (run_kernel_with_plan callers) reach here without
+    // going through plan_for_checked's overflow gate.
+    res.status = rt::guard::Status::kOverflow;
+    res.status_detail = "allocation size overflows long for padded dims " +
+                        std::to_string(res.plan.dip) + "x" +
+                        std::to_string(res.plan.djp) + "x" +
+                        std::to_string(kd);
+    return res;
+  }
 
   // Allocate the kernel's arrays and place them back to back (Fortran
-  // COMMON style) in the simulated address space.
+  // COMMON style) in the simulated address space.  Allocation failure —
+  // real exhaustion at production problem sizes, or an injected fault —
+  // becomes a skipped-and-recorded row, never a crash mid-sweep.
   std::vector<Array3D<double>> arrays;
-  for (int i = 0; i < info.num_arrays; ++i) {
-    arrays.emplace_back(dims);
-    init_grid(arrays.back(), 1.0 / (1.0 + i));
+  try {
+    for (int i = 0; i < info.num_arrays; ++i) {
+      arrays.emplace_back(dims);
+      init_grid(arrays.back(), 1.0 / (1.0 + i));
+    }
+  } catch (const std::bad_alloc&) {
+    res.status = rt::guard::Status::kAllocFailed;
+    res.status_detail = "allocation failed for " +
+                        std::to_string(info.num_arrays) + " arrays of " +
+                        std::to_string(dims.alloc_elems()) + " doubles";
+    return res;
+  }
+  // Injected input corruption (rt::guard kNanInput): one poisoned interior
+  // element, which the stencil spreads and the --verify sweep must catch.
+  // The *last* array is always a kernel input (JACOBI b, RESID u, PSINV r,
+  // REDBLACK in-place); arrays[0] is the output for most kernels and the
+  // first sweep would silently overwrite the poison.
+  if (rt::guard::FaultInjector::armed(rt::guard::FaultKind::kNanInput) &&
+      rt::guard::FaultInjector::instance().should_fail(
+          rt::guard::FaultKind::kNanInput)) {
+    arrays.back()(n / 2, n / 2, kd / 2) =
+        std::numeric_limits<double>::quiet_NaN();
   }
   rt::array::AddressSpace space(0, 64);
   std::vector<std::uint64_t> bases;
@@ -206,7 +239,12 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
   if (opts.simulate) {
     CacheHierarchy hier(opts.l1, opts.l2);
     auto run_traced = [&](auto&& stepfn, auto&&... accs) {
-      for (int t = 0; t < opts.time_steps; ++t) stepfn(accs...);
+      for (int t = 0; t < opts.time_steps; ++t) {
+        if (rt::guard::FaultInjector::armed(rt::guard::FaultKind::kHang)) {
+          rt::guard::FaultInjector::instance().hang_point();
+        }
+        stepfn(accs...);
+      }
     };
     switch (id) {
       case KernelId::kJacobi: {
@@ -384,6 +422,85 @@ RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
     }
     time_host(step, fl_step, opts, res);
   }
+
+  if (opts.verify != rt::guard::VerifyMode::kOff) {
+    // Post-run guardrail: NaN/Inf anywhere in any array's logical region
+    // (simulation mutates the same native arrays through the traced
+    // accessors, so one sweep covers both execution paths).
+    res.verify_mode = opts.verify;
+    long bad = 0;
+    if (opts.verify == rt::guard::VerifyMode::kPara && opts.threads > 1) {
+      rt::par::ThreadPool pool(opts.threads);
+      for (const auto& a : arrays) bad += rt::guard::count_nonfinite_par(pool, a);
+    } else {
+      for (const auto& a : arrays) bad += rt::guard::count_nonfinite(a);
+    }
+    res.nonfinite = bad;
+    if (bad > 0 && res.status == rt::guard::Status::kOk) {
+      res.status = rt::guard::Status::kNonFinite;
+      res.status_detail = std::to_string(bad) +
+                          " non-finite elements after the measured run";
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+RunResult run_kernel(KernelId id, Transform tr, long n, const RunOptions& opts) {
+  const rt::core::PlanReport rep = rt::core::plan_for_checked(
+      tr, opts.cs_elems(), n, n, rt::kernels::kernel_info(id).spec,
+      opts.k_dim);
+  if (rep.status == rt::guard::Status::kOverflow) {
+    // The planned allocation cannot be represented: skip-and-record, the
+    // fallback plan would overflow just the same.
+    RunResult res;
+    res.plan = rep.plan;
+    res.status = rep.status;
+    res.status_detail = rep.detail;
+    res.plan_status = rep.status;
+    res.plan_detail = rep.detail;
+    return res;
+  }
+  RunResult res = run_kernel_with_plan(id, rep.plan, n, opts);
+  res.plan_status = rep.status;
+  res.plan_detail = rep.detail;
+  return res;
+}
+
+RunResult run_kernel_with_plan(KernelId id, const rt::core::TilingPlan& plan,
+                               long n, const RunOptions& opts) {
+  if (opts.timeout_seconds <= 0) return run_with_plan_impl(id, plan, n, opts);
+
+  // Watchdog-supervised run: the worker closure owns every piece of state
+  // it touches (the whole run context is built inside run_with_plan_impl on
+  // the worker's stack; the result lands in shared heap state), so an
+  // abandoned worker can never scribble on this frame — the contract
+  // rt::guard::run_with_deadline requires.
+  struct Shared {
+    std::mutex m;
+    RunResult res;
+  };
+  auto shared = std::make_shared<Shared>();
+  const auto deadline = std::chrono::milliseconds(
+      static_cast<long>(opts.timeout_seconds * 1000.0));
+  const rt::guard::WatchdogResult w = rt::guard::run_with_deadline(
+      [shared, id, plan, n, opts] {
+        RunResult r = run_with_plan_impl(id, plan, n, opts);
+        std::lock_guard<std::mutex> lk(shared->m);
+        shared->res = std::move(r);
+      },
+      deadline);
+  if (w.completed) {
+    std::lock_guard<std::mutex> lk(shared->m);
+    return std::move(shared->res);
+  }
+  RunResult res;
+  res.plan = plan;
+  res.status = rt::guard::Status::kTimeout;
+  res.status_detail =
+      "watchdog: run exceeded " + std::to_string(opts.timeout_seconds) +
+      "s deadline" + (w.abandoned ? " (worker abandoned)" : "");
   return res;
 }
 
@@ -452,8 +569,21 @@ void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
       .set("threads", r.threads)
       .set("threads_requested", r.threads_requested)
       .set("degraded", r.degraded())
+      // Typed degradation reasons (rt::guard): why this row is partial, and
+      // why the planner fell back, as stable tokens — "ok" on clean rows.
+      .set("status", rt::guard::status_name(r.status))
+      .set("plan_status", rt::guard::status_name(r.plan_status))
       // milli-MFlops precision, the rounding the jq reshape applied
       .set("mflops", std::round(r.host_mflops * 1000.0) / 1000.0);
+
+  if (r.verify_mode != rt::guard::VerifyMode::kOff) {
+    JsonValue v = JsonValue::object();
+    v.set("mode", rt::guard::verify_mode_name(r.verify_mode))
+        .set("nonfinite", r.nonfinite);
+    rec.set("verify", std::move(v));
+  } else {
+    rec.set("verify", JsonValue());
+  }
 
   if (r.sim_accesses > 0) {
     JsonValue sim = JsonValue::object();

@@ -15,6 +15,7 @@
 
 #include "rt/core/cost.hpp"
 #include "rt/core/stencil_spec.hpp"
+#include "rt/guard/status.hpp"
 
 namespace rt::core {
 
@@ -45,5 +46,13 @@ struct Euc3dResult {
 /// atd <= d with equal-or-larger TI/TJ Pareto frontier) and return the
 /// trimmed iteration tile minimising the cost function.
 Euc3dResult euc3d(long cs, long di, long dj, const StencilSpec& spec);
+
+/// Validated euc3d(): never throws.  kInvalidArgument for non-positive
+/// inputs or dimensions at/below the stencil halo, kInfeasible when the
+/// cache cannot hold the stencil's ATD planes of even a single element or
+/// when every enumerated tile trims away (the unchecked euc3d() would
+/// return an infinite-cost empty tile the caller must remember to test).
+rt::guard::Expected<Euc3dResult> euc3d_checked(long cs, long di, long dj,
+                                               const StencilSpec& spec);
 
 }  // namespace rt::core

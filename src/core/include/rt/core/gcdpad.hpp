@@ -7,6 +7,7 @@
 #include "rt/core/cost.hpp"
 #include "rt/core/euc3d.hpp"
 #include "rt/core/stencil_spec.hpp"
+#include "rt/guard/status.hpp"
 
 namespace rt::core {
 
@@ -25,5 +26,12 @@ PadPlan gcd_pad(long cs, long di, long dj, const StencilSpec& spec);
 
 /// The array-tile depth GcdPad uses for @p spec (see above).
 int gcd_pad_tk(const StencilSpec& spec);
+
+/// Validated gcd_pad(): never throws.  kInvalidArgument when cs is not a
+/// power of two (the GCD construction needs pow-2 strides to divide the
+/// cache) or a dimension is non-positive / at or below the stencil halo;
+/// kInfeasible when the cache is smaller than the required tile depth.
+rt::guard::Expected<PadPlan> gcd_pad_checked(long cs, long di, long dj,
+                                             const StencilSpec& spec);
 
 }  // namespace rt::core

@@ -11,4 +11,10 @@ namespace rt::core {
 
 PadPlan pad(long cs, long di, long dj, const StencilSpec& spec);
 
+/// Validated pad(): same input contract (and failure reasons) as
+/// gcd_pad_checked — Pad's search space is bounded by GcdPad's plan, so an
+/// input GcdPad rejects is unanswerable for Pad too.
+rt::guard::Expected<PadPlan> pad_checked(long cs, long di, long dj,
+                                         const StencilSpec& spec);
+
 }  // namespace rt::core

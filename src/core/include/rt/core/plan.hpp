@@ -2,11 +2,13 @@
 // Transformation dispatcher: maps the paper's Table 2 rows onto concrete
 // (tile, padding) decisions for a kernel + problem size.
 
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "rt/core/cost.hpp"
 #include "rt/core/stencil_spec.hpp"
+#include "rt/guard/status.hpp"
 
 namespace rt::core {
 
@@ -40,5 +42,28 @@ struct TilingPlan {
 /// untiled execution.
 TilingPlan plan_for(Transform transform, long cs, long di, long dj,
                     const StencilSpec& spec);
+
+/// plan_for() plus the typed reason for any degradation.  `plan` is always
+/// usable (on failure it is the untiled, unpadded fallback plan_for would
+/// have silently produced), and `status` says what actually happened:
+///   kOk               the transform ran as requested
+///   kInvalidArgument  cs <= 0, a dimension at/below the stencil halo, or a
+///                     non-pow-2 cache for the GCD-based transforms
+///   kInfeasible       valid inputs, but the cache cannot hold the
+///                     stencil's ATD planes (no tile can exist)
+///   kFellBackUntiled  the tiling search found nothing; running untiled
+///   kOverflow         the padded allocation size dip*djp*n3 overflows long
+struct PlanReport {
+  TilingPlan plan;
+  rt::guard::Status status = rt::guard::Status::kOk;
+  std::string detail;  ///< human-readable reason when status != kOk
+  bool ok() const { return status == rt::guard::Status::kOk; }
+};
+
+/// Validated planner entry point: never throws, never silently degrades.
+/// @p n3 is the third (unpadded) array extent for the overflow check; pass
+/// 0 when unknown (only the dip*djp plane stride is checked then).
+PlanReport plan_for_checked(Transform transform, long cs, long di, long dj,
+                            const StencilSpec& spec, long n3 = 0);
 
 }  // namespace rt::core

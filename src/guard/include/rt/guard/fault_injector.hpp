@@ -1,0 +1,99 @@
+#pragma once
+// Deterministic fault injection: the test harness that turns "this path
+// degrades gracefully" from an assumption into an exercised property.
+// Production code places cheap hooks at its failure points (allocation,
+// perf-counter open, thread spawn, input seeding, a hang point in the bench
+// loop); tests — or the RT_GUARD_FAULTS environment variable — arm specific
+// kinds, and the hook then forces the same failure the real world would
+// produce (bad_alloc, a failed perf_event_open, a thread that never spawns,
+// a NaN-poisoned grid, a wedged step).
+//
+// Design constraints, in order:
+//  * zero cost when disarmed — the hook sites guard on a single relaxed
+//    atomic bitmask load (armed()), so shipping the hooks in hot paths
+//    (AlignedAllocator::allocate) costs one predictable branch;
+//  * deterministic — faults fire by trigger count (fail the Nth+1 matching
+//    site, for M occurrences), never by randomness or time;
+//  * thread-safe — hooks may fire concurrently from rt::par workers.
+
+#include <atomic>
+#include <string>
+
+namespace rt::guard {
+
+/// The failure points production code exposes to injection.
+enum class FaultKind : int {
+  kAlloc = 0,     ///< AlignedAllocator::allocate throws std::bad_alloc
+  kCounterOpen,   ///< rt::obs::PerfCounters opens as unavailable
+  kThreadSpawn,   ///< rt::par::ThreadPool stops spawning workers (degrades)
+  kNanInput,      ///< rt::bench runner seeds a NaN into the input grid
+  kHang,          ///< hang_point() blocks until cancel_hangs()
+};
+inline constexpr int kNumFaultKinds = 5;
+
+/// Stable token ("alloc", "counter", "thread", "nan", "hang").
+const char* fault_kind_name(FaultKind k);
+bool parse_fault_kind(const std::string& s, FaultKind* out);
+
+class FaultInjector {
+ public:
+  /// Process-wide injector.  The first call parses RT_GUARD_FAULTS (see
+  /// parse_spec for the grammar) so whole benches can be fault-seeded from
+  /// the environment without recompiling.
+  static FaultInjector& instance();
+
+  /// Fast disarmed check for hook sites: a relaxed load of a bitmask.
+  /// Hooks should test this before paying for should_fail()'s mutex.
+  static bool armed(FaultKind k) {
+    return (armed_mask_.load(std::memory_order_relaxed) >>
+            static_cast<unsigned>(k)) & 1u;
+  }
+
+  /// Arm @p k: skip the first @p after triggers, then fire on the next
+  /// @p count triggers (count < 0 = every trigger until disarmed).
+  void arm(FaultKind k, long after = 0, long count = -1);
+  void disarm(FaultKind k);
+  void disarm_all();
+
+  /// Hook entry point: counts one trigger of @p k and reports whether the
+  /// fault fires this time.  Always false when disarmed (but still cheap —
+  /// call armed() first on hot paths).
+  bool should_fail(FaultKind k);
+
+  /// Observability for tests: how many times a hook site asked / fired.
+  long triggers(FaultKind k) const;
+  long fired(FaultKind k) const;
+
+  /// Cooperative hang site (kHang): when armed and firing, blocks the
+  /// calling thread until cancel_hangs() or disarm(kHang).  The watchdog
+  /// cancels hangs on timeout so injected hangs never leak threads.
+  void hang_point();
+  void cancel_hangs();
+
+  /// Parse an injection spec: comma-separated `kind[:after[:count]]`, e.g.
+  ///   "alloc"            fail every allocation
+  ///   "alloc:2"          fail from the 3rd allocation on
+  ///   "counter:0:1,hang" fail the first counter open, and hang once armed
+  /// Returns false (and arms nothing from the bad clause) on a malformed
+  /// spec; @p err receives the offending clause.
+  bool parse_spec(const std::string& spec, std::string* err = nullptr);
+
+ private:
+  FaultInjector();
+
+  struct Slot {
+    bool armed = false;
+    long after = 0;
+    long count = -1;
+    long triggers = 0;
+    long fired = 0;
+  };
+
+  // One word the hook sites can poll without taking the mutex.
+  inline static std::atomic<unsigned> armed_mask_{0};
+
+  struct Impl;
+  Impl* impl_;  // never destroyed (process-lifetime singleton)
+};
+
+}  // namespace rt::guard

@@ -1,0 +1,68 @@
+#pragma once
+// Typed outcomes for rt::guard validated entry points.  Every degraded path
+// in the system — a planner falling back to untiled execution, an overflowed
+// allocation size, a run that timed out under the watchdog — carries one of
+// these codes instead of silently producing a default, so benches and tests
+// can record *why* a configuration degraded (ISSUE: verifiable, not assumed).
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace rt::guard {
+
+/// Outcome codes shared across the guard, core and bench layers.  kOk is the
+/// only success value; names (status_name) are stable JSON/table tokens.
+enum class Status : int {
+  kOk = 0,
+  kInvalidArgument,   ///< input fails validation (cs <= 0, dims below halo, …)
+  kInfeasible,        ///< inputs valid but no solution exists (cache too small)
+  kFellBackUntiled,   ///< tiling search found nothing; ran untiled instead
+  kOverflow,          ///< a size computation would overflow its integer type
+  kAllocFailed,       ///< allocation failed (real OOM or injected)
+  kNonFinite,         ///< verify sweep found NaN/Inf in kernel output
+  kTimeout,           ///< watchdog deadline expired before the run finished
+};
+
+/// Stable lower-snake token ("ok", "fell_back_untiled", …) for tables/JSON.
+const char* status_name(Status s);
+
+/// Parse the token form back into a Status (anything else returns false).
+bool parse_status(const std::string& s, Status* out);
+
+/// Minimal expected-or-error result: either a T (status kOk) or a non-kOk
+/// Status plus a human-readable detail line.  Deliberately tiny — no
+/// exceptions in flight, no allocation beyond the detail string — so the
+/// planner hot paths can return it by value.
+template <class T>
+class Expected {
+ public:
+  Expected(T v) : value_(std::move(v)), status_(Status::kOk) {}
+  Expected(Status s, std::string detail = {})
+      : status_(s), detail_(std::move(detail)) {
+    assert(s != Status::kOk && "error Expected needs a non-ok status");
+  }
+
+  bool ok() const { return status_ == Status::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  Status status() const { return status_; }
+  const std::string& detail() const { return detail_; }
+
+  const T& value() const {
+    assert(ok());
+    return value_;
+  }
+  T& value() {
+    assert(ok());
+    return value_;
+  }
+  const T& value_or(const T& fallback) const { return ok() ? value_ : fallback; }
+
+ private:
+  T value_{};
+  Status status_;
+  std::string detail_;
+};
+
+}  // namespace rt::guard

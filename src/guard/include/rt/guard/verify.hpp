@@ -1,0 +1,62 @@
+#pragma once
+// NaN/Inf output verification: stencil kernels propagate a single poisoned
+// element across the whole grid within a few sweeps, so a cheap post-run
+// finiteness sweep catches numerical blow-ups, uninitialised reads and
+// (injected) input corruption that timing alone would happily average over.
+//
+// The sweeps are templates over the accessor concept (n1/n2/n3 + operator())
+// shared with rt::cachesim::TracedArray3D, and over any executor with
+// rt::par::ThreadPool's parallel_for shape, so this header pulls in neither
+// library.  Only the *logical* n1 x n2 x n3 region is swept: padding slack
+// is storage, not data, and is allowed to hold anything.
+
+#include <atomic>
+#include <cmath>
+#include <string>
+
+namespace rt::guard {
+
+/// Bench-level verification policy (the --verify= flag).
+enum class VerifyMode {
+  kOff,   ///< no sweep
+  kPost,  ///< serial sweep after the measured run
+  kPara,  ///< sweep split over the run's thread pool (rt::par)
+};
+
+const char* verify_mode_name(VerifyMode m);
+
+/// Parse "off" / "post" / "para" (anything else returns false).
+bool parse_verify_mode(const std::string& s, VerifyMode* out);
+
+/// Number of non-finite elements in the logical region of @p a.
+template <class Arr>
+long count_nonfinite(const Arr& a) {
+  long bad = 0;
+  for (long k = 0; k < a.n3(); ++k) {
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        if (!std::isfinite(a(i, j, k))) ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+/// Same count, K planes distributed over @p pool (identical result: counting
+/// commutes, and each plane is swept by exactly one worker).
+template <class Pool, class Arr>
+long count_nonfinite_par(Pool& pool, const Arr& a) {
+  std::atomic<long> bad{0};
+  pool.parallel_for(a.n3(), [&](long k) {
+    long plane = 0;
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        if (!std::isfinite(a(i, j, k))) ++plane;
+      }
+    }
+    if (plane != 0) bad.fetch_add(plane, std::memory_order_relaxed);
+  });
+  return bad.load();
+}
+
+}  // namespace rt::guard

@@ -1,0 +1,35 @@
+#pragma once
+// Per-run watchdog: run a task on a worker thread with a deadline, so a
+// wedged kernel sweep produces a recorded "timeout" row instead of hanging
+// scripts/reproduce.sh forever.
+//
+// Cancellation model: C++ threads cannot be killed safely, so on timeout the
+// watchdog (1) cancels any rt::guard injected hangs — the only hang source
+// tests create — and gives the task a short grace period to finish, then
+// (2) abandons (detaches) it.  The contract that makes abandonment safe:
+// the task closure must OWN everything it touches (by-value captures or
+// shared_ptr-held heap state), never references into the caller's frame,
+// because the caller returns while the abandoned task may still run.
+// rt::bench::runner honours this by building the whole run context inside
+// the closure.
+
+#include <chrono>
+#include <functional>
+
+namespace rt::guard {
+
+/// Outcome of a watchdog-supervised task.
+struct WatchdogResult {
+  bool completed = false;  ///< task finished before the deadline
+  bool abandoned = false;  ///< timed out AND did not finish within the grace
+                           ///< period; its thread was detached (leaked)
+};
+
+/// Run @p fn on a dedicated thread and wait at most @p timeout for it.
+/// Exceptions escaping @p fn are rethrown here when the task completes in
+/// time; an abandoned task's exception is swallowed with the thread.
+WatchdogResult run_with_deadline(
+    std::function<void()> fn, std::chrono::milliseconds timeout,
+    std::chrono::milliseconds grace = std::chrono::milliseconds(500));
+
+}  // namespace rt::guard

@@ -1,0 +1,175 @@
+#include "rt/guard/fault_injector.hpp"
+
+#include <array>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+namespace rt::guard {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kAlloc: return "alloc";
+    case FaultKind::kCounterOpen: return "counter";
+    case FaultKind::kThreadSpawn: return "thread";
+    case FaultKind::kNanInput: return "nan";
+    case FaultKind::kHang: return "hang";
+  }
+  return "?";
+}
+
+bool parse_fault_kind(const std::string& s, FaultKind* out) {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (s == fault_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct FaultInjector::Impl {
+  mutable std::mutex m;
+  std::condition_variable cv_hang;
+  bool cancel_hangs = false;
+  std::array<Slot, kNumFaultKinds> slots;
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl()) {
+  if (const char* env = std::getenv("RT_GUARD_FAULTS")) {
+    // Environment seeding is best-effort: a malformed clause arms nothing
+    // (parse_spec reports it, but there is no caller to tell at static
+    // init, and crashing a bench over a typo'd env var defeats the point).
+    parse_spec(env);
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* g = new FaultInjector();
+  return *g;
+}
+
+namespace {
+// Hook sites poll the static armed() bitmask and only touch the singleton
+// once a fault is armed — so RT_GUARD_FAULTS must be parsed (by the first
+// instance() call) before any hook runs, not lazily after.  Force it at
+// static initialisation.
+[[maybe_unused]] FaultInjector& g_env_seed = FaultInjector::instance();
+}  // namespace
+
+void FaultInjector::arm(FaultKind k, long after, long count) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  Slot& s = impl_->slots[static_cast<std::size_t>(k)];
+  s.armed = true;
+  s.after = after;
+  s.count = count;
+  s.triggers = 0;
+  s.fired = 0;
+  if (k == FaultKind::kHang) impl_->cancel_hangs = false;
+  armed_mask_.fetch_or(1u << static_cast<unsigned>(k),
+                       std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(FaultKind k) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->slots[static_cast<std::size_t>(k)].armed = false;
+    armed_mask_.fetch_and(~(1u << static_cast<unsigned>(k)),
+                          std::memory_order_relaxed);
+  }
+  // A disarmed hang releases anyone still blocked at a hang point.
+  if (k == FaultKind::kHang) impl_->cv_hang.notify_all();
+}
+
+void FaultInjector::disarm_all() {
+  for (int i = 0; i < kNumFaultKinds; ++i) disarm(static_cast<FaultKind>(i));
+}
+
+bool FaultInjector::should_fail(FaultKind k) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  Slot& s = impl_->slots[static_cast<std::size_t>(k)];
+  if (!s.armed) return false;
+  const long t = s.triggers++;
+  if (t < s.after) return false;
+  if (s.count >= 0 && s.fired >= s.count) return false;
+  ++s.fired;
+  return true;
+}
+
+long FaultInjector::triggers(FaultKind k) const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return impl_->slots[static_cast<std::size_t>(k)].triggers;
+}
+
+long FaultInjector::fired(FaultKind k) const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  return impl_->slots[static_cast<std::size_t>(k)].fired;
+}
+
+void FaultInjector::hang_point() {
+  if (!armed(FaultKind::kHang)) return;
+  if (!should_fail(FaultKind::kHang)) return;
+  std::unique_lock<std::mutex> lk(impl_->m);
+  impl_->cv_hang.wait(lk, [this] {
+    return impl_->cancel_hangs ||
+           !impl_->slots[static_cast<std::size_t>(FaultKind::kHang)].armed;
+  });
+}
+
+void FaultInjector::cancel_hangs() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->cancel_hangs = true;
+    impl_->slots[static_cast<std::size_t>(FaultKind::kHang)].armed = false;
+    armed_mask_.fetch_and(~(1u << static_cast<unsigned>(FaultKind::kHang)),
+                          std::memory_order_relaxed);
+  }
+  impl_->cv_hang.notify_all();
+}
+
+bool FaultInjector::parse_spec(const std::string& spec, std::string* err) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    // kind[:after[:count]] with strict numeric fields.
+    std::string kind = clause;
+    long after = 0, count = -1;
+    const std::size_t c1 = clause.find(':');
+    if (c1 != std::string::npos) {
+      kind = clause.substr(0, c1);
+      const std::size_t c2 = clause.find(':', c1 + 1);
+      const std::string a_str = clause.substr(
+          c1 + 1, (c2 == std::string::npos ? clause.size() : c2) - c1 - 1);
+      const std::string n_str =
+          c2 == std::string::npos ? "" : clause.substr(c2 + 1);
+      const auto parse_long = [](const std::string& s, long* out) {
+        if (s.empty()) return false;
+        char* e = nullptr;
+        const long v = std::strtol(s.c_str(), &e, 10);
+        if (e != s.c_str() + s.size()) return false;
+        *out = v;
+        return true;
+      };
+      if (!parse_long(a_str, &after) ||
+          (c2 != std::string::npos && !parse_long(n_str, &count))) {
+        if (err) *err = clause;
+        return false;
+      }
+    }
+    FaultKind k;
+    if (!parse_fault_kind(kind, &k)) {
+      if (err) *err = clause;
+      return false;
+    }
+    arm(k, after, count);
+  }
+  return true;
+}
+
+}  // namespace rt::guard

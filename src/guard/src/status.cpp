@@ -1,0 +1,32 @@
+#include "rt/guard/status.hpp"
+
+namespace rt::guard {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kInvalidArgument: return "invalid_argument";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kFellBackUntiled: return "fell_back_untiled";
+    case Status::kOverflow: return "overflow";
+    case Status::kAllocFailed: return "alloc_failed";
+    case Status::kNonFinite: return "nonfinite";
+    case Status::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+bool parse_status(const std::string& s, Status* out) {
+  for (Status st : {Status::kOk, Status::kInvalidArgument, Status::kInfeasible,
+                    Status::kFellBackUntiled, Status::kOverflow,
+                    Status::kAllocFailed, Status::kNonFinite,
+                    Status::kTimeout}) {
+    if (s == status_name(st)) {
+      *out = st;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rt::guard

@@ -1,0 +1,27 @@
+#include "rt/guard/verify.hpp"
+
+namespace rt::guard {
+
+const char* verify_mode_name(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kPost: return "post";
+    case VerifyMode::kPara: return "para";
+  }
+  return "?";
+}
+
+bool parse_verify_mode(const std::string& s, VerifyMode* out) {
+  if (s == "off") {
+    *out = VerifyMode::kOff;
+  } else if (s == "post") {
+    *out = VerifyMode::kPost;
+  } else if (s == "para") {
+    *out = VerifyMode::kPara;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rt::guard

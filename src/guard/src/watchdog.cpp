@@ -1,0 +1,69 @@
+#include "rt/guard/watchdog.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "rt/guard/fault_injector.hpp"
+
+namespace rt::guard {
+
+namespace {
+
+struct TaskState {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+WatchdogResult run_with_deadline(std::function<void()> fn,
+                                 std::chrono::milliseconds timeout,
+                                 std::chrono::milliseconds grace) {
+  auto state = std::make_shared<TaskState>();
+  std::thread worker([state, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(state->m);
+    state->done = true;
+    state->error = err;
+    state->cv.notify_all();
+  });
+
+  WatchdogResult res;
+  std::unique_lock<std::mutex> lk(state->m);
+  if (state->cv.wait_for(lk, timeout, [&] { return state->done; })) {
+    res.completed = true;
+  } else {
+    // Deadline expired.  Injected hangs are cooperative: cancelling them
+    // lets a fault-injection test's "hung" task finish inside the grace
+    // period, so the worker is joined and nothing leaks.  A genuinely
+    // wedged task is abandoned instead — the leak is the price of not
+    // blocking the whole sweep, and the caller records it.
+    lk.unlock();
+    FaultInjector::instance().cancel_hangs();
+    lk.lock();
+    if (!state->cv.wait_for(lk, grace, [&] { return state->done; })) {
+      res.abandoned = true;
+    }
+  }
+  lk.unlock();
+
+  if (res.abandoned) {
+    worker.detach();
+    return res;
+  }
+  worker.join();
+  if (res.completed && state->error) std::rethrow_exception(state->error);
+  return res;
+}
+
+}  // namespace rt::guard

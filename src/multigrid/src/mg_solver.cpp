@@ -86,8 +86,10 @@ std::uint64_t MgSolver::base_of(const Grid& g) const {
     if (&g == &r_[i]) return r_base_[i];
   }
   if (&g == &v_) return v_base_;
-  assert(false && "grid not owned by solver");
-  return 0;
+  // A foreign grid here means a traced access would be attributed to a
+  // wrong (or overlapping) base address, silently corrupting every cache
+  // measurement — fail loudly in release builds too, not just under assert.
+  throw std::logic_error("MgSolver::base_of: grid not owned by solver");
 }
 
 void MgSolver::comm3_grid(Grid& g) {

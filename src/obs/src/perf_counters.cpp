@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "rt/guard/fault_injector.hpp"
+
 #if defined(__linux__)
 #include <linux/perf_event.h>
 #include <sys/ioctl.h>
@@ -27,6 +29,15 @@ bool env_disabled() {
 }
 
 bool disabled() { return g_force_unavailable.load() || env_disabled(); }
+
+/// Fault-injection hook (rt::guard kCounterOpen): behaves exactly like a
+/// denied perf_event_open, so the graceful-degradation path tests exercise
+/// is the one real hosts without PMU access take.
+bool injected_open_failure() {
+  return rt::guard::FaultInjector::armed(rt::guard::FaultKind::kCounterOpen) &&
+         rt::guard::FaultInjector::instance().should_fail(
+             rt::guard::FaultKind::kCounterOpen);
+}
 
 // Remembers the errno of the first failed open so describe_counter_support
 // can explain *why* the host degraded.
@@ -137,7 +148,7 @@ struct PerfCounters::Impl {
 };
 
 PerfCounters::PerfCounters() {
-  if (disabled()) return;
+  if (disabled() || injected_open_failure()) return;
   auto impl = new Impl();
   int group = -1;
   for (int i = 0; i < kNumCounters; ++i) {

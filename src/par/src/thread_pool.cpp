@@ -1,5 +1,9 @@
 #include "rt/par/thread_pool.hpp"
 
+#include <system_error>
+
+#include "rt/guard/fault_injector.hpp"
+
 namespace rt::par {
 
 int ThreadPool::default_threads() {
@@ -11,7 +15,21 @@ ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_threads();
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int t = 1; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Spawn failure (resource exhaustion, or an injected fault) degrades
+    // the pool to the width reached so far instead of crashing: any width
+    // >= 1 is correct (parallel_for's dynamic scheduling covers all
+    // indices), and num_threads() reports the real width so callers can
+    // record requested-vs-ran (RunResult::degraded()).
+    if (rt::guard::FaultInjector::armed(rt::guard::FaultKind::kThreadSpawn) &&
+        rt::guard::FaultInjector::instance().should_fail(
+            rt::guard::FaultKind::kThreadSpawn)) {
+      break;
+    }
+    try {
+      workers_.emplace_back([this] { worker_loop(); });
+    } catch (const std::system_error&) {
+      break;
+    }
   }
 }
 

@@ -6,6 +6,9 @@
 
 #include "rt/core/conflict.hpp"
 #include "rt/core/cost.hpp"
+#include "rt/core/euc3d.hpp"
+#include "rt/core/gcdpad.hpp"
+#include "rt/core/pad.hpp"
 #include "rt/core/plan.hpp"
 #include "rt/core/square_tile.hpp"
 
@@ -122,6 +125,110 @@ TEST(Plan, TransformNames) {
   EXPECT_EQ(transform_name(Transform::kOrig), "Orig");
   EXPECT_EQ(transform_name(Transform::kGcdPadNT), "GcdPadNT");
   EXPECT_EQ(all_transforms().size(), 6u);
+}
+
+using rt::guard::Status;
+
+TEST(PlanChecked, MatchesUncheckedOnValidInputs) {
+  for (Transform tr : all_transforms()) {
+    for (long n : {200L, 300L, 341L}) {
+      const PlanReport rep = plan_for_checked(tr, 2048, n, n, kJac, 30);
+      EXPECT_EQ(rep.status, Status::kOk) << transform_name(tr) << " n=" << n
+                                         << ": " << rep.detail;
+      const TilingPlan p = plan_for(tr, 2048, n, n, kJac);
+      EXPECT_EQ(rep.plan.tiled, p.tiled) << transform_name(tr);
+      EXPECT_EQ(rep.plan.dip, p.dip) << transform_name(tr);
+      EXPECT_EQ(rep.plan.djp, p.djp) << transform_name(tr);
+      if (p.tiled) EXPECT_EQ(rep.plan.tile, p.tile) << transform_name(tr);
+    }
+  }
+}
+
+TEST(PlanChecked, RejectsNonPositiveCacheSize) {
+  for (Transform tr : {Transform::kTile, Transform::kEuc3d,
+                       Transform::kGcdPad, Transform::kPad}) {
+    const PlanReport rep = plan_for_checked(tr, 0, 300, 300, kJac);
+    EXPECT_EQ(rep.status, Status::kInvalidArgument) << transform_name(tr);
+    EXPECT_FALSE(rep.plan.tiled);  // fallback plan is usable
+    EXPECT_EQ(rep.plan.dip, 300);
+    EXPECT_FALSE(rep.detail.empty());
+  }
+}
+
+TEST(PlanChecked, CacheSmallerThanStencilDepthIsInfeasible) {
+  // cs = 1 is a valid (positive) cache, but cannot hold the stencil's
+  // ATD = 3 planes of even one element each.
+  const PlanReport rep = plan_for_checked(Transform::kTile, 1, 300, 300, kJac);
+  EXPECT_EQ(rep.status, Status::kInfeasible);
+  EXPECT_FALSE(rep.plan.tiled);
+}
+
+TEST(PlanChecked, RejectsDimensionsAtOrBelowHalo) {
+  // trim_i = trim_j = 2 for Jacobi: a 2-wide dimension has no interior.
+  for (Transform tr : all_transforms()) {
+    const PlanReport rep = plan_for_checked(tr, 2048, 2, 300, kJac);
+    EXPECT_EQ(rep.status, Status::kInvalidArgument) << transform_name(tr);
+  }
+}
+
+TEST(PlanChecked, GcdFamilyRejectsNonPow2Cache) {
+  // The unchecked gcd_pad throws on a non-power-of-two cache; the checked
+  // planner reports it as a typed reason with the untiled fallback plan.
+  for (Transform tr :
+       {Transform::kGcdPad, Transform::kPad, Transform::kGcdPadNT}) {
+    const PlanReport rep = plan_for_checked(tr, 1000, 300, 300, kJac);
+    EXPECT_EQ(rep.status, Status::kInvalidArgument) << transform_name(tr);
+    EXPECT_FALSE(rep.plan.tiled) << transform_name(tr);
+    EXPECT_EQ(rep.plan.dip, 300) << transform_name(tr);  // unpadded fallback
+  }
+}
+
+TEST(PlanChecked, Euc3dFallsBackWhenPlaneOffsetsCoincide) {
+  // DI * DJ = 64 is 0 mod cs = 16: every plane maps to the same offsets, so
+  // no depth-3 tile exists and Euc3D runs untiled — recorded, not silent.
+  const PlanReport rep = plan_for_checked(Transform::kEuc3d, 16, 8, 8, kJac);
+  EXPECT_EQ(rep.status, Status::kFellBackUntiled);
+  EXPECT_FALSE(rep.plan.tiled);
+  EXPECT_EQ(rep.plan.dip, 8);
+}
+
+TEST(PlanChecked, TileFallsBackWhenSquareTileTrimsAway) {
+  // cs = 3 holds exactly one element per plane: the 1x1 array tile trims to
+  // nothing against the 2-point halo.
+  const PlanReport rep = plan_for_checked(Transform::kTile, 3, 300, 300, kJac);
+  EXPECT_EQ(rep.status, Status::kFellBackUntiled);
+  EXPECT_FALSE(rep.plan.tiled);
+}
+
+TEST(PlanChecked, OverflowingAllocationIsReported) {
+  // 3e9 * 3e9 fits a long, but * 30 planes does not.
+  const long big = 3'000'000'000L;
+  const PlanReport rep =
+      plan_for_checked(Transform::kOrig, 2048, big, big, kJac, 30);
+  EXPECT_EQ(rep.status, Status::kOverflow);
+  // And a plane stride that overflows on its own, without n3.
+  const long huge = 4'000'000'000L;
+  EXPECT_EQ(plan_for_checked(Transform::kOrig, 2048, huge, huge, kJac).status,
+            Status::kOverflow);
+}
+
+TEST(PlanChecked, CheckedSearchPrimitivesReportTypedReasons) {
+  EXPECT_EQ(euc3d_checked(0, 300, 300, kJac).status(),
+            Status::kInvalidArgument);
+  EXPECT_EQ(euc3d_checked(16, 8, 8, kJac).status(), Status::kInfeasible);
+  const auto e = euc3d_checked(2048, 200, 200, kJac);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().tile, (IterTile{22, 13}));
+
+  EXPECT_EQ(gcd_pad_checked(1000, 300, 300, kJac).status(),
+            Status::kInvalidArgument);
+  const auto g = gcd_pad_checked(2048, 300, 300, kJac);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().dip, 352);
+
+  EXPECT_EQ(pad_checked(1000, 300, 300, kJac).status(),
+            Status::kInvalidArgument);
+  EXPECT_TRUE(pad_checked(2048, 300, 300, kJac).ok());
 }
 
 }  // namespace

@@ -1,0 +1,207 @@
+// End-to-end fault-injection tests: arm rt::guard faults and check that the
+// bench runner degrades exactly as designed — a typed skipped-and-recorded
+// row, never a crash, a silent zero, or a wedged sweep.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rt/bench/runner.hpp"
+#include "rt/guard/fault_injector.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/obs/metrics_writer.hpp"
+
+namespace rt::bench {
+namespace {
+
+using rt::guard::FaultInjector;
+using rt::guard::FaultKind;
+using rt::guard::Status;
+using rt::core::Transform;
+using rt::kernels::KernelId;
+
+/// Arms nothing itself but guarantees teardown: an assertion failure in one
+/// test must not leave faults armed for the next.
+class FaultInjectionFixture : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+
+  /// Minimal fast RunOptions: no simulation, no host timing unless a test
+  /// turns one on.
+  static RunOptions fast_opts() {
+    RunOptions o;
+    o.simulate = false;
+    o.time_host = false;
+    o.min_host_seconds = 0.001;
+    o.time_steps = 1;
+    return o;
+  }
+};
+
+TEST_F(FaultInjectionFixture, AllocFailureBecomesRecordedRow) {
+  FaultInjector::instance().arm(FaultKind::kAlloc);
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, fast_opts());
+  EXPECT_EQ(r.status, Status::kAllocFailed);
+  EXPECT_NE(r.status_detail.find("allocation failed"), std::string::npos);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_EQ(r.host_mflops, 0);
+
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "JACOBI", 32, r);
+  const std::string json = w.dump();
+  EXPECT_NE(json.find("\"status\": \"alloc_failed\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+
+  // Disarmed, the identical configuration runs clean.
+  FaultInjector::instance().disarm(FaultKind::kAlloc);
+  const RunResult ok =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, fast_opts());
+  EXPECT_EQ(ok.status, Status::kOk);
+  EXPECT_FALSE(ok.degraded());
+}
+
+TEST_F(FaultInjectionFixture, CounterOpenFailureDegradesToUnavailable) {
+  FaultInjector::instance().arm(FaultKind::kCounterOpen);
+  RunOptions o = fast_opts();
+  o.time_host = true;
+  o.counters = rt::obs::CounterMode::kOn;
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  // The run itself succeeds; only the counter block reports unavailable —
+  // the same row a host without perf-event access produces.
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_TRUE(r.hw.requested);
+  EXPECT_FALSE(r.hw.available);
+  EXPECT_GT(r.host_mflops, 0);
+}
+
+TEST_F(FaultInjectionFixture, ThreadSpawnFailureDegradesPoolWidth) {
+  FaultInjector::instance().arm(FaultKind::kThreadSpawn);
+  RunOptions o = fast_opts();
+  o.time_host = true;
+  o.threads = 4;
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kGcdPad, 64, o);
+  // Every spawn was injected to fail: the pool degrades to the calling
+  // thread alone, the run completes, and the row is flagged degraded.
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.threads, 1);
+  EXPECT_EQ(r.threads_requested, 4);
+  EXPECT_TRUE(r.degraded());
+  EXPECT_GT(r.host_mflops, 0);
+}
+
+TEST_F(FaultInjectionFixture, NanInputIsCaughtByVerifySweep) {
+  FaultInjector::instance().arm(FaultKind::kNanInput);
+  RunOptions o = fast_opts();
+  o.verify = rt::guard::VerifyMode::kPost;
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  EXPECT_EQ(r.status, Status::kNonFinite);
+  EXPECT_GE(r.nonfinite, 1);
+  EXPECT_EQ(r.verify_mode, rt::guard::VerifyMode::kPost);
+  EXPECT_TRUE(r.degraded());
+
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "JACOBI", 32, r);
+  const std::string json = w.dump();
+  EXPECT_NE(json.find("\"status\": \"nonfinite\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mode\": \"post\""), std::string::npos) << json;
+}
+
+TEST_F(FaultInjectionFixture, VerifyPassesOnCleanRun) {
+  RunOptions o = fast_opts();
+  o.time_host = true;
+  o.verify = rt::guard::VerifyMode::kPost;
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kGcdPad, 32, o);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.nonfinite, 0);
+  EXPECT_EQ(r.verify_mode, rt::guard::VerifyMode::kPost);
+}
+
+TEST_F(FaultInjectionFixture, ParallelVerifyMatchesSerialThroughRunner) {
+  FaultInjector::instance().arm(FaultKind::kNanInput);
+  RunOptions o = fast_opts();
+  o.threads = 4;
+  o.verify = rt::guard::VerifyMode::kPara;
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  EXPECT_EQ(r.status, Status::kNonFinite);
+  // Without running the kernel the single seeded NaN is the only bad value.
+  EXPECT_EQ(r.nonfinite, 1);
+}
+
+TEST_F(FaultInjectionFixture, InjectedHangBecomesTimeoutRow) {
+  FaultInjector::instance().arm(FaultKind::kHang);
+  RunOptions o = fast_opts();
+  o.time_host = true;
+  o.timeout_seconds = 0.2;
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  EXPECT_EQ(r.status, Status::kTimeout);
+  EXPECT_NE(r.status_detail.find("watchdog"), std::string::npos);
+  EXPECT_TRUE(r.degraded());
+  // The watchdog cancelled the injected hang: nothing stays armed, and the
+  // hung worker was joined inside the grace period, not leaked.
+  EXPECT_FALSE(FaultInjector::armed(FaultKind::kHang));
+
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "JACOBI", 32, r);
+  EXPECT_NE(w.dump().find("\"status\": \"timeout\""), std::string::npos);
+
+  // And with the hang gone, the same deadline passes.
+  const RunResult ok = run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  EXPECT_EQ(ok.status, Status::kOk);
+}
+
+TEST_F(FaultInjectionFixture, WatchdogOffRunsInline) {
+  RunOptions o = fast_opts();
+  o.time_host = true;
+  o.timeout_seconds = 0;  // watchdog disabled: the direct code path
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_GT(r.host_mflops, 0);
+}
+
+TEST_F(FaultInjectionFixture, PlannerFallbackIsObservableInRunResult) {
+  // A 128-byte L1 holds cs = 16 doubles; at N = 8 the plane stride 64 is
+  // 0 mod 16, so Euc3D finds no conflict-free depth-3 tile and the run
+  // proceeds untiled with the typed reason attached.
+  RunOptions o = fast_opts();
+  o.l1.size_bytes = 128;
+  const RunResult r = run_kernel(KernelId::kJacobi, Transform::kEuc3d, 8, o);
+  EXPECT_EQ(r.status, Status::kOk);  // the run itself is fine
+  EXPECT_EQ(r.plan_status, Status::kFellBackUntiled);
+  EXPECT_FALSE(r.plan.tiled);
+  EXPECT_FALSE(r.plan_detail.empty());
+  EXPECT_TRUE(r.degraded());
+
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "JACOBI", 8, r);
+  const std::string json = w.dump();
+  EXPECT_NE(json.find("\"plan_status\": \"fell_back_untiled\""),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(FaultInjectionFixture, CleanRunRecordsOkStatuses) {
+  const RunResult r =
+      run_kernel(KernelId::kJacobi, Transform::kGcdPad, 64, fast_opts());
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.plan_status, Status::kOk);
+  EXPECT_FALSE(r.degraded());
+
+  rt::obs::MetricsWriter w;
+  append_json_record(w, "JACOBI", 64, r);
+  const std::string json = w.dump();
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan_status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"verify\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rt::bench

@@ -1,0 +1,244 @@
+// Unit tests for the rt::guard robustness layer: typed statuses, the
+// deterministic fault injector, overflow-checked allocation sizes, the
+// NaN/Inf verify sweeps and the per-run watchdog.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rt/array/array3d.hpp"
+#include "rt/guard/fault_injector.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/guard/verify.hpp"
+#include "rt/guard/watchdog.hpp"
+#include "rt/par/thread_pool.hpp"
+
+namespace rt::guard {
+namespace {
+
+using rt::array::Array3D;
+using rt::array::Dims3;
+
+/// Every test that arms faults must leave the process-wide injector clean,
+/// including on assertion failure.
+class GuardFixture : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+TEST(Status, NamesAreStableTokensAndRoundTrip) {
+  EXPECT_STREQ(status_name(Status::kOk), "ok");
+  EXPECT_STREQ(status_name(Status::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(status_name(Status::kInfeasible), "infeasible");
+  EXPECT_STREQ(status_name(Status::kFellBackUntiled), "fell_back_untiled");
+  EXPECT_STREQ(status_name(Status::kOverflow), "overflow");
+  EXPECT_STREQ(status_name(Status::kAllocFailed), "alloc_failed");
+  EXPECT_STREQ(status_name(Status::kNonFinite), "nonfinite");
+  EXPECT_STREQ(status_name(Status::kTimeout), "timeout");
+  for (int i = 0; i <= static_cast<int>(Status::kTimeout); ++i) {
+    const auto s = static_cast<Status>(i);
+    Status back;
+    ASSERT_TRUE(parse_status(status_name(s), &back)) << status_name(s);
+    EXPECT_EQ(back, s);
+  }
+  Status out;
+  EXPECT_FALSE(parse_status("bogus", &out));
+  EXPECT_FALSE(parse_status("", &out));
+}
+
+TEST(Expected, HoldsValueOrStatusWithDetail) {
+  const Expected<long> v(42L);
+  EXPECT_TRUE(v.ok());
+  EXPECT_TRUE(static_cast<bool>(v));
+  EXPECT_EQ(v.status(), Status::kOk);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+
+  const Expected<long> e(Status::kInfeasible, "cache too small");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status(), Status::kInfeasible);
+  EXPECT_EQ(e.detail(), "cache too small");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(FaultKinds, NamesRoundTrip) {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    FaultKind back;
+    ASSERT_TRUE(parse_fault_kind(fault_kind_name(k), &back));
+    EXPECT_EQ(back, k);
+  }
+  FaultKind out;
+  EXPECT_FALSE(parse_fault_kind("nope", &out));
+}
+
+TEST_F(GuardFixture, DisarmedInjectorNeverFires) {
+  auto& fi = FaultInjector::instance();
+  EXPECT_FALSE(FaultInjector::armed(FaultKind::kAlloc));
+  EXPECT_FALSE(fi.should_fail(FaultKind::kAlloc));
+}
+
+TEST_F(GuardFixture, ArmAfterCountFiresDeterministically) {
+  auto& fi = FaultInjector::instance();
+  // Skip the first 2 triggers, then fire exactly 3 times.
+  fi.arm(FaultKind::kCounterOpen, /*after=*/2, /*count=*/3);
+  EXPECT_TRUE(FaultInjector::armed(FaultKind::kCounterOpen));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fi.should_fail(FaultKind::kCounterOpen)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fi.triggers(FaultKind::kCounterOpen), 10);
+  EXPECT_EQ(fi.fired(FaultKind::kCounterOpen), 3);
+  fi.disarm(FaultKind::kCounterOpen);
+  EXPECT_FALSE(FaultInjector::armed(FaultKind::kCounterOpen));
+  EXPECT_FALSE(fi.should_fail(FaultKind::kCounterOpen));
+}
+
+TEST_F(GuardFixture, UnlimitedCountFiresUntilDisarmed) {
+  auto& fi = FaultInjector::instance();
+  fi.arm(FaultKind::kNanInput);  // after = 0, count = -1
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fi.should_fail(FaultKind::kNanInput));
+  fi.disarm(FaultKind::kNanInput);
+  EXPECT_FALSE(fi.should_fail(FaultKind::kNanInput));
+}
+
+TEST_F(GuardFixture, ParseSpecArmsClauses) {
+  auto& fi = FaultInjector::instance();
+  std::string err;
+  ASSERT_TRUE(fi.parse_spec("alloc:1:2,counter", &err)) << err;
+  EXPECT_TRUE(FaultInjector::armed(FaultKind::kAlloc));
+  EXPECT_TRUE(FaultInjector::armed(FaultKind::kCounterOpen));
+  EXPECT_FALSE(FaultInjector::armed(FaultKind::kThreadSpawn));
+  // alloc skips one trigger, then fires twice.
+  EXPECT_FALSE(fi.should_fail(FaultKind::kAlloc));
+  EXPECT_TRUE(fi.should_fail(FaultKind::kAlloc));
+  EXPECT_TRUE(fi.should_fail(FaultKind::kAlloc));
+  EXPECT_FALSE(fi.should_fail(FaultKind::kAlloc));
+}
+
+TEST_F(GuardFixture, ParseSpecRejectsMalformedClauses) {
+  auto& fi = FaultInjector::instance();
+  std::string err;
+  EXPECT_FALSE(fi.parse_spec("alloc:abc", &err));
+  EXPECT_EQ(err, "alloc:abc");
+  EXPECT_FALSE(fi.parse_spec("unknownkind", &err));
+  EXPECT_EQ(err, "unknownkind");
+  EXPECT_FALSE(fi.parse_spec("alloc:", &err));
+  // Empty clauses (stray commas) are tolerated.
+  EXPECT_TRUE(fi.parse_spec(",,hang,", &err));
+  EXPECT_TRUE(FaultInjector::armed(FaultKind::kHang));
+}
+
+TEST_F(GuardFixture, InjectedAllocFailureThrowsBadAlloc) {
+  FaultInjector::instance().arm(FaultKind::kAlloc);
+  EXPECT_THROW(Array3D<double>(Dims3::unpadded(8, 8, 8)), std::bad_alloc);
+  FaultInjector::instance().disarm(FaultKind::kAlloc);
+  // The same allocation succeeds once disarmed: the failure was injected,
+  // not real.
+  const Array3D<double> a(Dims3::unpadded(8, 8, 8));
+  EXPECT_EQ(a.size(), 8u * 8u * 8u);
+}
+
+TEST(CheckedAllocElems, MatchesUncheckedWhenRepresentable) {
+  const Dims3 d = Dims3::padded(100, 100, 30, 104, 102);
+  const auto n = d.checked_alloc_elems();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, d.alloc_elems());
+  EXPECT_EQ(*n, 104L * 102L * 30L);
+
+  const auto d2 = rt::array::Dims2::padded(100, 100, 104);
+  ASSERT_TRUE(d2.checked_alloc_elems().has_value());
+  EXPECT_EQ(*d2.checked_alloc_elems(), 104L * 100L);
+}
+
+TEST(CheckedAllocElems, OverflowIsNulloptNotWraparound) {
+  const long big = 4'000'000'000L;  // big * big overflows long
+  EXPECT_FALSE(Dims3::padded(4, 4, 2, big, big).checked_alloc_elems());
+  // Plane fits, total does not.
+  const long half = 3'000'000'000L;
+  EXPECT_FALSE(Dims3::padded(4, 4, 30, half, half).checked_alloc_elems());
+  EXPECT_FALSE(
+      rt::array::Dims2::padded(4, big, big).checked_alloc_elems());
+}
+
+TEST(CheckedAllocElems, ArrayCtorThrowsLengthErrorOnOverflow) {
+  const long big = 4'000'000'000L;
+  EXPECT_THROW(Array3D<double>(Dims3::padded(4, 4, 2, big, big)),
+               std::length_error);
+  EXPECT_THROW(rt::array::Array2D<double>(rt::array::Dims2::padded(4, big, big)),
+               std::length_error);
+}
+
+TEST(VerifyMode, NamesRoundTrip) {
+  EXPECT_STREQ(verify_mode_name(VerifyMode::kOff), "off");
+  EXPECT_STREQ(verify_mode_name(VerifyMode::kPost), "post");
+  EXPECT_STREQ(verify_mode_name(VerifyMode::kPara), "para");
+  VerifyMode m;
+  ASSERT_TRUE(parse_verify_mode("para", &m));
+  EXPECT_EQ(m, VerifyMode::kPara);
+  EXPECT_FALSE(parse_verify_mode("maybe", &m));
+}
+
+TEST(VerifyFinite, CountsNanAndInfInLogicalRegionOnly) {
+  Array3D<double> a(Dims3::padded(10, 10, 5, 16, 12), 1.0);
+  EXPECT_EQ(count_nonfinite(a), 0);
+  a(3, 4, 2) = std::numeric_limits<double>::quiet_NaN();
+  a(0, 0, 0) = std::numeric_limits<double>::infinity();
+  a(9, 9, 4) = -std::numeric_limits<double>::infinity();
+  // Padding slack is storage, not data: a poisoned pad element (i >= n1)
+  // must not count.
+  a(12, 4, 2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(count_nonfinite(a), 3);
+}
+
+TEST(VerifyFinite, ParallelSweepMatchesSerial) {
+  Array3D<double> a(Dims3::unpadded(20, 20, 16), 0.5);
+  a(1, 2, 3) = std::numeric_limits<double>::quiet_NaN();
+  a(19, 19, 15) = std::numeric_limits<double>::infinity();
+  a(0, 7, 9) = std::numeric_limits<double>::quiet_NaN();
+  rt::par::ThreadPool pool(4);
+  EXPECT_EQ(count_nonfinite_par(pool, a), count_nonfinite(a));
+  EXPECT_EQ(count_nonfinite_par(pool, a), 3);
+}
+
+TEST(Watchdog, CompletedTaskReturnsBeforeDeadline) {
+  int ran = 0;
+  const WatchdogResult w = run_with_deadline(
+      [&ran] { ++ran; }, std::chrono::milliseconds(5000));
+  EXPECT_TRUE(w.completed);
+  EXPECT_FALSE(w.abandoned);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Watchdog, CompletedTaskExceptionIsRethrown) {
+  EXPECT_THROW(
+      run_with_deadline([] { throw std::runtime_error("boom"); },
+                        std::chrono::milliseconds(5000)),
+      std::runtime_error);
+}
+
+TEST_F(GuardFixture, WatchdogCancelsInjectedHangWithinGrace) {
+  FaultInjector::instance().arm(FaultKind::kHang);
+  const WatchdogResult w = run_with_deadline(
+      [] { FaultInjector::instance().hang_point(); },
+      /*timeout=*/std::chrono::milliseconds(50),
+      /*grace=*/std::chrono::milliseconds(5000));
+  // The deadline expired (the task was hung), but cancelling the injected
+  // hang let the worker finish inside the grace period — joined, not leaked.
+  EXPECT_FALSE(w.completed);
+  EXPECT_FALSE(w.abandoned);
+  // cancel_hangs() disarms the hang so later runs proceed normally.
+  EXPECT_FALSE(FaultInjector::armed(FaultKind::kHang));
+}
+
+TEST_F(GuardFixture, HangPointIsNoOpWhenDisarmed) {
+  FaultInjector::instance().hang_point();  // must return immediately
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rt::guard

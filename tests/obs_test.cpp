@@ -192,7 +192,10 @@ std::string golden_document() {
         .set("threads", 1)
         .set("threads_requested", 1)
         .set("degraded", false)
-        .set("mflops", 3873.326);
+        .set("status", "ok")
+        .set("plan_status", "ok")
+        .set("mflops", 3873.326)
+        .set("verify", JsonValue());  // --verify=off
     JsonValue sim = JsonValue::object();
     sim.set("l1_miss_pct", 6.25)
         .set("l2_miss_pct", 1.5)
@@ -221,7 +224,12 @@ std::string golden_document() {
         .set("threads", 1)
         .set("threads_requested", 4)
         .set("degraded", true)
+        .set("status", "nonfinite")
+        .set("plan_status", "fell_back_untiled")
         .set("mflops", 1612.5);
+    JsonValue verify = JsonValue::object();
+    verify.set("mode", "post").set("nonfinite", 3);
+    r.set("verify", std::move(verify));
     r.set("sim", JsonValue());
     JsonValue hw = JsonValue::object();
     hw.set("available", false).set("iters", 7);
