@@ -9,6 +9,13 @@
 # results/BENCH_3.json).  This script stays as a thin wrapper for the
 # google-benchmark binaries until they migrate.
 #
+# App-level records (bench_mgrid / bench_sor_app --json=FILE, tracked in
+# results/BENCH_5.json) extend the schema with two nested blocks this
+# wrapper does not produce:
+#   plan_cache: {hits, misses, hit_rate}           (rt::core::PlanCache)
+#   phases: {<op>: {count, total_s, mean_s}, ...}  (per-operator timings)
+# Both are golden-pinned in tests/golden/metrics_schema.json.
+#
 # The benchmark names are "KERNEL/<n>/<transform>/<simd-mode>/<threads>";
 # `simd` is the requested mode (off/auto/avx2) split from the name, and
 # `simd_level` is the level that actually ran (the benchmark's label, e.g.

@@ -22,12 +22,17 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DRT_SANITIZE=thread \
   -DRT_BUILD_BENCH=OFF -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
-  --target par_pool_test par_kernels_test simd_kernels_test obs_test
+  --target par_pool_test par_kernels_test simd_kernels_test \
+           simd_mg_kernels_test plan_cache_test mg_fastpath_test obs_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/par_pool_test"
 "${BUILD_DIR}/tests/par_kernels_test"
 "${BUILD_DIR}/tests/simd_kernels_test"
+"${BUILD_DIR}/tests/simd_mg_kernels_test"
+"${BUILD_DIR}/tests/plan_cache_test"
+"${BUILD_DIR}/tests/mg_fastpath_test"
 "${BUILD_DIR}/tests/obs_test"
 echo "TSan clean: par_pool_test + par_kernels_test + simd_kernels_test" \
+     "+ simd_mg_kernels_test + plan_cache_test + mg_fastpath_test" \
      "+ obs_test reported no races."

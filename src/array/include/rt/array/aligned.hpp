@@ -49,6 +49,19 @@ struct AlignedAllocator {
     ::operator delete(p, kAlign);
   }
 
+  /// Zero-argument construct performs *default*-initialization — a no-op
+  /// for trivial T — instead of the value-initialization vector(n) would
+  /// otherwise do.  This is the first-touch NUMA hook: Array3D's
+  /// uninitialized constructor allocates through vector(n), no page is
+  /// written during construction, and the thread that first writes each
+  /// page (e.g. a pool worker zeroing its K planes) decides its placement.
+  /// All other construction forms (vector(n, value), fill, copies) pass
+  /// arguments and take the allocator_traits placement-new path unchanged.
+  template <class U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+
   template <class U>
   struct rebind {
     using other = AlignedAllocator<U, Align>;

@@ -64,6 +64,12 @@ struct Dims3 {
   friend constexpr bool operator==(const Dims3&, const Dims3&) = default;
 };
 
+/// Tag selecting the uninitialized Array3D constructor (first-touch NUMA).
+struct uninit_t {
+  explicit uninit_t() = default;
+};
+inline constexpr uninit_t uninit{};
+
 /// Column-major 3D array.  operator()/load/store use 0-based indices.
 /// The load/store member functions form the "accessor" concept shared with
 /// rt::cachesim::TracedArray3D so stencil kernels can be instantiated either
@@ -78,6 +84,15 @@ class Array3D {
   }
   Array3D(long n1, long n2, long n3, T init = T{})
       : Array3D(Dims3::unpadded(n1, n2, n3), init) {}
+  /// Allocate without writing the storage: elements are default-initialized
+  /// (indeterminate for arithmetic T — see AlignedAllocator::construct), so
+  /// on a NUMA machine each page's placement is decided by the thread that
+  /// first writes it.  The caller must initialize every element before any
+  /// read; MgSolver/SorSolver zero the allocation plane-parallel on their
+  /// pool right after construction.
+  Array3D(Dims3 d, uninit_t) : d_(d), data_(checked_count(d)) {
+    assert(d.valid());
+  }
 
   const Dims3& dims() const { return d_; }
   long n1() const { return d_.n1; }

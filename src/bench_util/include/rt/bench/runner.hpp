@@ -7,10 +7,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "rt/cachesim/config.hpp"
 #include "rt/cachesim/perf_model.hpp"
 #include "rt/core/plan.hpp"
+#include "rt/core/plan_cache.hpp"
 #include "rt/guard/status.hpp"
 #include "rt/guard/verify.hpp"
 #include "rt/kernels/kernel_info.hpp"
@@ -86,11 +89,11 @@ struct RunResult {
   /// Resolved SIMD level the host timing actually ran (kScalar when the
   /// accessor kernels ran, e.g. --simd=off or a kernel with no row path).
   rt::simd::SimdLevel simd = rt::simd::SimdLevel::kScalar;
-  /// What the caller asked for, before kernel capability fallbacks (PSINV
-  /// has no parallel or row variant and silently times serially; a sweep
-  /// over those axes would otherwise print identical rows that look like
-  /// real data points).  degraded() flags that case so benches can
-  /// annotate or skip the duplicates.
+  /// What the caller asked for, before capability fallbacks (e.g. a
+  /// requested SIMD level the host cannot execute resolves lower; a
+  /// degraded run would otherwise print rows that look like real data
+  /// points).  degraded() flags that case so benches can annotate or skip
+  /// the duplicates.
   int threads_requested = 1;
   rt::simd::SimdMode simd_requested = rt::simd::SimdMode::kOff;
   bool degraded() const {
@@ -154,5 +157,14 @@ MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts);
 /// reshaping in scripts/bench_to_json.sh.
 void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
                         long n, const RunResult& r);
+
+/// "plan_cache" block for app-level records: rt::core::PlanCache hit/miss
+/// counters as {hits, misses, hit_rate} (stable key order; golden-pinned).
+rt::obs::JsonValue plan_cache_json(const rt::core::PlanCacheStats& s);
+
+/// "phases" block for app-level records: named per-operator wall-clock
+/// phases in caller order, each as {count, total_s, mean_s}.
+rt::obs::JsonValue phases_json(
+    const std::vector<std::pair<std::string, rt::obs::PhaseStats>>& phases);
 
 }  // namespace rt::bench

@@ -20,6 +20,7 @@
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
 #include "rt/multigrid/operators.hpp"
+#include "rt/multigrid/par_operators.hpp"
 #include "rt/par/par_kernels.hpp"
 #include "rt/par/thread_pool.hpp"
 #include "rt/simd/par_rows.hpp"
@@ -285,19 +286,16 @@ RunResult run_with_plan_impl(KernelId id, const rt::core::TilingPlan& plan,
     // threads > 1 dispatches the native arrays to the rt::par kernels over
     // the JI tile grid (or over K planes for untiled plans); --simd=auto/
     // avx2 swaps the accessor loops for the rt::simd row sweeps in both
-    // the serial and the parallel case (bit-identical either way).  PSINV
-    // has no parallel or row variant yet and times serially regardless.
+    // the serial and the parallel case (bit-identical either way).
     using rt::simd::SimdLevel;
     res.threads_requested = opts.threads > 1 ? opts.threads : 1;
     res.simd_requested = opts.simd;
     std::unique_ptr<rt::par::ThreadPool> pool;
-    if (opts.threads > 1 && id != KernelId::kPsinv) {
+    if (opts.threads > 1) {
       pool = std::make_unique<rt::par::ThreadPool>(opts.threads);
       res.threads = pool->num_threads();
     }
-    const SimdLevel lvl = id == KernelId::kPsinv
-                              ? SimdLevel::kScalar
-                              : rt::simd::resolve(opts.simd);
+    const SimdLevel lvl = rt::simd::resolve(opts.simd);
     res.simd = lvl;
     const bool tiled = res.plan.tiled;
     const rt::core::IterTile tile = res.plan.tile;
@@ -413,10 +411,39 @@ RunResult run_with_plan_impl(KernelId id, const rt::core::TilingPlan& plan,
         break;
       }
       case KernelId::kPsinv: {
-        step = [&] {
-          PsinvStep{rt::multigrid::nas_mg_c(), res.plan}(arrays[0],
-                                                         arrays[1]);
-        };
+        const auto c = rt::multigrid::nas_mg_c();
+        if (lvl != SimdLevel::kScalar && pool) {
+          step = [&, c, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::psinv_tiled_rows_par(*pool, arrays[0], arrays[1], c,
+                                             tile, lvl);
+            } else {
+              rt::simd::psinv_rows_par(*pool, arrays[0], arrays[1], c, lvl);
+            }
+          };
+        } else if (lvl != SimdLevel::kScalar) {
+          step = [&, c, tiled, tile, lvl] {
+            if (tiled) {
+              rt::simd::psinv_tiled_rows(arrays[0], arrays[1], c, tile, lvl);
+            } else {
+              rt::simd::psinv_rows(arrays[0], arrays[1], c, lvl);
+            }
+          };
+        } else if (pool) {
+          step = [&, c, tiled, tile] {
+            if (tiled) {
+              rt::multigrid::psinv_tiled_par(*pool, arrays[0], arrays[1], c,
+                                             tile);
+            } else {
+              rt::multigrid::psinv_par(*pool, arrays[0], arrays[1], c);
+            }
+          };
+        } else {
+          step = [&] {
+            PsinvStep{rt::multigrid::nas_mg_c(), res.plan}(arrays[0],
+                                                           arrays[1]);
+          };
+        }
         break;
       }
     }
@@ -610,6 +637,26 @@ void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
   } else {
     rec.set("hw", JsonValue());
   }
+}
+
+rt::obs::JsonValue plan_cache_json(const rt::core::PlanCacheStats& s) {
+  rt::obs::JsonValue v = rt::obs::JsonValue::object();
+  v.set("hits", static_cast<std::int64_t>(s.hits))
+      .set("misses", static_cast<std::int64_t>(s.misses))
+      .set("hit_rate", s.hit_rate());
+  return v;
+}
+
+rt::obs::JsonValue phases_json(
+    const std::vector<std::pair<std::string, rt::obs::PhaseStats>>& phases) {
+  rt::obs::JsonValue v = rt::obs::JsonValue::object();
+  for (const auto& [name, p] : phases) {
+    rt::obs::JsonValue ph = rt::obs::JsonValue::object();
+    ph.set("count", p.count).set("total_s", p.total_s).set("mean_s",
+                                                           p.mean_s());
+    v.set(name, std::move(ph));
+  }
+  return v;
 }
 
 }  // namespace rt::bench

@@ -1,0 +1,75 @@
+#pragma once
+// Memoized plan_for_checked: the Euc3D/Pad/GcdPad searches are pure
+// functions of (transform, cache geometry, array dims, stencil), yet the
+// applications re-run them per V-cycle level, per solver instance and per
+// benchmark repetition.  PlanCache keys the full input tuple and returns
+// the cached PlanReport on a repeat query — hit/miss counters are kept so
+// benches can surface the redundancy they eliminated (rt::obs JSON
+// records carry them as plan_cache.{hits,misses}).
+//
+// Thread-safe: lookups take a mutex (the planner itself is far more
+// expensive than the critical section), so solver instances running on
+// different threads can share the process-wide instance().
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "rt/core/plan.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+
+/// Full input tuple of plan_for_checked.  The StencilSpec contributes its
+/// numeric fields only (trim_i/trim_j/atd): specs with equal parameters
+/// produce equal plans whatever their display name.
+struct PlanKey {
+  Transform transform = Transform::kOrig;
+  long cs = 0;
+  long di = 0;
+  long dj = 0;
+  long trim_i = 0;
+  long trim_j = 0;
+  int atd = 0;
+  long n3 = 0;
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+/// Monotonic hit/miss counts since construction (or the last clear()).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class PlanCache {
+ public:
+  /// Cached plan_for_checked: first call per key runs the search, repeats
+  /// return the memoized PlanReport (including its status/detail).
+  PlanReport plan(Transform transform, long cs, long di, long dj,
+                  const StencilSpec& spec, long n3 = 0);
+
+  PlanCacheStats stats() const;
+  std::size_t size() const;
+  /// Drop all entries and reset the counters.
+  void clear();
+
+  /// Process-wide shared cache (solvers and benches default to this).
+  static PlanCache& instance();
+
+ private:
+  mutable std::mutex m_;
+  std::unordered_map<PlanKey, PlanReport, PlanKeyHash> map_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace rt::core

@@ -1,0 +1,69 @@
+#include "rt/core/plan_cache.hpp"
+
+namespace rt::core {
+
+namespace {
+/// Standard 64-bit hash combiner (boost::hash_combine's golden-ratio form).
+inline void combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+}  // namespace
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  std::size_t seed = static_cast<std::size_t>(k.transform);
+  combine(seed, static_cast<std::size_t>(k.cs));
+  combine(seed, static_cast<std::size_t>(k.di));
+  combine(seed, static_cast<std::size_t>(k.dj));
+  combine(seed, static_cast<std::size_t>(k.trim_i));
+  combine(seed, static_cast<std::size_t>(k.trim_j));
+  combine(seed, static_cast<std::size_t>(k.atd));
+  combine(seed, static_cast<std::size_t>(k.n3));
+  return seed;
+}
+
+PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
+                           const StencilSpec& spec, long n3) {
+  const PlanKey key{transform, cs,          di,       dj,
+                    spec.trim_i, spec.trim_j, spec.atd, n3};
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Search outside the lock: concurrent first queries of the same key may
+  // both run the planner, but plan_for_checked is pure, so both compute
+  // the identical report and the second insert is a no-op.
+  PlanReport rep = plan_for_checked(transform, cs, di, dj, spec, n3);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    ++stats_.misses;
+    map_.emplace(key, rep);
+  }
+  return rep;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return map_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  map_.clear();
+  stats_ = PlanCacheStats{};
+}
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace rt::core

@@ -7,7 +7,19 @@
 //     a new padded array, since MGRID's own 1D indexing prevents in-place
 //     padding);
 //   * optional trace-driven execution against a CacheHierarchy, so the
-//     whole application's simulated cycles can be compared orig vs tiled.
+//     whole application's simulated cycles can be compared orig vs tiled;
+//   * a host fast path (threads/simd options): the V-cycle operators run
+//     through rt::par plane/tile decompositions and/or the rt::simd row
+//     kernels, bit-identical to the serial accessor operators for any
+//     thread count and SimdLevel (tests/mg_fastpath_test.cpp).  Per-level
+//     arrays are allocated uninitialized and zeroed plane-parallel on the
+//     pool, so on NUMA hosts each page is first touched — and therefore
+//     placed — by a thread that later sweeps it.
+//
+// Instrumentation: per-operator wall-clock PhaseStats (resid/psinv/rprj3/
+// interp/comm3/zero3/norm) accumulate across every call, and an optional
+// hardware-counter group (counters option) measures each iterate() span;
+// both surface in bench_mgrid's JSON records.
 
 #include <cstdint>
 #include <memory>
@@ -19,6 +31,10 @@
 #include "rt/core/plan.hpp"
 #include "rt/kernels/resid.hpp"
 #include "rt/multigrid/operators.hpp"
+#include "rt/obs/perf_counters.hpp"
+#include "rt/obs/phase_timer.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/simd/simd.hpp"
 
 namespace rt::multigrid {
 
@@ -42,6 +58,18 @@ struct MgOptions {
   /// RESID, which a back-to-back layout can produce by accident).
   /// 0 disables staggering.
   std::uint64_t stagger_mod_bytes = 16 * 1024;
+  /// Host fast path: execution width of the operator sweeps (1 = serial,
+  /// <= 0 = all hardware threads).  Ignored under trace-driven simulation:
+  /// TracedArray3D mutates the shared hierarchy on every access, so the
+  /// traced operators always run serially.
+  int threads = 1;
+  /// Host fast path: SIMD row-kernel mode for the operators (kOff keeps
+  /// the historical accessor kernels).  Also ignored under simulation.
+  rt::simd::SimdMode simd = rt::simd::SimdMode::kOff;
+  /// Open a hardware-counter group around each iterate() /
+  /// residual_norm() span (kAuto: only when the host permits
+  /// perf_event_open; degrades gracefully to "unavailable").
+  rt::obs::CounterMode counters = rt::obs::CounterMode::kOff;
 };
 
 class MgSolver {
@@ -69,6 +97,24 @@ class MgSolver {
   /// Total flops executed so far (analytic per-operator counts).
   std::uint64_t flops() const { return flops_; }
 
+  /// Per-operator wall-clock phase timings, accumulated across all calls.
+  struct Phases {
+    rt::obs::PhaseStats resid, psinv, rprj3, interp, comm3, zero3, norm;
+  };
+  const Phases& phases() const { return phases_; }
+
+  /// Actual execution width of the operator sweeps (1 when serial or
+  /// trace-driven).
+  int threads() const { return pool_ ? pool_->num_threads() : 1; }
+  /// Resolved SIMD level of the fast path (kScalar when off or traced).
+  rt::simd::SimdLevel simd_level() const { return lvl_; }
+
+  /// True when the counters option opened a usable hardware group.
+  bool counters_available() const;
+  /// Accumulated hardware readings over every iterate()/residual_norm()
+  /// span so far (all-invalid slots when counters are off/unavailable).
+  const rt::obs::CounterReadings& hw() const { return hw_; }
+
  private:
   using Grid = rt::array::Array3D<double>;
 
@@ -82,11 +128,28 @@ class MgSolver {
   /// V-cycle on the residual hierarchy (NAS mg3P).
   void mg3p();
 
+  /// True when operators should use the par/simd implementations instead
+  /// of the (possibly traced) accessor kernels.
+  bool fast_path() const {
+    return hier_ == nullptr &&
+           (pool_ != nullptr || lvl_ != rt::simd::SimdLevel::kScalar);
+  }
+  /// First-touch initialization: zero the whole allocation plane-parallel
+  /// on the pool (same bytes Grid's default construction writes serially).
+  void first_touch_zero(Grid& g);
+  /// norm2u3 with phase timing (always serial: ordered reduction).
+  double norm_l2(Grid& g);
+  void counters_begin();
+  void counters_end();
+
   std::uint64_t base_of(const Grid& g) const;
 
   MgOptions opts_;
   rt::cachesim::CacheHierarchy* hier_ = nullptr;
   rt::array::AddressSpace space_;
+
+  std::unique_ptr<rt::par::ThreadPool> pool_;
+  rt::simd::SimdLevel lvl_ = rt::simd::SimdLevel::kScalar;
 
   std::vector<Grid> u_;  ///< solution per level (index l-1)
   std::vector<Grid> r_;  ///< residual per level
@@ -95,6 +158,9 @@ class MgSolver {
   std::uint64_t v_base_ = 0;
 
   std::uint64_t flops_ = 0;
+  Phases phases_;
+  std::unique_ptr<rt::obs::PerfCounters> pc_;
+  rt::obs::CounterReadings hw_;
 };
 
 }  // namespace rt::multigrid

@@ -1,0 +1,173 @@
+#pragma once
+// Parallel accessor-template variants of the multigrid operators
+// (rt/multigrid/operators.hpp) on a rt::par::ThreadPool — the threads-only
+// fast path of MgSolver (--threads=N --simd=off).  Work decomposition
+// follows rt/par/par_kernels.hpp: the JI tile grid for tiled PSINV, K
+// planes otherwise.  Bit-identity argument per operator:
+//   * psinv writes only u(., ., k) per plane work item and reads only r;
+//   * rprj3 writes one coarse plane per item and reads only the fine grid;
+//   * interp_add writes one fine plane per item and reads only the coarse
+//     grid;
+// so for any thread count each element is computed by exactly the serial
+// expression on exactly the serial inputs.
+//
+// Thread-safety contract is rt::par's: concurrent load() anywhere plus
+// concurrent store() to distinct elements.  TracedArray3D does NOT satisfy
+// it — trace-driven simulation stays on the serial operators.
+
+#include "rt/multigrid/operators.hpp"
+#include "rt/par/par_kernels.hpp"
+#include "rt/par/thread_pool.hpp"
+
+namespace rt::multigrid {
+
+using rt::par::ThreadPool;
+
+/// Parallel untiled psinv: u += S r, one K plane per work item.
+template <class U, class R>
+void psinv_par(ThreadPool& pool, U& u, R& r, const SmootherCoeffs& c) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    const long i3 = kk + 1;
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      for (long i1 = 1; i1 < n1 - 1; ++i1) {
+        const double s1 = r.load(i1 - 1, i2, i3) + r.load(i1 + 1, i2, i3) +
+                          r.load(i1, i2 - 1, i3) + r.load(i1, i2 + 1, i3) +
+                          r.load(i1, i2, i3 - 1) + r.load(i1, i2, i3 + 1);
+        const double s2 =
+            r.load(i1 - 1, i2 - 1, i3) + r.load(i1 + 1, i2 - 1, i3) +
+            r.load(i1 - 1, i2 + 1, i3) + r.load(i1 + 1, i2 + 1, i3) +
+            r.load(i1, i2 - 1, i3 - 1) + r.load(i1, i2 + 1, i3 - 1) +
+            r.load(i1, i2 - 1, i3 + 1) + r.load(i1, i2 + 1, i3 + 1) +
+            r.load(i1 - 1, i2, i3 - 1) + r.load(i1 - 1, i2, i3 + 1) +
+            r.load(i1 + 1, i2, i3 - 1) + r.load(i1 + 1, i2, i3 + 1);
+        const double s3 =
+            r.load(i1 - 1, i2 - 1, i3 - 1) + r.load(i1 + 1, i2 - 1, i3 - 1) +
+            r.load(i1 - 1, i2 + 1, i3 - 1) + r.load(i1 + 1, i2 + 1, i3 - 1) +
+            r.load(i1 - 1, i2 - 1, i3 + 1) + r.load(i1 + 1, i2 - 1, i3 + 1) +
+            r.load(i1 - 1, i2 + 1, i3 + 1) + r.load(i1 + 1, i2 + 1, i3 + 1);
+        u.store(i1, i2, i3,
+                u.load(i1, i2, i3) + c[0] * r.load(i1, i2, i3) + c[1] * s1 +
+                    c[2] * s2 + c[3] * s3);
+      }
+    }
+  });
+}
+
+/// Parallel tiled psinv over the JI tile grid (each tile sweeps full K).
+template <class U, class R>
+void psinv_tiled_par(ThreadPool& pool, U& u, R& r, const SmootherCoeffs& c,
+                     rt::core::IterTile t) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  rt::par::parallel_for_tiles(
+      pool, 1, n1 - 1, 1, n2 - 1, t,
+      [&](long ii, long ihi, long jj, long jhi) {
+        for (long i3 = 1; i3 < n3 - 1; ++i3) {
+          for (long i2 = jj; i2 < jhi; ++i2) {
+            for (long i1 = ii; i1 < ihi; ++i1) {
+              const double s1 = r.load(i1 - 1, i2, i3) +
+                                r.load(i1 + 1, i2, i3) +
+                                r.load(i1, i2 - 1, i3) +
+                                r.load(i1, i2 + 1, i3) +
+                                r.load(i1, i2, i3 - 1) +
+                                r.load(i1, i2, i3 + 1);
+              const double s2 =
+                  r.load(i1 - 1, i2 - 1, i3) + r.load(i1 + 1, i2 - 1, i3) +
+                  r.load(i1 - 1, i2 + 1, i3) + r.load(i1 + 1, i2 + 1, i3) +
+                  r.load(i1, i2 - 1, i3 - 1) + r.load(i1, i2 + 1, i3 - 1) +
+                  r.load(i1, i2 - 1, i3 + 1) + r.load(i1, i2 + 1, i3 + 1) +
+                  r.load(i1 - 1, i2, i3 - 1) + r.load(i1 - 1, i2, i3 + 1) +
+                  r.load(i1 + 1, i2, i3 - 1) + r.load(i1 + 1, i2, i3 + 1);
+              const double s3 = r.load(i1 - 1, i2 - 1, i3 - 1) +
+                                r.load(i1 + 1, i2 - 1, i3 - 1) +
+                                r.load(i1 - 1, i2 + 1, i3 - 1) +
+                                r.load(i1 + 1, i2 + 1, i3 - 1) +
+                                r.load(i1 - 1, i2 - 1, i3 + 1) +
+                                r.load(i1 + 1, i2 - 1, i3 + 1) +
+                                r.load(i1 - 1, i2 + 1, i3 + 1) +
+                                r.load(i1 + 1, i2 + 1, i3 + 1);
+              u.store(i1, i2, i3,
+                      u.load(i1, i2, i3) + c[0] * r.load(i1, i2, i3) +
+                          c[1] * s1 + c[2] * s2 + c[3] * s3);
+            }
+          }
+        }
+      });
+}
+
+/// Parallel full-weighting restriction, one coarse K plane per work item.
+template <class S, class R>
+void rprj3_par(ThreadPool& pool, S& s, R& r) {
+  const long m1 = s.n1(), m2 = s.n2(), m3 = s.n3();
+  pool.parallel_for(m3 - 2, [&](long kk) {
+    const long j3 = kk + 1;
+    const long i3 = 2 * j3 - 1;
+    for (long j2 = 1; j2 < m2 - 1; ++j2) {
+      const long i2 = 2 * j2 - 1;
+      for (long j1 = 1; j1 < m1 - 1; ++j1) {
+        const long i1 = 2 * j1 - 1;
+        double faces = 0, edges = 0, corners = 0;
+        for (int d3 = -1; d3 <= 1; ++d3) {
+          for (int d2 = -1; d2 <= 1; ++d2) {
+            for (int d1 = -1; d1 <= 1; ++d1) {
+              const int m = std::abs(d1) + std::abs(d2) + std::abs(d3);
+              if (m == 0) continue;
+              const double v = r.load(i1 + d1, i2 + d2, i3 + d3);
+              if (m == 1) faces += v;
+              else if (m == 2) edges += v;
+              else corners += v;
+            }
+          }
+        }
+        s.store(j1, j2, j3,
+                0.5 * r.load(i1, i2, i3) + 0.25 * faces + 0.125 * edges +
+                    0.0625 * corners);
+      }
+    }
+  });
+}
+
+/// Parallel trilinear prolongation, one fine K plane per work item.
+template <class U, class Z>
+void interp_add_par(ThreadPool& pool, U& u, Z& z) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  const auto axis = [](long i, long (&idx)[2], double (&w)[2]) -> int {
+    if (i & 1) {
+      idx[0] = (i + 1) / 2;
+      w[0] = 1.0;
+      return 1;
+    }
+    idx[0] = i / 2;
+    idx[1] = i / 2 + 1;
+    w[0] = w[1] = 0.5;
+    return 2;
+  };
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    const long i3 = kk + 1;
+    long k_idx[2];
+    double k_w[2];
+    const int kn = axis(i3, k_idx, k_w);
+    for (long i2 = 1; i2 < n2 - 1; ++i2) {
+      long j_idx[2];
+      double j_w[2];
+      const int jn = axis(i2, j_idx, j_w);
+      for (long i1 = 1; i1 < n1 - 1; ++i1) {
+        long i_idx[2];
+        double i_w[2];
+        const int in = axis(i1, i_idx, i_w);
+        double acc = 0;
+        for (int kw = 0; kw < kn; ++kw) {
+          for (int jw = 0; jw < jn; ++jw) {
+            for (int iw = 0; iw < in; ++iw) {
+              acc += k_w[kw] * j_w[jw] * i_w[iw] *
+                     z.load(i_idx[iw], j_idx[jw], k_idx[kw]);
+            }
+          }
+        }
+        u.store(i1, i2, i3, u.load(i1, i2, i3) + acc);
+      }
+    }
+  });
+}
+
+}  // namespace rt::multigrid

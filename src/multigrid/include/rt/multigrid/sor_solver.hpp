@@ -11,12 +11,32 @@
 // which maps onto rt::kernels::rb_update with c1 = 1 - w, c2 = w / 6 when
 // f = 0; the general f term is folded in by pre-scaling (see .cpp).
 // Tiled and untiled runs are bitwise identical (tests assert it).
+//
+// Host fast path (threads/simd options): sweeps run the two-pass
+// colour-barrier schedule on a rt::par pool and/or the rt::simd row
+// kernels — still bit-identical to the serial kernels (the colour barrier
+// argument of rt/par/par_kernels.hpp).  Arrays are first-touch initialized
+// on the pool for NUMA placement.  Trace-driven runs stay serial.
+//
+// Plan validation: a plan whose pad (dip/djp) does not cover the logical
+// extent n cannot be applied; instead of silently clamping to unpadded
+// dims (the historical behaviour), the constructor records
+// Status::kFellBackUntiled — and kOverflow when the padded allocation size
+// does not fit a long (Dims3::checked_alloc_elems) — and proceeds
+// unpadded.  status()/status_detail() expose the outcome.
 
 #include <cstdint>
+#include <string>
 
 #include "rt/array/array3d.hpp"
 #include "rt/cachesim/hierarchy.hpp"
 #include "rt/core/plan.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/obs/phase_timer.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/simd/simd.hpp"
+
+#include <memory>
 
 namespace rt::multigrid {
 
@@ -25,6 +45,11 @@ struct SorOptions {
   double omega = 1.5;   ///< over-relaxation factor (1 = Gauss-Seidel)
   /// Tiling plan for the sweeps (tiled == false -> naive two-pass).
   rt::core::TilingPlan plan{};
+  /// Host fast path: execution width of the sweeps (1 = serial, <= 0 =
+  /// all hardware threads).  Ignored under trace-driven simulation.
+  int threads = 1;
+  /// Host fast path: SIMD row-kernel mode (kOff keeps accessor kernels).
+  rt::simd::SimdMode simd = rt::simd::SimdMode::kOff;
 };
 
 class SorSolver {
@@ -47,14 +72,38 @@ class SorSolver {
   const rt::array::Array3D<double>& u() const { return u_; }
   std::uint64_t flops() const { return flops_; }
 
+  /// Construction outcome: kOk, or the degradation the solver applied
+  /// (kFellBackUntiled: plan pad smaller than n dropped; kOverflow:
+  /// padded allocation size overflowed, dims fell back to unpadded).
+  rt::guard::Status status() const { return status_; }
+  const std::string& status_detail() const { return detail_; }
+
+  /// Actual execution width (1 when serial or trace-driven).
+  int threads() const { return pool_ ? pool_->num_threads() : 1; }
+  /// Resolved SIMD level of the fast path (kScalar when off or traced).
+  rt::simd::SimdLevel simd_level() const { return lvl_; }
+
+  /// Wall-clock phase timings accumulated across all calls.
+  struct Phases {
+    rt::obs::PhaseStats sweep, residual;
+  };
+  const Phases& phases() const { return phases_; }
+
  private:
+  void first_touch_zero(rt::array::Array3D<double>& g);
+
   SorOptions opts_;
   rt::cachesim::CacheHierarchy* hier_;
+  std::unique_ptr<rt::par::ThreadPool> pool_;
+  rt::simd::SimdLevel lvl_ = rt::simd::SimdLevel::kScalar;
   rt::array::Array3D<double> u_;
   rt::array::Array3D<double> rhs_;  ///< pre-scaled: (w/6) * h^2 * f
   rt::array::Array3D<double> f_;
   std::uint64_t u_base_ = 0, rhs_base_ = 0;
   std::uint64_t flops_ = 0;
+  rt::guard::Status status_ = rt::guard::Status::kOk;
+  std::string detail_;
+  Phases phases_;
 };
 
 }  // namespace rt::multigrid

@@ -1,10 +1,14 @@
 #include "rt/multigrid/mg_solver.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 #include "rt/cachesim/traced_array.hpp"
+#include "rt/multigrid/par_operators.hpp"
+#include "rt/simd/par_rows.hpp"
+#include "rt/simd/row_kernels.hpp"
 
 namespace rt::multigrid {
 
@@ -12,6 +16,7 @@ namespace {
 
 using Grid = rt::array::Array3D<double>;
 using GB = std::pair<Grid*, std::uint64_t>;
+using rt::simd::SimdLevel;
 
 /// Run op(fn) over grids either natively or through traced accessors.
 template <class Fn, class... Gs>
@@ -48,6 +53,18 @@ MgSolver::MgSolver(const MgOptions& opts, rt::cachesim::CacheHierarchy* hier)
   if (opts.lt < 2 || opts.lb < 1 || opts.lb >= opts.lt) {
     throw std::invalid_argument("MgSolver: need 1 <= lb < lt, lt >= 2");
   }
+  // Host fast path only: trace-driven runs keep the serial accessor
+  // operators (TracedArray3D is not thread-safe, and the row kernels
+  // bypass the accessors entirely).
+  if (hier_ == nullptr) {
+    if (opts.threads != 1) {
+      pool_ = std::make_unique<rt::par::ThreadPool>(opts.threads);
+    }
+    lvl_ = rt::simd::resolve(opts.simd);
+  }
+  if (rt::obs::counters_enabled(opts.counters)) {
+    pc_ = std::make_unique<rt::obs::PerfCounters>();
+  }
   u_.reserve(opts.lt);
   r_.reserve(opts.lt);
   // Inter-variable padding (Section 3.5): stagger consecutive arrays by a
@@ -68,16 +85,38 @@ MgSolver::MgSolver(const MgOptions& opts, rt::cachesim::CacheHierarchy* hier)
       d = rt::array::Dims3::padded(n, n, n, opts.resid_plan.dip,
                                    opts.resid_plan.djp);
     }
-    u_.emplace_back(d);
-    r_.emplace_back(d);
+    if (pool_) {
+      u_.emplace_back(d, rt::array::uninit);
+      r_.emplace_back(d, rt::array::uninit);
+    } else {
+      u_.emplace_back(d);
+      r_.emplace_back(d);
+    }
     const auto elems = static_cast<std::uint64_t>(d.alloc_elems());
     u_base_.push_back(place_grid("u" + std::to_string(l), elems));
     r_base_.push_back(place_grid("r" + std::to_string(l), elems));
     if (l == opts.lt) {
-      v_ = Grid(d);
+      v_ = pool_ ? Grid(d, rt::array::uninit) : Grid(d);
       v_base_ = place_grid("v", elems);
     }
   }
+  // First-touch placement: zero every allocation plane-parallel on the
+  // pool, so each page's first write — and hence its NUMA home — happens
+  // on a thread that will sweep that K range.  Same bytes as default
+  // construction, just written by the right threads.
+  if (pool_) {
+    for (auto& g : u_) first_touch_zero(g);
+    for (auto& g : r_) first_touch_zero(g);
+    first_touch_zero(v_);
+  }
+}
+
+void MgSolver::first_touch_zero(Grid& g) {
+  double* base = g.data();
+  const long plane = g.dims().plane_stride();
+  pool_->parallel_for(g.n3(), [&](long k) {
+    std::fill(base + k * plane, base + (k + 1) * plane, 0.0);
+  });
 }
 
 std::uint64_t MgSolver::base_of(const Grid& g) const {
@@ -93,10 +132,27 @@ std::uint64_t MgSolver::base_of(const Grid& g) const {
 }
 
 void MgSolver::comm3_grid(Grid& g) {
+  rt::obs::ScopedTimer timer(phases_.comm3);
   run_op(hier_, [](auto&&... a) { comm3(a...); }, GB{&g, base_of(g)});
 }
 
 void MgSolver::zero3_grid(Grid& g) {
+  rt::obs::ScopedTimer timer(phases_.zero3);
+  if (fast_path() && pool_) {
+    // Plane-parallel zero of the logical region (zeros are zeros: trivially
+    // bit-identical to the serial zero3, whatever thread writes them).
+    double* base = g.data();
+    const long s1 = g.dims().column_stride();
+    const long s2 = g.dims().plane_stride();
+    const long n1 = g.n1(), n2 = g.n2();
+    pool_->parallel_for(g.n3(), [&](long k) {
+      for (long j = 0; j < n2; ++j) {
+        double* row = base + s1 * j + s2 * k;
+        std::fill(row, row + n1, 0.0);
+      }
+    });
+    return;
+  }
   run_op(hier_, [](auto&&... a) { zero3(a...); }, GB{&g, base_of(g)});
 }
 
@@ -104,16 +160,41 @@ void MgSolver::resid_level(int l, Grid& r, Grid& v, Grid& u, bool allow_tile) {
   const bool tile = allow_tile && l == opts_.lt && opts_.resid_plan.tiled;
   const auto a = rt::kernels::nas_mg_a();
   const rt::core::IterTile t = opts_.resid_plan.tile;
-  run_op(
-      hier_,
-      [&](auto&& ra, auto&& va, auto&& ua) {
+  {
+    rt::obs::ScopedTimer timer(phases_.resid);
+    if (fast_path()) {
+      if (lvl_ != SimdLevel::kScalar && pool_) {
         if (tile) {
-          rt::kernels::resid_tiled(ra, va, ua, a, t);
+          rt::simd::resid_tiled_rows_par(*pool_, r, v, u, a, t, lvl_);
         } else {
-          rt::kernels::resid(ra, va, ua, a);
+          rt::simd::resid_rows_par(*pool_, r, v, u, a, lvl_);
         }
-      },
-      GB{&r, base_of(r)}, GB{&v, base_of(v)}, GB{&u, base_of(u)});
+      } else if (lvl_ != SimdLevel::kScalar) {
+        if (tile) {
+          rt::simd::resid_tiled_rows(r, v, u, a, t, lvl_);
+        } else {
+          rt::simd::resid_rows(r, v, u, a, lvl_);
+        }
+      } else {
+        if (tile) {
+          rt::par::resid_tiled_par(*pool_, r, v, u, a, t);
+        } else {
+          rt::par::resid_par(*pool_, r, v, u, a);
+        }
+      }
+    } else {
+      run_op(
+          hier_,
+          [&](auto&& ra, auto&& va, auto&& ua) {
+            if (tile) {
+              rt::kernels::resid_tiled(ra, va, ua, a, t);
+            } else {
+              rt::kernels::resid(ra, va, ua, a);
+            }
+          },
+          GB{&r, base_of(r)}, GB{&v, base_of(v)}, GB{&u, base_of(u)});
+    }
+  }
   flops_ += 31 * interior(r);
   comm3_grid(r);
 }
@@ -122,31 +203,109 @@ void MgSolver::psinv_level(int l, Grid& u, Grid& r) {
   const bool tile = opts_.tile_psinv && l == opts_.lt && opts_.resid_plan.tiled;
   const auto c = nas_mg_c();
   const rt::core::IterTile t = opts_.resid_plan.tile;
-  run_op(
-      hier_,
-      [&](auto&& ua, auto&& ra) {
+  {
+    rt::obs::ScopedTimer timer(phases_.psinv);
+    if (fast_path()) {
+      if (lvl_ != SimdLevel::kScalar && pool_) {
         if (tile) {
-          psinv_tiled(ua, ra, c, t);
+          rt::simd::psinv_tiled_rows_par(*pool_, u, r, c, t, lvl_);
         } else {
-          psinv(ua, ra, c);
+          rt::simd::psinv_rows_par(*pool_, u, r, c, lvl_);
         }
-      },
-      GB{&u, base_of(u)}, GB{&r, base_of(r)});
+      } else if (lvl_ != SimdLevel::kScalar) {
+        if (tile) {
+          rt::simd::psinv_tiled_rows(u, r, c, t, lvl_);
+        } else {
+          rt::simd::psinv_rows(u, r, c, lvl_);
+        }
+      } else {
+        if (tile) {
+          psinv_tiled_par(*pool_, u, r, c, t);
+        } else {
+          psinv_par(*pool_, u, r, c);
+        }
+      }
+    } else {
+      run_op(
+          hier_,
+          [&](auto&& ua, auto&& ra) {
+            if (tile) {
+              psinv_tiled(ua, ra, c, t);
+            } else {
+              psinv(ua, ra, c);
+            }
+          },
+          GB{&u, base_of(u)}, GB{&r, base_of(r)});
+    }
+  }
   flops_ += 31 * interior(u);
   comm3_grid(u);
 }
 
 void MgSolver::rprj3_level(Grid& coarse, Grid& fine) {
-  run_op(hier_, [](auto&& s, auto&& r) { rprj3(s, r); },
-         GB{&coarse, base_of(coarse)}, GB{&fine, base_of(fine)});
+  {
+    rt::obs::ScopedTimer timer(phases_.rprj3);
+    if (fast_path()) {
+      if (lvl_ != SimdLevel::kScalar && pool_) {
+        rt::simd::rprj3_rows_par(*pool_, coarse, fine, lvl_);
+      } else if (lvl_ != SimdLevel::kScalar) {
+        rt::simd::rprj3_rows(coarse, fine, lvl_);
+      } else {
+        rprj3_par(*pool_, coarse, fine);
+      }
+    } else {
+      run_op(hier_, [](auto&& s, auto&& r) { rprj3(s, r); },
+             GB{&coarse, base_of(coarse)}, GB{&fine, base_of(fine)});
+    }
+  }
   flops_ += 30 * interior(coarse);
   comm3_grid(coarse);
 }
 
 void MgSolver::interp_level(Grid& fine, Grid& coarse) {
-  run_op(hier_, [](auto&& u, auto&& z) { interp_add(u, z); },
-         GB{&fine, base_of(fine)}, GB{&coarse, base_of(coarse)});
+  {
+    rt::obs::ScopedTimer timer(phases_.interp);
+    if (fast_path()) {
+      if (lvl_ != SimdLevel::kScalar && pool_) {
+        rt::simd::interp_add_rows_par(*pool_, fine, coarse, lvl_);
+      } else if (lvl_ != SimdLevel::kScalar) {
+        rt::simd::interp_add_rows(fine, coarse, lvl_);
+      } else {
+        interp_add_par(*pool_, fine, coarse);
+      }
+    } else {
+      run_op(hier_, [](auto&& u, auto&& z) { interp_add(u, z); },
+             GB{&fine, base_of(fine)}, GB{&coarse, base_of(coarse)});
+    }
+  }
   flops_ += 8 * interior(fine);
+}
+
+double MgSolver::norm_l2(Grid& g) {
+  rt::obs::ScopedTimer timer(phases_.norm);
+  return norm2u3(g).l2;
+}
+
+bool MgSolver::counters_available() const {
+  return pc_ != nullptr && pc_->available();
+}
+
+void MgSolver::counters_begin() {
+  if (pc_) pc_->start();
+}
+
+void MgSolver::counters_end() {
+  if (!pc_) return;
+  pc_->stop();
+  const rt::obs::CounterReadings r = pc_->read();
+  for (int i = 0; i < rt::obs::kNumCounters; ++i) {
+    if (!r.counts[static_cast<std::size_t>(i)].valid) continue;
+    auto& slot = hw_.counts[static_cast<std::size_t>(i)];
+    slot.value += r.counts[static_cast<std::size_t>(i)].value;
+    slot.valid = true;
+  }
+  hw_.time_enabled_ns += r.time_enabled_ns;
+  hw_.time_running_ns += r.time_running_ns;
 }
 
 void MgSolver::setup() {
@@ -195,21 +354,26 @@ void MgSolver::mg3p() {
 }
 
 double MgSolver::iterate() {
+  counters_begin();
   Grid& r = r_[static_cast<std::size_t>(opts_.lt - 1)];
   resid_level(opts_.lt, r, v_, u_[static_cast<std::size_t>(opts_.lt - 1)],
               /*allow_tile=*/true);
-  const double before = norm2u3(r).l2;
+  const double before = norm_l2(r);
   flops_ += 2 * interior(r);
   mg3p();
+  counters_end();
   return before;
 }
 
 double MgSolver::residual_norm() {
+  counters_begin();
   Grid& r = r_[static_cast<std::size_t>(opts_.lt - 1)];
   resid_level(opts_.lt, r, v_, u_[static_cast<std::size_t>(opts_.lt - 1)],
               /*allow_tile=*/true);
   flops_ += 2 * interior(r);
-  return norm2u3(r).l2;
+  const double norm = norm_l2(r);
+  counters_end();
+  return norm;
 }
 
 }  // namespace rt::multigrid

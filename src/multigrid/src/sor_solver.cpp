@@ -7,6 +7,9 @@
 #include "rt/array/address_space.hpp"
 #include "rt/cachesim/traced_array.hpp"
 #include "rt/kernels/redblack.hpp"
+#include "rt/par/par_kernels.hpp"
+#include "rt/simd/par_rows.hpp"
+#include "rt/simd/row_kernels.hpp"
 
 namespace rt::multigrid {
 
@@ -29,19 +32,63 @@ SorSolver::SorSolver(const SorOptions& opts,
   if (opts.n < 4 || opts.omega <= 0.0 || opts.omega >= 2.0) {
     throw std::invalid_argument("SorSolver: need n >= 4, 0 < omega < 2");
   }
+  if (hier_ == nullptr) {
+    if (opts.threads != 1) {
+      pool_ = std::make_unique<rt::par::ThreadPool>(opts.threads);
+    }
+    lvl_ = rt::simd::resolve(opts.simd);
+  }
   const long n = opts.n;
   rt::array::Dims3 d = rt::array::Dims3::unpadded(n, n, n);
-  if (opts.plan.dip >= n && opts.plan.djp >= n) {
-    d = rt::array::Dims3::padded(n, n, n, opts.plan.dip, opts.plan.djp);
+  if (opts.plan.dip != 0 || opts.plan.djp != 0) {
+    if (opts.plan.dip >= n && opts.plan.djp >= n) {
+      const rt::array::Dims3 padded =
+          rt::array::Dims3::padded(n, n, n, opts.plan.dip, opts.plan.djp);
+      // Route the allocation size through the overflow-checked product:
+      // a plan with huge pads must degrade to a recorded fallback, not
+      // wrap the p1*p2*n3 size computation.
+      if (padded.checked_alloc_elems().has_value()) {
+        d = padded;
+      } else {
+        status_ = rt::guard::Status::kOverflow;
+        detail_ = "padded allocation size overflows long; running unpadded";
+      }
+    } else {
+      // A pad below the logical extent cannot be applied.  The historical
+      // behaviour silently clamped to unpadded dims, hiding plan bugs from
+      // callers; record the degradation instead (tiling still runs).
+      status_ = rt::guard::Status::kFellBackUntiled;
+      detail_ = "plan pad (dip/djp) smaller than n; running unpadded";
+    }
   }
-  u_ = rt::array::Array3D<double>(d);
-  rhs_ = rt::array::Array3D<double>(d);
-  f_ = rt::array::Array3D<double>(d);
+  const bool first_touch = pool_ != nullptr;
+  if (first_touch) {
+    u_ = rt::array::Array3D<double>(d, rt::array::uninit);
+    rhs_ = rt::array::Array3D<double>(d, rt::array::uninit);
+    f_ = rt::array::Array3D<double>(d, rt::array::uninit);
+    first_touch_zero(u_);
+    first_touch_zero(rhs_);
+    first_touch_zero(f_);
+  } else {
+    u_ = rt::array::Array3D<double>(d);
+    rhs_ = rt::array::Array3D<double>(d);
+    f_ = rt::array::Array3D<double>(d);
+  }
   // Inter-variable padding (Section 3.5): keep u and rhs from aliasing.
   rt::array::AddressSpace space(0, 64);
   const auto elems = static_cast<std::uint64_t>(d.alloc_elems());
   u_base_ = space.place_mod("u", elems, 8, 16384, 0);
   rhs_base_ = space.place_mod("rhs", elems, 8, 16384, 8192);
+}
+
+void SorSolver::first_touch_zero(rt::array::Array3D<double>& g) {
+  // Zero plane-parallel so each page's first write — and hence its NUMA
+  // home — happens on a thread that will sweep that K range.
+  double* base = g.data();
+  const long plane = g.dims().plane_stride();
+  pool_->parallel_for(g.n3(), [&](long k) {
+    std::fill(base + k * plane, base + (k + 1) * plane, 0.0);
+  });
 }
 
 void SorSolver::setup(std::uint64_t seed, int charges) {
@@ -70,19 +117,43 @@ void SorSolver::setup(std::uint64_t seed, int charges) {
 void SorSolver::sweep() {
   const double c1 = 1.0 - opts_.omega;
   const double c2 = opts_.omega / 6.0;
-  if (hier_) {
-    rt::cachesim::TracedArray3D<double> tu(u_, u_base_, *hier_);
-    rt::cachesim::TracedArray3D<double> tr(rhs_, rhs_base_, *hier_);
-    if (opts_.plan.tiled) {
-      rt::kernels::redblack_tiled_rhs(tu, tr, c1, c2, opts_.plan.tile);
+  {
+    rt::obs::ScopedTimer timer(phases_.sweep);
+    if (hier_) {
+      rt::cachesim::TracedArray3D<double> tu(u_, u_base_, *hier_);
+      rt::cachesim::TracedArray3D<double> tr(rhs_, rhs_base_, *hier_);
+      if (opts_.plan.tiled) {
+        rt::kernels::redblack_tiled_rhs(tu, tr, c1, c2, opts_.plan.tile);
+      } else {
+        rt::kernels::redblack_naive_rhs(tu, tr, c1, c2);
+      }
+    } else if (lvl_ != rt::simd::SimdLevel::kScalar && pool_) {
+      if (opts_.plan.tiled) {
+        rt::simd::redblack_tiled_rhs_rows_par(*pool_, u_, rhs_, c1, c2,
+                                              opts_.plan.tile, lvl_);
+      } else {
+        rt::simd::redblack_rhs_rows_par(*pool_, u_, rhs_, c1, c2, lvl_);
+      }
+    } else if (lvl_ != rt::simd::SimdLevel::kScalar) {
+      if (opts_.plan.tiled) {
+        rt::simd::redblack_tiled_rhs_rows(u_, rhs_, c1, c2, opts_.plan.tile,
+                                          lvl_);
+      } else {
+        rt::simd::redblack_rhs_rows(u_, rhs_, c1, c2, lvl_);
+      }
+    } else if (pool_) {
+      if (opts_.plan.tiled) {
+        rt::par::redblack_tiled_rhs_par(*pool_, u_, rhs_, c1, c2,
+                                        opts_.plan.tile);
+      } else {
+        rt::par::redblack_rhs_par(*pool_, u_, rhs_, c1, c2);
+      }
     } else {
-      rt::kernels::redblack_naive_rhs(tu, tr, c1, c2);
-    }
-  } else {
-    if (opts_.plan.tiled) {
-      rt::kernels::redblack_tiled_rhs(u_, rhs_, c1, c2, opts_.plan.tile);
-    } else {
-      rt::kernels::redblack_naive_rhs(u_, rhs_, c1, c2);
+      if (opts_.plan.tiled) {
+        rt::kernels::redblack_tiled_rhs(u_, rhs_, c1, c2, opts_.plan.tile);
+      } else {
+        rt::kernels::redblack_naive_rhs(u_, rhs_, c1, c2);
+      }
     }
   }
   const auto pts = static_cast<std::uint64_t>(opts_.n - 2);
@@ -90,6 +161,7 @@ void SorSolver::sweep() {
 }
 
 double SorSolver::residual_linf() {
+  rt::obs::ScopedTimer timer(phases_.residual);
   const long n = opts_.n;
   double m = 0.0;
   for (long k = 1; k < n - 1; ++k) {

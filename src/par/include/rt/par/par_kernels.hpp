@@ -150,6 +150,48 @@ void redblack_par(ThreadPool& pool, Acc& a, double c1, double c2) {
   }
 }
 
+/// Parallel tiled red-black with a constant term (rb_update_rhs): same
+/// colour-barrier schedule as redblack_tiled_par, bit-identical to
+/// redblack_naive_rhs and to the serial fused redblack_tiled_rhs.
+template <class Acc, class Rhs>
+void redblack_tiled_rhs_par(ThreadPool& pool, Acc& a, Rhs& r, double c1,
+                            double c2, IterTile t) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    parallel_for_tiles(
+        pool, 1, n1 - 1, 1, n2 - 1, t,
+        [&](long ii, long ihi, long jj, long jhi) {
+          for (long k = 1; k < n3 - 1; ++k) {
+            for (long j = jj; j < jhi; ++j) {
+              for (long i = rt::kernels::detail::first_with_parity(ii, j, k,
+                                                                   parity);
+                   i < ihi; i += 2) {
+                rt::kernels::rb_update_rhs(a, r, i, j, k, c1, c2);
+              }
+            }
+          }
+        });  // barrier: all red done before any black starts
+  }
+}
+
+/// Parallel untiled red-black with a constant term, K planes per colour.
+template <class Acc, class Rhs>
+void redblack_rhs_par(ThreadPool& pool, Acc& a, Rhs& r, double c1,
+                      double c2) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    pool.parallel_for(n3 - 2, [&](long kk) {
+      const long k = kk + 1;
+      for (long j = 1; j < n2 - 1; ++j) {
+        for (long i = rt::kernels::detail::first_with_parity(1, j, k, parity);
+             i < n1 - 1; i += 2) {
+          rt::kernels::rb_update_rhs(a, r, i, j, k, c1, c2);
+        }
+      }
+    });
+  }
+}
+
 /// Parallel tiled RESID.  Bit-identical to rt::kernels::resid_tiled.
 template <class R, class V, class U>
 void resid_tiled_par(ThreadPool& pool, R& r, V& v, U& u,
@@ -180,6 +222,40 @@ void resid_par(ThreadPool& pool, R& r, V& v, U& u,
       }
     }
   });
+}
+
+/// Parallel time-skewed Jacobi (wavefront schedule): the outer kb-block
+/// and time-step loops of rt::kernels::jacobi3d_timeskew run serially, but
+/// within one (kb, t) stage every plane of the skew window [lo, hi] writes
+/// only `dst` and reads only `src` (the opposite-parity array, which no
+/// plane of this stage writes — src's next overwrite is step t + 1 and
+/// happens after parallel_for's barrier).  Planes are therefore
+/// independent work items, and the result is bit-identical to the serial
+/// time skew for any thread count.
+template <class Arr>
+void jacobi3d_timeskew_par(ThreadPool& pool, Arr& a, Arr& b, double c,
+                           int tsteps, long bk) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long kb = 1; kb < (n3 - 2) + tsteps; kb += bk) {
+    for (int t = 0; t < tsteps; ++t) {
+      const long lo = std::max(1L, kb - t);
+      const long hi = std::min(n3 - 2, kb + bk - 1 - t);
+      if (hi < lo) continue;
+      Arr& dst = (t % 2 == 0) ? a : b;
+      Arr& src = (t % 2 == 0) ? b : a;
+      pool.parallel_for(hi - lo + 1, [&](long kk) {
+        const long k = lo + kk;
+        for (long j = 1; j < n2 - 1; ++j) {
+          for (long i = 1; i < n1 - 1; ++i) {
+            dst.store(i, j, k,
+                      c * (src.load(i - 1, j, k) + src.load(i + 1, j, k) +
+                           src.load(i, j - 1, k) + src.load(i, j + 1, k) +
+                           src.load(i, j, k - 1) + src.load(i, j, k + 1)));
+          }
+        }
+      });  // barrier: stage (kb, t) completes before stage (kb, t + 1)
+    }
+  }
 }
 
 }  // namespace rt::par

@@ -103,4 +103,77 @@ inline void resid_rows_par(ThreadPool& pool, Array3D<double>& r,
   });
 }
 
+/// Parallel untiled red-black SOR with constant term, K planes per colour.
+inline void redblack_rhs_rows_par(ThreadPool& pool, Array3D<double>& a,
+                                  const Array3D<double>& r, double c1,
+                                  double c2, SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    pool.parallel_for(n3 - 2, [&](long kk) {
+      redblack_rhs_sweep(a, r, c1, c2, parity, 1, n1 - 1, 1, n2 - 1, kk + 1,
+                         kk + 2, lvl);
+    });
+  }
+}
+
+/// Parallel tiled red-black SOR with constant term, colour barrier.
+inline void redblack_tiled_rhs_rows_par(ThreadPool& pool, Array3D<double>& a,
+                                        const Array3D<double>& r, double c1,
+                                        double c2, IterTile t, SimdLevel lvl) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    rt::par::parallel_for_tiles(
+        pool, 1, n1 - 1, 1, n2 - 1, t,
+        [&](long ii, long ihi, long jj, long jhi) {
+          redblack_rhs_sweep(a, r, c1, c2, parity, ii, ihi, jj, jhi, 1,
+                             n3 - 1, lvl);
+        });  // barrier: all red before any black
+  }
+}
+
+/// Parallel untiled PSINV, one K plane of rows per work item (u += S r
+/// writes only plane k; every read is of r, which no item writes).
+inline void psinv_rows_par(ThreadPool& pool, Array3D<double>& u,
+                           const Array3D<double>& r, const PsinvCoeffs& c,
+                           SimdLevel lvl) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    psinv_sweep(u, r, c, 1, n1 - 1, 1, n2 - 1, kk + 1, kk + 2, lvl);
+  });
+}
+
+/// Parallel tiled PSINV over the JI tile grid.
+inline void psinv_tiled_rows_par(ThreadPool& pool, Array3D<double>& u,
+                                 const Array3D<double>& r,
+                                 const PsinvCoeffs& c, IterTile t,
+                                 SimdLevel lvl) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  rt::par::parallel_for_tiles(pool, 1, n1 - 1, 1, n2 - 1, t,
+                              [&](long ii, long ihi, long jj, long jhi) {
+                                psinv_sweep(u, r, c, ii, ihi, jj, jhi, 1,
+                                            n3 - 1, lvl);
+                              });
+}
+
+/// Parallel restriction, one *coarse* K plane per work item: coarse plane
+/// j3 writes only itself and reads fine planes 2 j3 - 2 .. 2 j3, which no
+/// item writes.
+inline void rprj3_rows_par(ThreadPool& pool, Array3D<double>& s,
+                           const Array3D<double>& r, SimdLevel lvl) {
+  const long m1 = s.n1(), m2 = s.n2(), m3 = s.n3();
+  pool.parallel_for(m3 - 2, [&](long kk) {
+    rprj3_sweep(s, r, 1, m1 - 1, 1, m2 - 1, kk + 1, kk + 2, lvl);
+  });
+}
+
+/// Parallel prolongation, one *fine* K plane per work item: fine plane i3
+/// writes only itself and reads the coarse grid, which no item writes.
+inline void interp_add_rows_par(ThreadPool& pool, Array3D<double>& u,
+                                const Array3D<double>& z, SimdLevel lvl) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  pool.parallel_for(n3 - 2, [&](long kk) {
+    interp_sweep(u, z, 1, n1 - 1, 1, n2 - 1, kk + 1, kk + 2, lvl);
+  });
+}
+
 }  // namespace rt::simd

@@ -28,6 +28,8 @@
 // x [klo,khi); they are the composition point with rt::par — each
 // parallel tile or plane work item calls one sweep (rt/simd/par_rows.hpp).
 
+#include <array>
+
 #include "rt/array/array3d.hpp"
 #include "rt/core/cost.hpp"
 #include "rt/kernels/resid.hpp"
@@ -37,6 +39,11 @@ namespace rt::simd {
 
 using rt::array::Array3D;
 using rt::core::IterTile;
+
+/// Smoother coefficients in rt::multigrid::SmootherCoeffs layout (centre,
+/// faces, edges, corners) — duplicated as a plain array type so rt::simd
+/// stays below rt::multigrid in the layering.
+using PsinvCoeffs = std::array<double, 4>;
 
 // --- Mid-level sweeps over an interior sub-box (par composition unit) ---
 
@@ -60,6 +67,28 @@ void resid_sweep(Array3D<double>& r, const Array3D<double>& v,
                  const Array3D<double>& u, const rt::kernels::ResidCoeffs& a,
                  long ilo, long ihi, long jlo, long jhi, long klo, long khi,
                  SimdLevel lvl);
+
+/// One colour of red-black SOR with a constant term (rb_update_rhs):
+/// a <- c1 a + c2 (6 neighbours) + r.  a and r share dims.
+void redblack_rhs_sweep(Array3D<double>& a, const Array3D<double>& r,
+                        double c1, double c2, long parity, long ilo, long ihi,
+                        long jlo, long jhi, long klo, long khi, SimdLevel lvl);
+
+/// u += S r (27-point NAS MG smoother) over the box; u and r share dims.
+void psinv_sweep(Array3D<double>& u, const Array3D<double>& r,
+                 const PsinvCoeffs& c, long ilo, long ihi, long jlo, long jhi,
+                 long klo, long khi, SimdLevel lvl);
+
+/// Full-weighting restriction over the *coarse* sub-box [j1lo,j1hi) x
+/// [j2lo,j2hi) x [j3lo,j3hi): s(j1,j2,j3) from fine r around i = 2j - 1.
+void rprj3_sweep(Array3D<double>& s, const Array3D<double>& r, long j1lo,
+                 long j1hi, long j2lo, long j2hi, long j3lo, long j3hi,
+                 SimdLevel lvl);
+
+/// Trilinear prolongation u += P z over the *fine* sub-box.
+void interp_sweep(Array3D<double>& u, const Array3D<double>& z, long ilo,
+                  long ihi, long jlo, long jhi, long klo, long khi,
+                  SimdLevel lvl);
 
 // --- Full kernels, bit-identical to their rt::kernels counterparts ---
 
@@ -95,5 +124,30 @@ void resid_tiled_rows(Array3D<double>& r, const Array3D<double>& v,
                       const Array3D<double>& u,
                       const rt::kernels::ResidCoeffs& a, IterTile t,
                       SimdLevel lvl);
+
+/// == rt::kernels::redblack_naive_rhs (two-pass colour schedule).
+void redblack_rhs_rows(Array3D<double>& a, const Array3D<double>& r,
+                       double c1, double c2, SimdLevel lvl);
+
+/// Tiled two-pass red-black with constant term over the JI tile grid
+/// (colour barrier between passes; bit-identical to redblack_naive_rhs
+/// and to the serial fused redblack_tiled_rhs).
+void redblack_tiled_rhs_rows(Array3D<double>& a, const Array3D<double>& r,
+                             double c1, double c2, IterTile t, SimdLevel lvl);
+
+/// == rt::multigrid::psinv.
+void psinv_rows(Array3D<double>& u, const Array3D<double>& r,
+                const PsinvCoeffs& c, SimdLevel lvl);
+
+/// == rt::multigrid::psinv_tiled (same jj-outer / ii-inner tile walk).
+void psinv_tiled_rows(Array3D<double>& u, const Array3D<double>& r,
+                      const PsinvCoeffs& c, IterTile t, SimdLevel lvl);
+
+/// == rt::multigrid::rprj3 (s coarse, r fine; dims may differ in padding).
+void rprj3_rows(Array3D<double>& s, const Array3D<double>& r, SimdLevel lvl);
+
+/// == rt::multigrid::interp_add (u fine, z coarse).
+void interp_add_rows(Array3D<double>& u, const Array3D<double>& z,
+                     SimdLevel lvl);
 
 }  // namespace rt::simd

@@ -71,6 +71,30 @@ RT_SIMD_ATTR void RT_SIMD_FN(redblack_sweep)(
   }
 }
 
+RT_SIMD_ATTR void RT_SIMD_FN(redblack_rhs_sweep)(
+    double* RT_SIMD_RESTRICT a, const double* RT_SIMD_RESTRICT r, long s1,
+    long s2, double c1, double c2, long parity, long ilo, long ihi, long jlo,
+    long jhi, long klo, long khi) {
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      const long off = s1 * j + s2 * k;
+      double* RT_SIMD_RESTRICT ar = a + off;
+      const double* RT_SIMD_RESTRICT rr = r + off;
+      const double* RT_SIMD_RESTRICT ajm = ar - s1;
+      const double* RT_SIMD_RESTRICT ajp = ar + s1;
+      const double* RT_SIMD_RESTRICT akm = ar - s2;
+      const double* RT_SIMD_RESTRICT akp = ar + s2;
+      // Same colour walk as redblack_sweep, plus the rb_update_rhs
+      // constant term appended after the neighbour sum.
+      for (long i = ilo + (((ilo + j + k) ^ parity) & 1); i < ihi; i += 2) {
+        ar[i] = c1 * ar[i] + c2 * (ar[i - 1] + ajm[i] + ar[i + 1] + ajp[i] +
+                                   akm[i] + akp[i]) +
+                rr[i];
+      }
+    }
+  }
+}
+
 RT_SIMD_ATTR void RT_SIMD_FN(resid_sweep)(
     double* RT_SIMD_RESTRICT r, const double* RT_SIMD_RESTRICT v,
     const double* RT_SIMD_RESTRICT u, long s1, long s2, double a0, double a1,
@@ -100,6 +124,173 @@ RT_SIMD_ATTR void RT_SIMD_FN(resid_sweep)(
         const double t3 = umm[i - 1] + umm[i + 1] + upm[i - 1] + upm[i + 1] +
                           ump[i - 1] + ump[i + 1] + upp[i - 1] + upp[i + 1];
         rr[i] = vv[i] - a0 * u00[i] - a1 * t1 - a2 * t2 - a3 * t3;
+      }
+    }
+  }
+}
+
+RT_SIMD_ATTR void RT_SIMD_FN(psinv_sweep)(
+    double* RT_SIMD_RESTRICT u, const double* RT_SIMD_RESTRICT r, long s1,
+    long s2, double c0, double c1, double c2, double c3, long ilo, long ihi,
+    long jlo, long jhi, long klo, long khi) {
+  for (long k = klo; k < khi; ++k) {
+    for (long j = jlo; j < jhi; ++j) {
+      const long off = s1 * j + s2 * k;
+      double* RT_SIMD_RESTRICT ur = u + off;
+      const double* RT_SIMD_RESTRICT rc = r + off;
+      const double* RT_SIMD_RESTRICT rjm = rc - s1;
+      const double* RT_SIMD_RESTRICT rjp = rc + s1;
+      const double* RT_SIMD_RESTRICT rkm = rc - s2;
+      const double* RT_SIMD_RESTRICT rkp = rc + s2;
+      const double* RT_SIMD_RESTRICT rmm = rc - s1 - s2;
+      const double* RT_SIMD_RESTRICT rpm = rc + s1 - s2;
+      const double* RT_SIMD_RESTRICT rmp = rc - s1 + s2;
+      const double* RT_SIMD_RESTRICT rpp = rc + s1 + s2;
+#pragma omp simd
+      for (long i = ilo; i < ihi; ++i) {
+        const double t1 = rc[i - 1] + rc[i + 1] + rjm[i] + rjp[i] + rkm[i] +
+                          rkp[i];
+        const double t2 = rjm[i - 1] + rjm[i + 1] + rjp[i - 1] + rjp[i + 1] +
+                          rmm[i] + rpm[i] + rmp[i] + rpp[i] + rkm[i - 1] +
+                          rkp[i - 1] + rkm[i + 1] + rkp[i + 1];
+        const double t3 = rmm[i - 1] + rmm[i + 1] + rpm[i - 1] + rpm[i + 1] +
+                          rmp[i - 1] + rmp[i + 1] + rpp[i - 1] + rpp[i + 1];
+        ur[i] = ur[i] + c0 * rc[i] + c1 * t1 + c2 * t2 + c3 * t3;
+      }
+    }
+  }
+}
+
+// Full-weighting restriction over a coarse sub-box.  Strides come in two
+// flavours (cs* coarse output, fs* fine input); coarse j maps to fine
+// centre i = 2j - 1.  The faces/edges/corners accumulators are filled in
+// rt::multigrid::rprj3's exact d3/d2/d1 traversal order — the interleaved
+// += sequence below *is* that walk, with same-group additions preserved.
+RT_SIMD_ATTR void RT_SIMD_FN(rprj3_sweep)(
+    double* RT_SIMD_RESTRICT s, const double* RT_SIMD_RESTRICT r, long cs1,
+    long cs2, long fs1, long fs2, long j1lo, long j1hi, long j2lo, long j2hi,
+    long j3lo, long j3hi) {
+  for (long j3 = j3lo; j3 < j3hi; ++j3) {
+    const long i3 = 2 * j3 - 1;
+    for (long j2 = j2lo; j2 < j2hi; ++j2) {
+      const long i2 = 2 * j2 - 1;
+      double* RT_SIMD_RESTRICT sr = s + cs1 * j2 + cs2 * j3;
+      const double* RT_SIMD_RESTRICT rc = r + fs1 * i2 + fs2 * i3;
+      const double* RT_SIMD_RESTRICT rjm = rc - fs1;
+      const double* RT_SIMD_RESTRICT rjp = rc + fs1;
+      const double* RT_SIMD_RESTRICT rkm = rc - fs2;
+      const double* RT_SIMD_RESTRICT rkp = rc + fs2;
+      const double* RT_SIMD_RESTRICT rmm = rc - fs1 - fs2;
+      const double* RT_SIMD_RESTRICT rpm = rc + fs1 - fs2;
+      const double* RT_SIMD_RESTRICT rmp = rc - fs1 + fs2;
+      const double* RT_SIMD_RESTRICT rpp = rc + fs1 + fs2;
+#pragma omp simd
+      for (long j1 = j1lo; j1 < j1hi; ++j1) {
+        const long i1 = 2 * j1 - 1;
+        double faces = 0, edges = 0, corners = 0;
+        corners += rmm[i1 - 1];
+        edges += rmm[i1];
+        corners += rmm[i1 + 1];
+        edges += rkm[i1 - 1];
+        faces += rkm[i1];
+        edges += rkm[i1 + 1];
+        corners += rpm[i1 - 1];
+        edges += rpm[i1];
+        corners += rpm[i1 + 1];
+        edges += rjm[i1 - 1];
+        faces += rjm[i1];
+        edges += rjm[i1 + 1];
+        faces += rc[i1 - 1];
+        faces += rc[i1 + 1];
+        edges += rjp[i1 - 1];
+        faces += rjp[i1];
+        edges += rjp[i1 + 1];
+        corners += rmp[i1 - 1];
+        edges += rmp[i1];
+        corners += rmp[i1 + 1];
+        edges += rkp[i1 - 1];
+        faces += rkp[i1];
+        edges += rkp[i1 + 1];
+        corners += rpp[i1 - 1];
+        edges += rpp[i1];
+        corners += rpp[i1 + 1];
+        sr[j1] = 0.5 * rc[i1] + 0.25 * faces + 0.125 * edges +
+                 0.0625 * corners;
+      }
+    }
+  }
+}
+
+// Trilinear prolongation over a fine sub-box: u_fine += P z_coarse.  The
+// j/k axis decompositions (odd index -> one coarse weight 1, even -> two
+// weights 0.5) are hoisted per row into up to four coarse row pointers;
+// the per-element i-axis branch and the kk/jj/ii accumulation order are
+// rt::multigrid::interp_add's, verbatim.
+RT_SIMD_ATTR void RT_SIMD_FN(interp_sweep)(
+    double* RT_SIMD_RESTRICT u, const double* RT_SIMD_RESTRICT z, long us1,
+    long us2, long zs1, long zs2, long ilo, long ihi, long jlo, long jhi,
+    long klo, long khi) {
+  for (long i3 = klo; i3 < khi; ++i3) {
+    long k_idx[2];
+    double k_w[2];
+    int kn;
+    if (i3 & 1) {
+      k_idx[0] = k_idx[1] = (i3 + 1) / 2;
+      k_w[0] = 1.0;
+      k_w[1] = 0.0;
+      kn = 1;
+    } else {
+      k_idx[0] = i3 / 2;
+      k_idx[1] = i3 / 2 + 1;
+      k_w[0] = k_w[1] = 0.5;
+      kn = 2;
+    }
+    for (long i2 = jlo; i2 < jhi; ++i2) {
+      long j_idx[2];
+      double j_w[2];
+      int jn;
+      if (i2 & 1) {
+        j_idx[0] = j_idx[1] = (i2 + 1) / 2;
+        j_w[0] = 1.0;
+        j_w[1] = 0.0;
+        jn = 1;
+      } else {
+        j_idx[0] = i2 / 2;
+        j_idx[1] = i2 / 2 + 1;
+        j_w[0] = j_w[1] = 0.5;
+        jn = 2;
+      }
+      double* RT_SIMD_RESTRICT ur = u + us1 * i2 + us2 * i3;
+      const double* zr[2][2];
+      for (int kk = 0; kk < kn; ++kk) {
+        for (int jj = 0; jj < jn; ++jj) {
+          zr[kk][jj] = z + zs1 * j_idx[jj] + zs2 * k_idx[kk];
+        }
+      }
+      for (long i1 = ilo; i1 < ihi; ++i1) {
+        long i_idx[2];
+        double i_w[2];
+        int in_;
+        if (i1 & 1) {
+          i_idx[0] = i_idx[1] = (i1 + 1) / 2;
+          i_w[0] = 1.0;
+          i_w[1] = 0.0;
+          in_ = 1;
+        } else {
+          i_idx[0] = i1 / 2;
+          i_idx[1] = i1 / 2 + 1;
+          i_w[0] = i_w[1] = 0.5;
+          in_ = 2;
+        }
+        double acc = 0;
+        for (int kk = 0; kk < kn; ++kk) {
+          for (int jj = 0; jj < jn; ++jj) {
+            for (int ii = 0; ii < in_; ++ii) {
+              acc += k_w[kk] * j_w[jj] * i_w[ii] * zr[kk][jj][i_idx[ii]];
+            }
+          }
+        }
+        ur[i1] = ur[i1] + acc;
       }
     }
   }

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "rt/bench/runner.hpp"
+#include "rt/core/plan_cache.hpp"
 #include "rt/obs/metrics_writer.hpp"
 #include "rt/obs/perf_counters.hpp"
 #include "rt/obs/phase_timer.hpp"
@@ -234,6 +236,28 @@ std::string golden_document() {
     JsonValue hw = JsonValue::object();
     hw.set("available", false).set("iters", 7);
     r.set("hw", std::move(hw));
+  }
+  {
+    // App-level record (bench_mgrid / bench_sor_app shape): plan-cache
+    // hit/miss counters and per-operator phase timings, built through the
+    // same rt::bench helpers the benches use so the blocks cannot drift.
+    JsonValue& r = w.add_record();
+    r.set("kernel", "MGRID")
+        .set("n", 130)
+        .set("transform", "GcdPad")
+        .set("threads", 4)
+        .set("simd", "auto")
+        .set("mflops", 2048.125);
+    rt::core::PlanCacheStats pcs;
+    pcs.hits = 5;
+    pcs.misses = 1;
+    r.set("plan_cache", rt::bench::plan_cache_json(pcs));
+    PhaseStats resid, psinv;
+    resid.add(0.25);
+    resid.add(0.75);
+    psinv.add(0.5);
+    r.set("phases",
+          rt::bench::phases_json({{"resid", resid}, {"psinv", psinv}}));
   }
   return w.dump();
 }

@@ -12,6 +12,7 @@
 #include "rt/kernels/jacobi3d.hpp"
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
+#include "rt/kernels/timeskew.hpp"
 #include "rt/par/par_kernels.hpp"
 #include "rt/par/thread_pool.hpp"
 
@@ -215,6 +216,49 @@ TEST(ParKernels, DegenerateTileOrEmptyInteriorIsSafe) {
   // Non-positive tile extents: parallel_for_tiles declines to iterate
   // rather than looping forever.
   jacobi3d_tiled_par(pool, a, b, 1.0 / 6.0, IterTile{0, 5});
+}
+
+TEST_P(ParEquivalence, RedBlackRhsParMatchesSerialSchedules) {
+  const auto [n1, n2, n3, ti, tj] = GetParam();
+  Array3D<double> ref = make_grid(n1, n2, n3, 0.3);
+  const Array3D<double> r = make_grid(n1, n2, n3, 0.8);
+  Array3D<double> a1 = ref, a2 = ref, a3 = ref;
+  rt::kernels::redblack_naive_rhs(ref, r, 0.4, 0.1);
+  redblack_rhs_par(pool_, a1, r, 0.4, 0.1);
+  EXPECT_TRUE(interiors_equal(ref, a1));
+  redblack_tiled_rhs_par(pool_, a2, r, 0.4, 0.1, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(ref, a2));
+  // Transitively: the serial fused tiled schedule agrees too.
+  rt::kernels::redblack_tiled_rhs(a3, r, 0.4, 0.1, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(ref, a3));
+}
+
+TEST(ParKernels, TimeskewWavefrontParMatchesSerial) {
+  // Within one (K-block, t) wavefront step, source and destination arrays
+  // differ, so planes are independent: the parallel schedule must be
+  // bit-identical to the serial one for any block size, including blocks
+  // smaller than, equal to, and larger than the skew depth.
+  ThreadPool pool(4);
+  for (const long bk : {1L, 3L, 8L, 100L}) {
+    for (const int tsteps : {1, 3, 4}) {
+      Array3D<double> a1(18, 13, 16), a2(18, 13, 16);
+      Array3D<double> b1 = make_grid(18, 13, 16, 0.6), b2 = b1;
+      rt::kernels::jacobi3d_timeskew(a1, b1, 1.0 / 6.0, tsteps, bk);
+      jacobi3d_timeskew_par(pool, a2, b2, 1.0 / 6.0, tsteps, bk);
+      EXPECT_TRUE(interiors_equal(a1, a2)) << "bk=" << bk << " t=" << tsteps;
+      EXPECT_TRUE(interiors_equal(b1, b2)) << "bk=" << bk << " t=" << tsteps;
+    }
+  }
+}
+
+TEST(ParKernels, TimeskewParOneThreadPoolIsSerial) {
+  ThreadPool pool(1);
+  Array3D<double> a1(12, 12, 10), a2(12, 12, 10);
+  Array3D<double> b1 = make_grid(12, 12, 10, 0.2), b2 = b1;
+  rt::kernels::jacobi3d_timeskew(a1, b1, 1.0 / 6.0, 3, 4);
+  jacobi3d_timeskew_par(pool, a2, b2, 1.0 / 6.0, 3, 4);
+  EXPECT_TRUE(interiors_equal(a1, a2));
+  EXPECT_TRUE(interiors_equal(b1, b2));
 }
 
 }  // namespace

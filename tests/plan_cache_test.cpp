@@ -1,0 +1,147 @@
+// rt::core::PlanCache: the memoized plan_for_checked must return reports
+// identical to the direct search (plan fields, status, detail), count hits
+// and misses exactly, key on every input that changes the answer (and only
+// those), and stay consistent under concurrent lookups.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/core/plan.hpp"
+#include "rt/core/plan_cache.hpp"
+#include "rt/core/stencil_spec.hpp"
+#include "rt/guard/status.hpp"
+
+namespace rt::core {
+namespace {
+
+bool same_plan(const TilingPlan& a, const TilingPlan& b) {
+  return a.transform == b.transform && a.tiled == b.tiled &&
+         a.tile.ti == b.tile.ti && a.tile.tj == b.tile.tj && a.dip == b.dip &&
+         a.djp == b.djp;
+}
+
+TEST(PlanCache, MissThenHitReturnsIdenticalReport) {
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  const PlanReport direct =
+      plan_for_checked(Transform::kGcdPad, 2048, 200, 200, spec);
+  const PlanReport r1 = c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+  const PlanReport r2 = c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+  EXPECT_TRUE(same_plan(direct.plan, r1.plan));
+  EXPECT_TRUE(same_plan(r1.plan, r2.plan));
+  EXPECT_EQ(r1.status, direct.status);
+  EXPECT_EQ(r2.status, r1.status);
+  EXPECT_EQ(r2.detail, r1.detail);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(PlanCache, EveryKeyComponentSeparatesEntries) {
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  (void)c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+  (void)c.plan(Transform::kPad, 2048, 200, 200, spec);      // transform
+  (void)c.plan(Transform::kGcdPad, 4096, 200, 200, spec);   // cs
+  (void)c.plan(Transform::kGcdPad, 2048, 300, 200, spec);   // di
+  (void)c.plan(Transform::kGcdPad, 2048, 200, 300, spec);   // dj
+  (void)c.plan(Transform::kGcdPad, 2048, 200, 200,
+               StencilSpec::redblack3d());                  // stencil (atd)
+  (void)c.plan(Transform::kGcdPad, 2048, 200, 200, spec, 200);  // n3
+  EXPECT_EQ(c.stats().misses, 7u);
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.size(), 7u);
+}
+
+TEST(PlanCache, SpecNameDoesNotAffectTheKey) {
+  // Only the numeric fields (trim_i/trim_j/atd) enter the key: a renamed
+  // spec with equal parameters is the same plan.
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  const StencilSpec renamed{"renamed", spec.trim_i, spec.trim_j, spec.atd};
+  (void)c.plan(Transform::kGcdPad, 2048, 150, 150, spec);
+  (void)c.plan(Transform::kGcdPad, 2048, 150, 150, renamed);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(PlanCache, DegradedReportsAreCachedToo) {
+  // A failing search (cs <= 0 -> kInvalidArgument) is memoized with its
+  // status and detail: repeat queries must not re-run the search or lose
+  // the typed outcome.
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  const PlanReport direct =
+      plan_for_checked(Transform::kGcdPad, -1, 100, 100, spec);
+  ASSERT_EQ(direct.status, rt::guard::Status::kInvalidArgument);
+  const PlanReport r1 = c.plan(Transform::kGcdPad, -1, 100, 100, spec);
+  const PlanReport r2 = c.plan(Transform::kGcdPad, -1, 100, 100, spec);
+  EXPECT_EQ(r1.status, direct.status);
+  EXPECT_EQ(r2.status, direct.status);
+  EXPECT_EQ(r2.detail, direct.detail);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(PlanCache, ClearResetsEntriesAndCounters) {
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  (void)c.plan(Transform::kGcdPad, 2048, 100, 100, spec);
+  (void)c.plan(Transform::kGcdPad, 2048, 100, 100, spec);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+  (void)c.plan(Transform::kGcdPad, 2048, 100, 100, spec);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(PlanCache, HitRate) {
+  PlanCacheStats s;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);  // no queries yet: defined as 0
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+}
+
+TEST(PlanCache, InstanceIsProcessWideAndShared) {
+  PlanCache& a = PlanCache::instance();
+  PlanCache& b = PlanCache::instance();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(PlanCache, ConcurrentLookupsAgreeAndCountEveryQuery) {
+  PlanCache c;
+  const auto spec = StencilSpec::resid27();
+  const PlanReport direct =
+      plan_for_checked(Transform::kGcdPad, 2048, 130, 130, spec);
+  constexpr int kThreads = 8;
+  constexpr int kQueries = 25;
+  std::vector<std::thread> ts;
+  std::vector<int> bad(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int q = 0; q < kQueries; ++q) {
+        const PlanReport r =
+            c.plan(Transform::kGcdPad, 2048, 130, 130, spec);
+        if (!same_plan(r.plan, direct.plan) || r.status != direct.status) {
+          ++bad[t];
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(bad[t], 0) << "thread " << t;
+  const auto s = c.stats();
+  // Racing first queries may each run the (pure) search, so more than one
+  // miss is possible — but every query is counted exactly once and the
+  // cache converges to a single entry.
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kQueries);
+  EXPECT_GE(s.misses, 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rt::core

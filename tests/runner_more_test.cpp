@@ -98,19 +98,22 @@ TEST(RunnerMore, EcsPlanViaExplicitPath) {
   EXPECT_GT(r.sim_accesses, 0u);
 }
 
-TEST(RunnerMore, PsinvMarksThreadAndSimdFallback) {
+TEST(RunnerMore, PsinvRunsThreadedAndSimdLikeOtherKernels) {
   RunOptions o = fast_opts();
   o.simulate = false;
   o.time_host = true;
   o.min_host_seconds = 0.001;
   o.threads = 4;
   o.simd = rt::simd::SimdMode::kAuto;
+  // PSINV gained row and parallel variants: it honours the thread and SIMD
+  // request exactly like the other kernels instead of degrading to serial
+  // scalar.
   const auto r = run_kernel(KernelId::kPsinv, Transform::kOrig, 32, o);
-  EXPECT_EQ(r.threads, 1);               // ran serial scalar ...
-  EXPECT_EQ(r.simd, rt::simd::SimdLevel::kScalar);
-  EXPECT_EQ(r.threads_requested, 4);     // ... but remembers the request
+  EXPECT_EQ(r.threads, 4);
+  EXPECT_EQ(r.simd, rt::simd::resolve(rt::simd::SimdMode::kAuto));
+  EXPECT_EQ(r.threads_requested, 4);
   EXPECT_EQ(r.simd_requested, rt::simd::SimdMode::kAuto);
-  EXPECT_TRUE(r.degraded());
+  EXPECT_FALSE(r.degraded());
 
   const auto j = run_kernel(KernelId::kJacobi, Transform::kOrig, 32, o);
   EXPECT_EQ(j.threads, 4);

@@ -1,0 +1,240 @@
+// Bit-identity of the multigrid-operator row kernels (PSINV, RPRJ3,
+// INTERP, red-black-with-RHS) against the accessor operators, across the
+// same exhaustive shape sweep as simd_kernels_test.cpp: cubic and
+// non-cubic grids, the minimum coarse size n = 3, padded leading
+// dimensions (odd pads so rows never share an alignment phase), and tile
+// sizes that leave ragged edges or exceed the interior.  The parallel
+// compositions (rt/simd/par_rows.hpp and the accessor
+// rt/multigrid/par_operators.hpp) must hold the same identity under a
+// multi-thread pool — these are the exact code paths the MgSolver and
+// SorSolver fast paths dispatch to.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rt/array/array3d.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/multigrid/operators.hpp"
+#include "rt/multigrid/par_operators.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/simd/par_rows.hpp"
+#include "rt/simd/row_kernels.hpp"
+#include "rt/simd/simd.hpp"
+
+namespace rt::simd {
+namespace {
+
+using rt::array::Array3D;
+using rt::array::Dims3;
+using rt::core::IterTile;
+using rt::par::ThreadPool;
+
+Array3D<double> make_grid(long n1, long n2, long n3, double seed,
+                          long p1 = 0, long p2 = 0) {
+  Dims3 d = (p1 > 0) ? Dims3::padded(n1, n2, n3, p1, p2)
+                     : Dims3::unpadded(n1, n2, n3);
+  Array3D<double> a(d);
+  for (long k = 0; k < n3; ++k) {
+    for (long j = 0; j < n2; ++j) {
+      for (long i = 0; i < n1; ++i) {
+        a(i, j, k) = std::sin(seed + 0.1 * i + 0.2 * j + 0.3 * k);
+      }
+    }
+  }
+  return a;
+}
+
+bool interiors_equal(const Array3D<double>& a, const Array3D<double>& b) {
+  for (long k = 0; k < a.n3(); ++k) {
+    for (long j = 0; j < a.n2(); ++j) {
+      for (long i = 0; i < a.n1(); ++i) {
+        if (a(i, j, k) != b(i, j, k)) return false;  // bitwise
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<SimdLevel> levels_under_test() {
+  return {SimdLevel::kRows, SimdLevel::kAvx2};
+}
+
+struct Shape {
+  long n1, n2, n3, ti, tj, p1, p2;
+};
+
+class SimdMgEquivalence : public ::testing::TestWithParam<Shape> {
+ protected:
+  ThreadPool pool_{4};
+};
+
+TEST_P(SimdMgEquivalence, PsinvRowsMatchAccessor) {
+  const auto [n1, n2, n3, ti, tj, p1, p2] = GetParam();
+  const IterTile t{ti, tj};
+  // Both the NAS coefficient set (zero corner term) and a fully dense one:
+  // the row kernels must reproduce the accessor's term order for every
+  // coefficient class, including the corner contributions NAS zeroes out.
+  const std::vector<rt::multigrid::SmootherCoeffs> coeff_sets = {
+      rt::multigrid::nas_mg_c(),
+      rt::multigrid::SmootherCoeffs{-0.4, 0.03, -0.015, 0.007}};
+  for (const auto& c : coeff_sets) {
+    const PsinvCoeffs cs{c[0], c[1], c[2], c[3]};
+    for (SimdLevel lvl : levels_under_test()) {
+      const Array3D<double> r = make_grid(n1, n2, n3, 0.7, p1, p2);
+      Array3D<double> u1 = make_grid(n1, n2, n3, 0.1, p1, p2);
+      Array3D<double> u2 = u1, u3 = u1, u4 = u1, u5 = u1, u6 = u1, u7 = u1;
+      rt::multigrid::psinv(u1, r, c);
+      psinv_rows(u2, r, cs, lvl);
+      EXPECT_TRUE(interiors_equal(u1, u2)) << "rows lvl=" << int(lvl);
+      psinv_rows_par(pool_, u3, r, cs, lvl);
+      EXPECT_TRUE(interiors_equal(u1, u3)) << "par rows lvl=" << int(lvl);
+      rt::multigrid::psinv_par(pool_, u4, r, c);
+      EXPECT_TRUE(interiors_equal(u1, u4)) << "accessor par";
+      rt::multigrid::psinv_tiled(u5, r, c, t);
+      psinv_tiled_rows(u6, r, cs, t, lvl);
+      EXPECT_TRUE(interiors_equal(u5, u6)) << "tiled rows lvl=" << int(lvl);
+      psinv_tiled_rows_par(pool_, u7, r, cs, t, lvl);
+      EXPECT_TRUE(interiors_equal(u5, u7)) << "par tiled lvl=" << int(lvl);
+    }
+  }
+}
+
+TEST_P(SimdMgEquivalence, PsinvTiledParAccessorMatchesSerialTiled) {
+  const auto [n1, n2, n3, ti, tj, p1, p2] = GetParam();
+  const auto c = rt::multigrid::nas_mg_c();
+  const Array3D<double> r = make_grid(n1, n2, n3, 0.5, p1, p2);
+  Array3D<double> u1 = make_grid(n1, n2, n3, 0.2, p1, p2);
+  Array3D<double> u2 = u1;
+  rt::multigrid::psinv_tiled(u1, r, c, IterTile{ti, tj});
+  rt::multigrid::psinv_tiled_par(pool_, u2, r, c, IterTile{ti, tj});
+  EXPECT_TRUE(interiors_equal(u1, u2));
+}
+
+TEST_P(SimdMgEquivalence, RedBlackRhsRowsMatchAllSerialSchedules) {
+  const auto [n1, n2, n3, ti, tj, p1, p2] = GetParam();
+  const IterTile t{ti, tj};
+  for (SimdLevel lvl : levels_under_test()) {
+    const Array3D<double> r = make_grid(n1, n2, n3, 0.9, p1, p2);
+    Array3D<double> ref = make_grid(n1, n2, n3, 0.3, p1, p2);
+    Array3D<double> a1 = ref, a2 = ref, a3 = ref, a4 = ref, a5 = ref;
+    rt::kernels::redblack_naive_rhs(ref, r, 0.4, 0.1);
+    redblack_rhs_rows(a1, r, 0.4, 0.1, lvl);
+    EXPECT_TRUE(interiors_equal(ref, a1)) << "rows lvl=" << int(lvl);
+    redblack_tiled_rhs_rows(a2, r, 0.4, 0.1, t, lvl);
+    EXPECT_TRUE(interiors_equal(ref, a2)) << "tiled rows lvl=" << int(lvl);
+    redblack_rhs_rows_par(pool_, a3, r, 0.4, 0.1, lvl);
+    EXPECT_TRUE(interiors_equal(ref, a3)) << "par rows lvl=" << int(lvl);
+    redblack_tiled_rhs_rows_par(pool_, a4, r, 0.4, 0.1, t, lvl);
+    EXPECT_TRUE(interiors_equal(ref, a4)) << "par tiled lvl=" << int(lvl);
+    // Transitively: the serial fused tiled schedule agrees too.
+    rt::kernels::redblack_tiled_rhs(a5, r, 0.4, 0.1, t);
+    EXPECT_TRUE(interiors_equal(ref, a5)) << "fused tiled";
+  }
+}
+
+/// RPRJ3/INTERP pair coarse m with fine 2m - 2 (the MgSolver level
+/// relationship); the fine grid optionally carries its own distinct pad.
+class SimdMgTransfer : public ::testing::TestWithParam<Shape> {
+ protected:
+  ThreadPool pool_{4};
+};
+
+TEST_P(SimdMgTransfer, Rprj3RowsMatchAccessor) {
+  const auto [m1, m2, m3, ti, tj, p1, p2] = GetParam();
+  (void)ti;
+  (void)tj;
+  const long f1 = 2 * m1 - 2, f2 = 2 * m2 - 2, f3 = 2 * m3 - 2;
+  for (SimdLevel lvl : levels_under_test()) {
+    // Fine grid padded differently from the coarse one on purpose.
+    const Array3D<double> r =
+        make_grid(f1, f2, f3, 0.4, p1 > 0 ? 2 * p1 + 1 : 0,
+                  p2 > 0 ? 2 * p2 - 1 : 0);
+    Array3D<double> s1 = make_grid(m1, m2, m3, 0.2, p1, p2);
+    Array3D<double> s2 = s1, s3 = s1;
+    rt::multigrid::rprj3(s1, r);
+    rprj3_rows(s2, r, lvl);
+    EXPECT_TRUE(interiors_equal(s1, s2)) << "rows lvl=" << int(lvl);
+    rprj3_rows_par(pool_, s3, r, lvl);
+    EXPECT_TRUE(interiors_equal(s1, s3)) << "par rows lvl=" << int(lvl);
+    Array3D<double> s4 = make_grid(m1, m2, m3, 0.2, p1, p2);
+    rt::multigrid::rprj3_par(pool_, s4, r);
+    EXPECT_TRUE(interiors_equal(s1, s4)) << "accessor par";
+  }
+}
+
+TEST_P(SimdMgTransfer, InterpAddRowsMatchAccessor) {
+  const auto [m1, m2, m3, ti, tj, p1, p2] = GetParam();
+  (void)ti;
+  (void)tj;
+  const long f1 = 2 * m1 - 2, f2 = 2 * m2 - 2, f3 = 2 * m3 - 2;
+  for (SimdLevel lvl : levels_under_test()) {
+    const Array3D<double> z = make_grid(m1, m2, m3, 0.6, p1, p2);
+    Array3D<double> u1 = make_grid(f1, f2, f3, 0.1,
+                                   p1 > 0 ? 2 * p1 + 1 : 0,
+                                   p2 > 0 ? 2 * p2 - 1 : 0);
+    Array3D<double> u2 = u1, u3 = u1, u4 = u1;
+    rt::multigrid::interp_add(u1, z);
+    interp_add_rows(u2, z, lvl);
+    EXPECT_TRUE(interiors_equal(u1, u2)) << "rows lvl=" << int(lvl);
+    interp_add_rows_par(pool_, u3, z, lvl);
+    EXPECT_TRUE(interiors_equal(u1, u3)) << "par rows lvl=" << int(lvl);
+    rt::multigrid::interp_add_par(pool_, u4, z);
+    EXPECT_TRUE(interiors_equal(u1, u4)) << "accessor par";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SimdMgEquivalence,
+    ::testing::Values(
+        // Cubic, tile divides / does not divide the interior.
+        Shape{8, 8, 8, 3, 3, 0, 0}, Shape{16, 16, 16, 7, 5, 0, 0},
+        // Minimum stencil-admitting grid: one interior point per row.
+        Shape{3, 3, 3, 1, 1, 0, 0}, Shape{3, 5, 4, 2, 2, 0, 0},
+        // Non-cubic, ragged edge tiles.
+        Shape{9, 7, 11, 2, 5, 0, 0}, Shape{23, 41, 11, 7, 3, 0, 0},
+        Shape{40, 12, 30, 13, 22, 0, 0}, Shape{41, 6, 9, 41, 1, 0, 0},
+        // Tile exceeding the interior entirely.
+        Shape{12, 30, 5, 100, 100, 0, 0},
+        // Padded: odd leading dim (rows never share alignment phase),
+        // vector-aligned leading dim, and pad in both dimensions.
+        Shape{12, 18, 8, 5, 4, 17, 23}, Shape{12, 18, 8, 5, 4, 16, 18},
+        Shape{30, 10, 7, 9, 9, 40, 12},
+        // Interior wider than one vector with a scalar remainder.
+        Shape{21, 9, 6, 6, 4, 0, 0}, Shape{64, 10, 13, 22, 13, 0, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CoarseShapes, SimdMgTransfer,
+    ::testing::Values(
+        // Minimum coarse grid (n = 3, the MgSolver bottom level) and the
+        // first few real level sizes (fine = 2m - 2: 4, 8, 16, ...).
+        Shape{3, 3, 3, 0, 0, 0, 0}, Shape{5, 5, 5, 0, 0, 0, 0},
+        Shape{9, 9, 9, 0, 0, 0, 0}, Shape{18, 18, 18, 0, 0, 0, 0},
+        // Non-cubic coarse grids (exercises per-axis extents).
+        Shape{3, 5, 7, 0, 0, 0, 0}, Shape{12, 5, 9, 0, 0, 0, 0},
+        // Padded coarse grids; the fine grid derives a different odd pad.
+        Shape{9, 9, 9, 0, 0, 13, 11}, Shape{10, 6, 8, 0, 0, 16, 9}));
+
+TEST(SimdMgKernels, PsinvMultiStepStaysBitIdentical) {
+  // Smoother applied repeatedly (as the V-cycle does at every level):
+  // any divergence compounds; four applications catch it.
+  ThreadPool pool(4);
+  const auto c = rt::multigrid::nas_mg_c();
+  const PsinvCoeffs cs{c[0], c[1], c[2], c[3]};
+  for (SimdLevel lvl : levels_under_test()) {
+    const Array3D<double> r = make_grid(20, 14, 12, 0.8);
+    Array3D<double> u1 = make_grid(20, 14, 12, 0.2);
+    Array3D<double> u2 = u1, u3 = u1;
+    for (int it = 0; it < 4; ++it) {
+      rt::multigrid::psinv(u1, r, c);
+      psinv_rows(u2, r, cs, lvl);
+      psinv_rows_par(pool, u3, r, cs, lvl);
+    }
+    EXPECT_TRUE(interiors_equal(u1, u2)) << "serial lvl=" << int(lvl);
+    EXPECT_TRUE(interiors_equal(u1, u3)) << "par lvl=" << int(lvl);
+  }
+}
+
+}  // namespace
+}  // namespace rt::simd
