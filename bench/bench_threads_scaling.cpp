@@ -17,6 +17,7 @@
 // restricts the SIMD axis (default sweeps off AND auto, so the table shows
 // the scalar-vs-row-kernel gap at every thread count).
 
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <string>
@@ -27,13 +28,17 @@
 #include "rt/bench/runner.hpp"
 #include "rt/bench/table.hpp"
 #include "rt/core/plan.hpp"
+#include "rt/core/plan_cache.hpp"
+#include "rt/core/temporal.hpp"
 #include "rt/kernels/jacobi3d.hpp"
 #include "rt/kernels/kernel_info.hpp"
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
+#include "rt/kernels/timeskew.hpp"
 #include "rt/par/par_kernels.hpp"
 #include "rt/simd/par_rows.hpp"
 #include "rt/simd/row_kernels.hpp"
+#include "rt/temporal/wavefront.hpp"
 
 namespace {
 
@@ -234,6 +239,92 @@ int main(int argc, char** argv) {
     std::cout << "skipped " << skipped_fallback
               << " serial-fallback duplicates (PSINV has no parallel or "
                  "simd variant;\nonly its serial scalar row is real data)\n";
+  }
+
+  // --- Temporal-blocking thread scaling (rt::temporal wavefronts) ---
+  // Same thread sweep over the skew and diamond schedules, each verified
+  // bitwise against the serial ping-pong reference at every width.
+  // Degraded configurations (infeasible plan, failed thread spawn) are
+  // routed into the skipped count like the serial-fallback rows above.
+  if (!bo.temporal_given || bo.temporal != rt::core::TemporalMode::kOff) {
+    const long kd = ro.k_dim;
+    const int tsteps = bo.steps > 2 ? bo.steps : 4;
+    const auto lvl = rt::simd::resolve(
+        bo.simd_given ? bo.simd : rt::simd::SimdMode::kAuto);
+    const long cs = rt::bench::outer_cache_elems();
+    const Dims3 d = Dims3::unpadded(n, n, kd);
+    auto& cache = rt::core::PlanCache::instance();
+    const auto secs = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+    const double flops =
+        6.0 * static_cast<double>(n - 2) * (n - 2) * (kd - 2) * tsteps;
+
+    Array3D<double> ra(d), rb = make_grid(d, 0.5);
+    const double t0 = secs();
+    rt::kernels::jacobi3d_pingpong(ra, rb, 1.0 / 6.0, tsteps);
+    const double ref_mflops = flops / (secs() - t0) / 1e6;
+
+    std::vector<std::vector<std::string>> trows;
+    trows.push_back({"pingpong", "serial", "1", "1",
+                     rt::bench::fmt(ref_mflops, 1), "reference"});
+    long tskipped = 0;
+    bool tdiverged = false;
+    for (const auto mode :
+         {rt::core::TemporalMode::kSkew, rt::core::TemporalMode::kDiamond}) {
+      if (bo.temporal_given && bo.temporal != mode) continue;
+      for (int t : threads) {
+        const auto rep =
+            cache.temporal(mode, cs, n, n, kd, tsteps, bo.bk, t);
+        if (!rep.ok()) {
+          ++tskipped;
+          continue;
+        }
+        Array3D<double> a(d), b = make_grid(d, 0.5);
+        rt::temporal::TemporalRun run;
+        const double t1 = secs();
+        if (mode == rt::core::TemporalMode::kSkew) {
+          rt::par::ThreadPool pool(t);
+          run = rt::temporal::jacobi3d_skew_rows(t > 1 ? &pool : nullptr, a,
+                                                 b, 1.0 / 6.0, rep.plan, lvl);
+        } else {
+          run = rt::temporal::jacobi3d_diamond_rows(a, b, 1.0 / 6.0,
+                                                    rep.plan, lvl);
+        }
+        const double dt = secs() - t1;
+        if (run.threads < rep.plan.threads) {
+          ++tskipped;  // thread spawn degraded: recorded, not reported
+          continue;
+        }
+        if (!interiors_equal(a, ra) || !interiors_equal(b, rb)) {
+          std::cerr << "VERIFY FAILED: temporal "
+                    << rt::core::temporal_mode_name(mode)
+                    << " differs from serial ping-pong at " << t
+                    << " threads\n";
+          tdiverged = true;
+          continue;
+        }
+        trows.push_back({rt::core::temporal_mode_name(mode),
+                         std::to_string(rep.plan.bk) + "/" +
+                             std::to_string(rep.plan.tb),
+                         std::to_string(run.threads),
+                         std::to_string(run.team),
+                         rt::bench::fmt(flops / dt / 1e6, 1),
+                         "bitwise identical"});
+      }
+    }
+    std::cout << "\nTemporal blocking (tsteps=" << tsteps << ", N=" << n
+              << ", K=" << kd << "), host wall-clock:\n";
+    rt::bench::print_table(
+        {"schedule", "bk/tb", "threads", "team", "MFlops", "verify"}, trows);
+    if (tskipped > 0) {
+      std::cout << "skipped " << tskipped
+                << " degraded temporal configuration(s) (infeasible plan "
+                   "or thread-spawn fallback)\n";
+    }
+    if (tdiverged) return 1;
   }
   return 0;
 }

@@ -16,10 +16,12 @@
 #   phases: {<op>: {count, total_s, mean_s}, ...}  (per-operator timings)
 # Both are golden-pinned in tests/golden/metrics_schema.json.
 #
-# The benchmark names are "KERNEL/<n>/<transform>/<simd-mode>/<threads>";
-# `simd` is the requested mode (off/auto/avx2) split from the name, and
-# `simd_level` is the level that actually ran (the benchmark's label, e.g.
-# auto -> avx2 on an AVX2 host, scalar under off).
+# The benchmark names are
+# "KERNEL/<n>/<transform>/<simd-mode>/<threads>/<temporal>"; `simd` is the
+# requested mode (off/auto/avx2) split from the name, `simd_level` is the
+# level that actually ran (the benchmark's label, e.g. auto -> avx2 on an
+# AVX2 host, scalar under off), and `temporal` is the wavefront schedule
+# (off/skew/diamond; pre-PR6 five-component names default to "off").
 #
 # Env overrides:
 #   BUILD_DIR  build tree containing bench/bench_kernels_hostperf (build)
@@ -52,8 +54,10 @@ trap 'rm -f "${raw}"' EXIT
   > "${raw}"
 
 # Defaults: benchmarks registered without a threads field in the name
-# ($p[4]) or without a SetLabel() call (.label) must not crash the
-# reshape — assume serial scalar, the registration default.
+# ($p[4]), without the PR-6 temporal component ($p[5]), or without a
+# SetLabel() call (.label) must not crash the reshape — assume serial
+# scalar non-temporal, the registration defaults, so pre-PR6 row shapes
+# still parse.
 jq '[.benchmarks[]
      | (.name | split("/")) as $p
      | {kernel: $p[0],
@@ -62,6 +66,7 @@ jq '[.benchmarks[]
         simd: ($p[3] // "off"),
         simd_level: (.label // "scalar"),
         threads: (($p[4] // "1") | tonumber),
+        temporal: ($p[5] // "off"),
         mflops: (.MFlops * 1000 | round / 1000)}]' "${raw}" > "${OUT}"
 
 echo "wrote $(jq length "${OUT}") records to ${OUT}"

@@ -29,4 +29,13 @@ cp bench_output.txt results/bench_all.txt
 # the run itself always succeeds.
 build/bench/bench_hw_validation ${FULL_FLAG} --json=results/BENCH_3.json
 
-echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json"
+# Temporal blocking vs. best spatial par+simd (PR 6): host-only at N=448 so
+# the ping-pong pair exceeds even a ~100 MB L3 (2 * 448^2 * 60 * 8B = 192 MB)
+# and JACOBI is genuinely memory-bound — the regime where the wavefront
+# schedules pay off.  Simulation is skipped (trace-driven caches at this
+# size are impractically slow).
+build/bench/bench_timeskew --no-sim --host --nmax=448 --steps=4 \
+  --threads="$(nproc)" --json=results/BENCH_6.json
+
+echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json," \
+     "results/BENCH_6.json"

@@ -10,6 +10,9 @@
 //   --threads=N     worker threads for host timing (parallel tiled kernels)
 //   --simd=MODE     host-timing SIMD fast path: off | auto | avx2
 //   --simd-align    round padded leading dims up to the vector width
+//   --temporal=M    temporal blocking: off | skew | diamond (benches that
+//                   support it restrict their temporal section to M)
+//   --bk=N          temporal K-block depth / diamond width (0 = auto)
 //   --counters=M    hardware counters around host timing: off | auto | on
 //   --json=FILE     write records through rt::obs::MetricsWriter
 //   --verify=M      post-run NaN/Inf sweep: off | post | para (rt::guard)
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "rt/core/temporal.hpp"
 #include "rt/guard/verify.hpp"
 #include "rt/obs/perf_counters.hpp"
 #include "rt/simd/simd.hpp"
@@ -38,6 +42,10 @@ struct BenchOptions {
   rt::simd::SimdMode simd = rt::simd::SimdMode::kOff;  ///< --simd=MODE
   bool simd_given = false;  ///< --simd= was on the command line
   bool simd_align = false;  ///< --simd-align leading-dim rounding
+  /// --temporal=off|skew|diamond temporal-blocking schedule selection.
+  rt::core::TemporalMode temporal = rt::core::TemporalMode::kOff;
+  bool temporal_given = false;  ///< --temporal= was on the command line
+  long bk = 0;  ///< --bk=N temporal block depth / diamond width (0 = auto)
   std::string csv;  ///< --csv=PATH: also append CSV blocks to this file
   /// --counters=off|auto|on hardware-counter policy for host timing.
   rt::obs::CounterMode counters = rt::obs::CounterMode::kAuto;

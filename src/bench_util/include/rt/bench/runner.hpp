@@ -154,9 +154,23 @@ MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts);
 /// identification (kernel, n, transform, tile, simd, threads, requested
 /// axes), host throughput, and nested "sim" / "hw" blocks (JSON null when
 /// that signal was off).  This is the C++ replacement for the jq
-/// reshaping in scripts/bench_to_json.sh.
-void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
-                        long n, const RunResult& r);
+/// reshaping in scripts/bench_to_json.sh.  Returns the record so callers
+/// can append bench-specific blocks (e.g. "temporal") after the standard
+/// fields.
+rt::obs::JsonValue& append_json_record(rt::obs::MetricsWriter& w,
+                                       const std::string& kernel, long n,
+                                       const RunResult& r);
+
+/// "temporal" block for temporal-blocking records: the executed
+/// TemporalPlan as {mode, tsteps, bk, tb, threads, team, stages,
+/// occupancy} (stable key order; golden-pinned).
+rt::obs::JsonValue temporal_json(const rt::core::TemporalPlan& p);
+
+/// Capacity in doubles of this host's outermost (largest) data cache,
+/// probed from sysfs — the level a temporal plane window must stay
+/// resident in.  Falls back to 32MB when the sysfs cache directory is
+/// unavailable (containers, non-Linux).
+long outer_cache_elems();
 
 /// "plan_cache" block for app-level records: rt::core::PlanCache hit/miss
 /// counters as {hits, misses, hit_rate} (stable key order; golden-pinned).

@@ -64,6 +64,19 @@ BenchOptions parse_options(int argc, char** argv) {
       o.simd_given = true;
     } else if (a == "--simd-align") {
       o.simd_align = true;
+    } else if (a.rfind("--temporal=", 0) == 0) {
+      if (!rt::core::parse_temporal_mode(a.substr(11), &o.temporal)) {
+        std::cerr << "bad --temporal value (want off|skew|diamond): " << a
+                  << "\n";
+        std::exit(2);
+      }
+      o.temporal_given = true;
+    } else if (a.rfind("--bk=", 0) == 0) {
+      o.bk = num("--bk=");
+      if (o.bk < 0) {
+        std::cerr << "bad --bk value (want >= 0; 0 = auto): " << a << "\n";
+        std::exit(2);
+      }
     } else if (a.rfind("--csv=", 0) == 0) {
       o.csv = a.substr(6);
       set_csv_sink(o.csv);
@@ -96,6 +109,7 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
                    "--steps= --threads=N --simd=off|auto|avx2 --simd-align "
+                   "--temporal=off|skew|diamond --bk=N "
                    "--csv=FILE --counters=off|auto|on --json=FILE "
                    "--verify=off|post|para --timeout=SECS\n";
       std::exit(0);

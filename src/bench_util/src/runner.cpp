@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -578,8 +579,9 @@ MissRates run_jacobi3d_missrates(long n, long k, const RunOptions& opts) {
   return MissRates{100.0 * st.l1.miss_rate(), 100.0 * st.l2_global_miss_rate()};
 }
 
-void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
-                        long n, const RunResult& r) {
+rt::obs::JsonValue& append_json_record(rt::obs::MetricsWriter& w,
+                                       const std::string& kernel, long n,
+                                       const RunResult& r) {
   using rt::obs::CounterKind;
   using rt::obs::JsonValue;
   JsonValue& rec = w.add_record();
@@ -637,6 +639,45 @@ void append_json_record(rt::obs::MetricsWriter& w, const std::string& kernel,
   } else {
     rec.set("hw", JsonValue());
   }
+  return rec;
+}
+
+rt::obs::JsonValue temporal_json(const rt::core::TemporalPlan& p) {
+  rt::obs::JsonValue v = rt::obs::JsonValue::object();
+  v.set("mode", std::string(rt::core::temporal_mode_name(p.mode)))
+      .set("tsteps", p.tsteps)
+      .set("bk", p.bk)
+      .set("tb", p.tb)
+      .set("threads", p.threads)
+      .set("team", p.team)
+      .set("stages", static_cast<std::int64_t>(p.stages))
+      .set("occupancy", std::round(p.occupancy * 1000.0) / 1000.0);
+  return v;
+}
+
+long outer_cache_elems() {
+  long best_bytes = 0;
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx);
+    std::ifstream type(dir + "/type"), size(dir + "/size");
+    std::string t, sz;
+    if (!(type >> t) || !(size >> sz) || t == "Instruction") continue;
+    long v = 0;
+    std::size_t pos = 0;
+    try {
+      v = std::stol(sz, &pos);
+    } catch (...) {
+      continue;
+    }
+    if (pos < sz.size() && (sz[pos] == 'K' || sz[pos] == 'k')) v *= 1024;
+    if (pos < sz.size() && (sz[pos] == 'M' || sz[pos] == 'm')) {
+      v *= 1024 * 1024;
+    }
+    best_bytes = std::max(best_bytes, v);
+  }
+  if (best_bytes <= 0) best_bytes = 32L * 1024 * 1024;
+  return best_bytes / 8;
 }
 
 rt::obs::JsonValue plan_cache_json(const rt::core::PlanCacheStats& s) {

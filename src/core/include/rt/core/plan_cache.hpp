@@ -18,12 +18,15 @@
 
 #include "rt/core/plan.hpp"
 #include "rt/core/stencil_spec.hpp"
+#include "rt/core/temporal.hpp"
 
 namespace rt::core {
 
 /// Full input tuple of plan_for_checked.  The StencilSpec contributes its
-/// numeric fields only (trim_i/trim_j/atd): specs with equal parameters
-/// produce equal plans whatever their display name.
+/// numeric fields only (trim_i/trim_j/atd/halo): specs with equal
+/// parameters produce equal plans whatever their display name.  Threads
+/// and SIMD level are correctly absent — the spatial search does not take
+/// them, so keying on them would only duplicate entries.
 struct PlanKey {
   Transform transform = Transform::kOrig;
   long cs = 0;
@@ -32,12 +35,33 @@ struct PlanKey {
   long trim_i = 0;
   long trim_j = 0;
   int atd = 0;
+  long halo = 0;
   long n3 = 0;
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
 
 struct PlanKeyHash {
   std::size_t operator()(const PlanKey& k) const;
+};
+
+/// Full input tuple of temporal_plan_checked.  Unlike the spatial search,
+/// the temporal planner DOES take tsteps/bk/threads — every one of them
+/// changes the plan, so every one is in the key.
+struct TemporalKey {
+  TemporalMode mode = TemporalMode::kOff;
+  long cs = 0;
+  long n1 = 0;
+  long n2 = 0;
+  long n3 = 0;
+  int tsteps = 0;
+  long bk = 0;
+  int threads = 0;
+  long halo = 0;
+  friend bool operator==(const TemporalKey&, const TemporalKey&) = default;
+};
+
+struct TemporalKeyHash {
+  std::size_t operator()(const TemporalKey& k) const;
 };
 
 /// Monotonic hit/miss counts since construction (or the last clear()).
@@ -58,7 +82,15 @@ class PlanCache {
   PlanReport plan(Transform transform, long cs, long di, long dj,
                   const StencilSpec& spec, long n3 = 0);
 
+  /// Cached temporal_plan_checked, same contract: degraded reports are
+  /// memoized with their status/detail.  Shares the hit/miss counters
+  /// with the spatial map (one redundancy figure per cache).
+  TemporalReport temporal(TemporalMode mode, long cs, long n1, long n2,
+                          long n3, int tsteps, long bk, int threads,
+                          long halo = 1);
+
   PlanCacheStats stats() const;
+  /// Entries across both the spatial and temporal maps.
   std::size_t size() const;
   /// Drop all entries and reset the counters.
   void clear();
@@ -69,6 +101,7 @@ class PlanCache {
  private:
   mutable std::mutex m_;
   std::unordered_map<PlanKey, PlanReport, PlanKeyHash> map_;
+  std::unordered_map<TemporalKey, TemporalReport, TemporalKeyHash> tmap_;
   PlanCacheStats stats_;
 };
 

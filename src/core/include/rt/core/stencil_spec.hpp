@@ -5,6 +5,9 @@
 //    for a +/-1 stencil both are 2.
 //  * atd — minimum Array Tile Depth: how many adjacent planes must be
 //    conflict-free in cache (3 for Jacobi/RESID, 4 for fused red-black SOR).
+//  * halo — stencil radius: boundary layers kept fixed per side, and the
+//    plane dependency distance the temporal planner skews by (1 for every
+//    +/-1 stencil in this repo).
 
 #include <string_view>
 
@@ -15,10 +18,13 @@ struct StencilSpec {
   long trim_i = 2;  ///< "m": array-tile I extent minus iteration-tile extent
   long trim_j = 2;  ///< "n": same for J
   int atd = 3;      ///< minimum array tile depth (planes held in cache)
+  long halo = 1;    ///< stencil radius (boundary layers per side)
 
-  static constexpr StencilSpec jacobi3d() { return {"jacobi3d", 2, 2, 3}; }
-  static constexpr StencilSpec redblack3d() { return {"redblack3d", 2, 2, 4}; }
-  static constexpr StencilSpec resid27() { return {"resid27", 2, 2, 3}; }
+  static constexpr StencilSpec jacobi3d() { return {"jacobi3d", 2, 2, 3, 1}; }
+  static constexpr StencilSpec redblack3d() {
+    return {"redblack3d", 2, 2, 4, 1};
+  }
+  static constexpr StencilSpec resid27() { return {"resid27", 2, 2, 3, 1}; }
 };
 
 }  // namespace rt::core

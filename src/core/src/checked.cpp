@@ -27,6 +27,11 @@ Status validate_tiling_inputs(long cs, long di, long dj,
     *detail = "cache size must be positive (cs = " + std::to_string(cs) + ")";
     return Status::kInvalidArgument;
   }
+  if (spec.halo < 0) {
+    *detail = "stencil halo must be >= 0 (halo = " +
+              std::to_string(spec.halo) + ")";
+    return Status::kInvalidArgument;
+  }
   if (di <= spec.trim_i || dj <= spec.trim_j) {
     *detail = "dimensions " + std::to_string(di) + "x" + std::to_string(dj) +
               " at or below the stencil halo (" + std::to_string(spec.trim_i) +

@@ -17,14 +17,28 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   combine(seed, static_cast<std::size_t>(k.trim_i));
   combine(seed, static_cast<std::size_t>(k.trim_j));
   combine(seed, static_cast<std::size_t>(k.atd));
+  combine(seed, static_cast<std::size_t>(k.halo));
   combine(seed, static_cast<std::size_t>(k.n3));
+  return seed;
+}
+
+std::size_t TemporalKeyHash::operator()(const TemporalKey& k) const {
+  std::size_t seed = static_cast<std::size_t>(k.mode);
+  combine(seed, static_cast<std::size_t>(k.cs));
+  combine(seed, static_cast<std::size_t>(k.n1));
+  combine(seed, static_cast<std::size_t>(k.n2));
+  combine(seed, static_cast<std::size_t>(k.n3));
+  combine(seed, static_cast<std::size_t>(k.tsteps));
+  combine(seed, static_cast<std::size_t>(k.bk));
+  combine(seed, static_cast<std::size_t>(k.threads));
+  combine(seed, static_cast<std::size_t>(k.halo));
   return seed;
 }
 
 PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
                            const StencilSpec& spec, long n3) {
-  const PlanKey key{transform, cs,          di,       dj,
-                    spec.trim_i, spec.trim_j, spec.atd, n3};
+  const PlanKey key{transform,   cs,          di,       dj,
+                    spec.trim_i, spec.trim_j, spec.atd, spec.halo, n3};
   {
     std::lock_guard<std::mutex> lock(m_);
     const auto it = map_.find(key);
@@ -45,6 +59,29 @@ PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
   return rep;
 }
 
+TemporalReport PlanCache::temporal(TemporalMode mode, long cs, long n1,
+                                   long n2, long n3, int tsteps, long bk,
+                                   int threads, long halo) {
+  const TemporalKey key{mode, cs, n1, n2, n3, tsteps, bk, threads, halo};
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = tmap_.find(key);
+    if (it != tmap_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Same no-lock search as plan(): temporal_plan_checked is pure.
+  TemporalReport rep =
+      temporal_plan_checked(mode, cs, n1, n2, n3, tsteps, bk, threads, halo);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    ++stats_.misses;
+    tmap_.emplace(key, rep);
+  }
+  return rep;
+}
+
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(m_);
   return stats_;
@@ -52,12 +89,13 @@ PlanCacheStats PlanCache::stats() const {
 
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(m_);
-  return map_.size();
+  return map_.size() + tmap_.size();
 }
 
 void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(m_);
   map_.clear();
+  tmap_.clear();
   stats_ = PlanCacheStats{};
 }
 

@@ -23,11 +23,15 @@
 namespace rt::kernels {
 
 /// @param a,b  ping-pong arrays; `b` holds the initial state (step 0)
-/// @param tsteps  number of sweeps; final state is in `a` if tsteps is odd,
-///                else in `b`... concretely: step s writes (s even ? a : b).
-/// @param bk  K-block size (planes per block), >= 1
+/// @param tsteps  number of sweeps (<= 0 is a no-op); final state is in `a`
+///                if tsteps is odd, else in `b`... concretely: step s
+///                writes (s even ? a : b).
+/// @param bk  K-block size (planes per block); values < 1 are clamped to 1
+///            (bk <= 0 would otherwise never advance the block loop)
 template <class Arr>
 void jacobi3d_timeskew(Arr& a, Arr& b, double c, int tsteps, long bk) {
+  if (tsteps <= 0) return;
+  bk = std::max(bk, 1L);
   const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
   const auto plane = [&](Arr& dst, Arr& src, long k) {
     for (long j = 1; j < n2 - 1; ++j) {

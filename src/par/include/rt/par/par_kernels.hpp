@@ -235,6 +235,8 @@ void resid_par(ThreadPool& pool, R& r, V& v, U& u,
 template <class Arr>
 void jacobi3d_timeskew_par(ThreadPool& pool, Arr& a, Arr& b, double c,
                            int tsteps, long bk) {
+  if (tsteps <= 0) return;
+  bk = std::max(bk, 1L);  // bk <= 0 would never advance the block loop
   const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
   for (long kb = 1; kb < (n3 - 2) + tsteps; kb += bk) {
     for (int t = 0; t < tsteps; ++t) {

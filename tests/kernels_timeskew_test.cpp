@@ -88,6 +88,69 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{7, 12, 20, 3, 5}, Shape{20, 7, 12, 4, 3},
                       Shape{11, 5, 31, 6, 7}));
 
+/// Exhaustive boundary-clamping sweep (regression for the bk/tsteps audit):
+/// every small cube n = 3..10 against block sizes that tickle each clamp —
+/// bk = 1 (minimum), bk = n-2 (exactly the interior), bk = n+7 (exceeds the
+/// interior, and never divides n-2) — across tsteps = 1..bk+2 so the skew
+/// both under- and over-runs the block count.
+TEST(TimeSkew, ExhaustiveSmallShapesAndBlockClamps) {
+  for (long n = 3; n <= 10; ++n) {
+    for (long bk : {1L, n - 2, n + 7}) {
+      for (int tsteps = 1; tsteps <= static_cast<int>(bk) + 2; ++tsteps) {
+        Array3D<double> b1 = make_grid(n, n, 0.2 * static_cast<double>(n)),
+                        b2 = b1;
+        Array3D<double> a1(n, n, n), a2(n, n, n);
+        jacobi3d_pingpong(a1, b1, 1.0 / 6.0, tsteps);
+        jacobi3d_timeskew(a2, b2, 1.0 / 6.0, tsteps, bk);
+        for (long k = 0; k < n; ++k)
+          for (long j = 0; j < n; ++j)
+            for (long i = 0; i < n; ++i) {
+              ASSERT_EQ(a1(i, j, k), a2(i, j, k))
+                  << "n=" << n << " bk=" << bk << " tsteps=" << tsteps << " @ "
+                  << i << "," << j << "," << k;
+              ASSERT_EQ(b1(i, j, k), b2(i, j, k))
+                  << "n=" << n << " bk=" << bk << " tsteps=" << tsteps << " @ "
+                  << i << "," << j << "," << k;
+            }
+      }
+    }
+  }
+}
+
+/// bk <= 0 used to hang: the block loop advanced by bk and never
+/// terminated.  It is now clamped to 1, so the result must still match the
+/// reference (and the test must return at all).
+TEST(TimeSkew, NonPositiveBlockIsClampedNotHung) {
+  for (long bk : {0L, -1L, -100L}) {
+    Array3D<double> b1 = make_grid(8, 8, 0.9), b2 = b1;
+    Array3D<double> a1(8, 8, 8), a2(8, 8, 8);
+    jacobi3d_pingpong(a1, b1, 1.0 / 6.0, 3);
+    jacobi3d_timeskew(a2, b2, 1.0 / 6.0, 3, bk);
+    for (long k = 0; k < 8; ++k)
+      for (long j = 0; j < 8; ++j)
+        for (long i = 0; i < 8; ++i) {
+          ASSERT_EQ(a1(i, j, k), a2(i, j, k)) << "bk=" << bk;
+          ASSERT_EQ(b1(i, j, k), b2(i, j, k)) << "bk=" << bk;
+        }
+  }
+}
+
+/// tsteps <= 0 is a no-op: no array may change (previously the skewed loop
+/// could still enter stages for tsteps = 0 block offsets).
+TEST(TimeSkew, NonPositiveStepsIsNoOp) {
+  for (int tsteps : {0, -1, -5}) {
+    Array3D<double> b1 = make_grid(7, 7, 0.4), b2 = b1;
+    Array3D<double> a1(7, 7, 7), a2 = a1;
+    jacobi3d_timeskew(a2, b2, 1.0 / 6.0, tsteps, 2);
+    for (long k = 0; k < 7; ++k)
+      for (long j = 0; j < 7; ++j)
+        for (long i = 0; i < 7; ++i) {
+          ASSERT_EQ(a1(i, j, k), a2(i, j, k)) << "tsteps=" << tsteps;
+          ASSERT_EQ(b1(i, j, k), b2(i, j, k)) << "tsteps=" << tsteps;
+        }
+  }
+}
+
 TEST(TimeSkew, SingleStepEqualsOneSweep) {
   Array3D<double> b1 = make_grid(12, 12, 0.3), b2 = b1;
   Array3D<double> a1(12, 12, 12), a2(12, 12, 12);

@@ -259,6 +259,37 @@ std::string golden_document() {
     r.set("phases",
           rt::bench::phases_json({{"resid", resid}, {"psinv", psinv}}));
   }
+  {
+    // Temporal-blocking record (bench_timeskew shape): the standard flat
+    // fields plus the "temporal" block, built through rt::bench::
+    // temporal_json so the executed-TemporalPlan schema cannot drift.
+    JsonValue& r = w.add_record();
+    r.set("kernel", "JACOBI")
+        .set("n", 448)
+        .set("transform", "Orig")
+        .set("tile", JsonValue())
+        .set("simd", "auto")
+        .set("simd_level", "avx2")
+        .set("threads", 4)
+        .set("threads_requested", 4)
+        .set("degraded", false)
+        .set("status", "ok")
+        .set("plan_status", "ok")
+        .set("mflops", 5120.5)
+        .set("verify", JsonValue())
+        .set("sim", JsonValue())
+        .set("hw", JsonValue());
+    rt::core::TemporalPlan tp;
+    tp.mode = rt::core::TemporalMode::kDiamond;
+    tp.tsteps = 4;
+    tp.bk = 64;
+    tp.tb = 4;
+    tp.threads = 4;
+    tp.team = 2;
+    tp.stages = 56;
+    tp.occupancy = 0.8754321;
+    r.set("temporal", rt::bench::temporal_json(tp));
+  }
   return w.dump();
 }
 

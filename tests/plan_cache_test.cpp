@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "rt/core/plan.hpp"
@@ -49,11 +51,19 @@ TEST(PlanCache, EveryKeyComponentSeparatesEntries) {
   (void)c.plan(Transform::kGcdPad, 2048, 200, 300, spec);   // dj
   (void)c.plan(Transform::kGcdPad, 2048, 200, 200,
                StencilSpec::redblack3d());                  // stencil (atd)
+  StencilSpec wide = spec;
+  wide.halo = 2;
+  (void)c.plan(Transform::kGcdPad, 2048, 200, 200, wide);   // stencil (halo)
   (void)c.plan(Transform::kGcdPad, 2048, 200, 200, spec, 200);  // n3
-  EXPECT_EQ(c.stats().misses, 7u);
+  EXPECT_EQ(c.stats().misses, 8u);
   EXPECT_EQ(c.stats().hits, 0u);
-  EXPECT_EQ(c.size(), 7u);
+  EXPECT_EQ(c.size(), 8u);
 }
+
+// Counter width is part of the JSON contract (plan_cache.{hits,misses} are
+// emitted as 64-bit integers): a narrowing refactor must fail to compile.
+static_assert(std::is_same_v<decltype(PlanCacheStats::hits), std::uint64_t>);
+static_assert(std::is_same_v<decltype(PlanCacheStats::misses), std::uint64_t>);
 
 TEST(PlanCache, SpecNameDoesNotAffectTheKey) {
   // Only the numeric fields (trim_i/trim_j/atd) enter the key: a renamed

@@ -1,0 +1,317 @@
+// rt::temporal — validated planner semantics, PlanCache temporal keying,
+// and the tentpole contract: the skew and diamond wavefront executors are
+// bitwise identical to the serial ping-pong reference for every thread
+// count x SimdLevel x tsteps combination, including degraded thread
+// spawns (RT_GUARD_FAULTS-style injection).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rt/array/array3d.hpp"
+#include "rt/core/plan_cache.hpp"
+#include "rt/core/temporal.hpp"
+#include "rt/guard/fault_injector.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/kernels/timeskew.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/simd/simd.hpp"
+#include "rt/temporal/wavefront.hpp"
+
+namespace rt::temporal {
+namespace {
+
+using rt::array::Array3D;
+using rt::core::TemporalMode;
+using rt::core::TemporalPlan;
+using rt::core::TemporalReport;
+using rt::core::temporal_plan_checked;
+using rt::guard::Status;
+using rt::simd::SimdLevel;
+
+Array3D<double> make_grid(long n1, long n2, long n3, double seed) {
+  Array3D<double> a(n1, n2, n3);
+  for (long k = 0; k < n3; ++k)
+    for (long j = 0; j < n2; ++j)
+      for (long i = 0; i < n1; ++i)
+        a(i, j, k) = std::cos(seed + 0.05 * i + 0.11 * j + 0.23 * k);
+  return a;
+}
+
+void expect_bitwise(const Array3D<double>& x, const Array3D<double>& y,
+                    const char* what) {
+  ASSERT_EQ(x.n1(), y.n1());
+  ASSERT_EQ(x.n2(), y.n2());
+  ASSERT_EQ(x.n3(), y.n3());
+  for (long k = 0; k < x.n3(); ++k)
+    for (long j = 0; j < x.n2(); ++j)
+      for (long i = 0; i < x.n1(); ++i)
+        ASSERT_EQ(x(i, j, k), y(i, j, k))
+            << what << " @ " << i << "," << j << "," << k;
+}
+
+// ---------------------------------------------------------------------------
+// Planner validation matrix
+// ---------------------------------------------------------------------------
+
+TEST(TemporalPlanner, ModeNamesRoundTrip) {
+  for (TemporalMode m :
+       {TemporalMode::kOff, TemporalMode::kSkew, TemporalMode::kDiamond}) {
+    TemporalMode back;
+    ASSERT_TRUE(rt::core::parse_temporal_mode(
+        rt::core::temporal_mode_name(m), &back));
+    EXPECT_EQ(back, m);
+  }
+  TemporalMode m;
+  EXPECT_FALSE(rt::core::parse_temporal_mode("wavefront", &m));
+  EXPECT_FALSE(rt::core::parse_temporal_mode("", &m));
+}
+
+TEST(TemporalPlanner, OffModeIsInvalidArgument) {
+  const auto r =
+      temporal_plan_checked(TemporalMode::kOff, 1 << 20, 32, 32, 32, 4, 0, 1);
+  EXPECT_EQ(r.status, Status::kInvalidArgument);
+  EXPECT_EQ(r.plan.mode, TemporalMode::kOff);
+}
+
+TEST(TemporalPlanner, RejectsDegenerateInputs) {
+  using M = TemporalMode;
+  // No interior.
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 1 << 20, 2, 32, 32, 4, 0, 1)
+                .status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 1 << 20, 32, 32, 2, 4, 0, 1)
+                .status,
+            Status::kInvalidArgument);
+  // Non-positive cache target.
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 0, 32, 32, 32, 4, 0, 1).status,
+            Status::kInvalidArgument);
+  // Negative knobs.
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 1 << 20, 32, 32, 32, -1, 0, 1)
+                .status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 1 << 20, 32, 32, 32, 4, -2, 1)
+                .status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 1 << 20, 32, 32, 32, 4, 0, 0)
+                .status,
+            Status::kInvalidArgument);
+  // Negative halo.
+  EXPECT_EQ(temporal_plan_checked(M::kSkew, 1 << 20, 32, 32, 32, 4, 0, 1, -1)
+                .status,
+            Status::kInvalidArgument);
+}
+
+TEST(TemporalPlanner, SkewWindowTooLargeIsInfeasibleNotClamped) {
+  // cs of 100 elements cannot hold a (bk + tsteps + 2)-plane ping-pong
+  // window of 32x32 planes; the request is kept, not clamped.
+  const auto r =
+      temporal_plan_checked(TemporalMode::kSkew, 100, 32, 32, 32, 4, 8, 1);
+  EXPECT_EQ(r.status, Status::kInfeasible);
+  EXPECT_EQ(r.plan.bk, 8) << "explicit bk must never be silently clamped";
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(TemporalPlanner, DiamondWidthBelowMinimum) {
+  const auto r =
+      temporal_plan_checked(TemporalMode::kDiamond, 1 << 20, 32, 32, 32, 4, 1,
+                            2);
+  EXPECT_EQ(r.status, Status::kInvalidArgument);
+  EXPECT_GE(r.plan.bk, 2) << "the fallback plan must still be runnable";
+}
+
+TEST(TemporalPlanner, AutoPlansAreWellFormed) {
+  for (TemporalMode m : {TemporalMode::kSkew, TemporalMode::kDiamond}) {
+    const auto r = temporal_plan_checked(m, 1 << 22, 64, 64, 64, 4, 0, 4);
+    ASSERT_TRUE(r.ok()) << r.detail;
+    EXPECT_EQ(r.plan.mode, m);
+    EXPECT_EQ(r.plan.tsteps, 4);
+    EXPECT_GE(r.plan.bk, m == TemporalMode::kDiamond ? 2 : 1);
+    EXPECT_GE(r.plan.threads, 1);
+    EXPECT_GT(r.plan.stages, 0);
+    EXPECT_GT(r.plan.occupancy, 0.0);
+    EXPECT_LE(r.plan.occupancy, 1.0);
+    if (m == TemporalMode::kDiamond) {
+      EXPECT_GE(r.plan.tb, 1);
+      EXPECT_LE(r.plan.tb, r.plan.bk / 2);
+      EXPECT_GE(r.plan.team, 1);
+      EXPECT_LE(r.plan.team, r.plan.threads);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache temporal keying
+// ---------------------------------------------------------------------------
+
+TEST(TemporalPlanCache, EveryTemporalKeyFieldSeparatesEntries) {
+  rt::core::PlanCache c;
+  const auto base = [&] {
+    return c.temporal(TemporalMode::kSkew, 1 << 20, 64, 64, 64, 4, 8, 2, 1);
+  };
+  base();
+  EXPECT_EQ(c.size(), 1u);
+  base();
+  EXPECT_EQ(c.size(), 1u) << "identical request must hit";
+  EXPECT_EQ(c.stats().hits, 1u);
+
+  c.temporal(TemporalMode::kDiamond, 1 << 20, 64, 64, 64, 4, 8, 2, 1);
+  EXPECT_EQ(c.size(), 2u) << "mode must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 21, 64, 64, 64, 4, 8, 2, 1);
+  EXPECT_EQ(c.size(), 3u) << "cs must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 65, 64, 64, 4, 8, 2, 1);
+  EXPECT_EQ(c.size(), 4u) << "n1 must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 64, 65, 64, 4, 8, 2, 1);
+  EXPECT_EQ(c.size(), 5u) << "n2 must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 64, 64, 65, 4, 8, 2, 1);
+  EXPECT_EQ(c.size(), 6u) << "n3 must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 64, 64, 64, 5, 8, 2, 1);
+  EXPECT_EQ(c.size(), 7u) << "tsteps must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 64, 64, 64, 4, 9, 2, 1);
+  EXPECT_EQ(c.size(), 8u) << "bk must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 64, 64, 64, 4, 8, 3, 1);
+  EXPECT_EQ(c.size(), 9u) << "threads must be part of the key";
+  c.temporal(TemporalMode::kSkew, 1 << 20, 64, 64, 64, 4, 8, 2, 2);
+  EXPECT_EQ(c.size(), 10u) << "halo must be part of the key";
+
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(TemporalPlanCache, CachedReportMatchesDirectPlanning) {
+  rt::core::PlanCache c;
+  const auto direct =
+      temporal_plan_checked(TemporalMode::kDiamond, 1 << 22, 48, 48, 48, 4, 0,
+                            3);
+  const auto cached =
+      c.temporal(TemporalMode::kDiamond, 1 << 22, 48, 48, 48, 4, 0, 3);
+  EXPECT_EQ(cached.status, direct.status);
+  EXPECT_EQ(cached.plan.bk, direct.plan.bk);
+  EXPECT_EQ(cached.plan.tb, direct.plan.tb);
+  EXPECT_EQ(cached.plan.team, direct.plan.team);
+  EXPECT_EQ(cached.plan.stages, direct.plan.stages);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise identity: executors vs. serial ping-pong reference
+// ---------------------------------------------------------------------------
+
+struct RunCfg {
+  long n1, n2, n3;
+  int tsteps;
+  long bk;  // 0 = auto
+};
+
+class TemporalIdentity : public ::testing::TestWithParam<RunCfg> {};
+
+std::vector<SimdLevel> levels_under_test() {
+  std::vector<SimdLevel> lv = {SimdLevel::kScalar};
+  if (rt::simd::resolve(rt::simd::SimdMode::kAuto) != SimdLevel::kScalar) {
+    lv.push_back(rt::simd::resolve(rt::simd::SimdMode::kAuto));
+  }
+  return lv;
+}
+
+TEST_P(TemporalIdentity, SkewMatchesPingPong) {
+  const auto [n1, n2, n3, tsteps, bk] = GetParam();
+  Array3D<double> rb = make_grid(n1, n2, n3, 0.7), ra(n1, n2, n3);
+  rt::kernels::jacobi3d_pingpong(ra, rb, 1.0 / 6.0, tsteps);
+  for (SimdLevel lvl : levels_under_test()) {
+    for (int threads : {1, 2, 3, 4}) {
+      const auto rep = temporal_plan_checked(TemporalMode::kSkew, 1 << 22, n1,
+                                             n2, n3, tsteps, bk, threads);
+      Array3D<double> b = make_grid(n1, n2, n3, 0.7), a(n1, n2, n3);
+      rt::par::ThreadPool pool(threads);
+      const auto run = jacobi3d_skew_rows(threads > 1 ? &pool : nullptr, a, b,
+                                          1.0 / 6.0, rep.plan, lvl);
+      EXPECT_GE(run.threads, 1);
+      expect_bitwise(ra, a, "skew a");
+      expect_bitwise(rb, b, "skew b");
+    }
+  }
+}
+
+TEST_P(TemporalIdentity, DiamondMatchesPingPong) {
+  const auto [n1, n2, n3, tsteps, bk] = GetParam();
+  Array3D<double> rb = make_grid(n1, n2, n3, 0.7), ra(n1, n2, n3);
+  rt::kernels::jacobi3d_pingpong(ra, rb, 1.0 / 6.0, tsteps);
+  for (SimdLevel lvl : levels_under_test()) {
+    for (int threads : {1, 2, 3, 4}) {
+      auto rep = temporal_plan_checked(TemporalMode::kDiamond, 1 << 22, n1, n2,
+                                       n3, tsteps, bk, threads);
+      Array3D<double> b = make_grid(n1, n2, n3, 0.7), a(n1, n2, n3);
+      const auto run = jacobi3d_diamond_rows(a, b, 1.0 / 6.0, rep.plan, lvl);
+      // tsteps <= 0 early-returns without spawning (threads = 1 is correct).
+      if (tsteps > 0) EXPECT_EQ(run.threads, rep.plan.threads);
+      expect_bitwise(ra, a, "diamond a");
+      expect_bitwise(rb, b, "diamond b");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TemporalIdentity,
+    ::testing::Values(RunCfg{3, 3, 3, 1, 0},    // single interior point
+                      RunCfg{3, 3, 3, 5, 2},    // multi-step minimum grid
+                      RunCfg{8, 8, 8, 4, 0},    // auto block
+                      RunCfg{8, 8, 8, 7, 3},    // tsteps > bk
+                      RunCfg{10, 10, 10, 2, 100},  // bk exceeds interior
+                      RunCfg{6, 9, 17, 4, 4},   // non-cubic, K largest
+                      RunCfg{17, 9, 6, 4, 2},   // non-cubic, one skew block
+                      RunCfg{12, 5, 23, 6, 5},
+                      RunCfg{9, 9, 9, 0, 2}));  // tsteps = 0: no-op
+
+TEST(TemporalIdentity, ZeroStepsLeavesArraysUntouched) {
+  Array3D<double> b = make_grid(8, 8, 8, 0.3), b0 = b;
+  Array3D<double> a(8, 8, 8), a0 = a;
+  TemporalPlan plan;
+  plan.mode = TemporalMode::kSkew;
+  plan.tsteps = 0;
+  plan.bk = 4;
+  jacobi3d_skew_rows(nullptr, a, b, 1.0 / 6.0, plan, SimdLevel::kScalar);
+  expect_bitwise(a0, a, "skew zero-step a");
+  expect_bitwise(b0, b, "skew zero-step b");
+  plan.mode = TemporalMode::kDiamond;
+  plan.tb = 1;
+  jacobi3d_diamond_rows(a, b, 1.0 / 6.0, plan, SimdLevel::kScalar);
+  expect_bitwise(a0, a, "diamond zero-step a");
+  expect_bitwise(b0, b, "diamond zero-step b");
+}
+
+// ---------------------------------------------------------------------------
+// Degraded thread spawn (fault injection) and first-touch init
+// ---------------------------------------------------------------------------
+
+TEST(TemporalDegraded, InjectedSpawnFailureShrinksTheRunNotTheResult) {
+  auto& inj = rt::guard::FaultInjector::instance();
+  inj.disarm_all();
+  // Fail every spawn: the diamond must fall back to the calling thread.
+  inj.arm(rt::guard::FaultKind::kThreadSpawn, 0, -1);
+  const auto rep = temporal_plan_checked(TemporalMode::kDiamond, 1 << 22, 10,
+                                         10, 10, 3, 4, 4);
+  Array3D<double> rb = make_grid(10, 10, 10, 0.7), ra(10, 10, 10);
+  rt::kernels::jacobi3d_pingpong(ra, rb, 1.0 / 6.0, 3);
+  Array3D<double> b = make_grid(10, 10, 10, 0.7), a(10, 10, 10);
+  const auto run =
+      jacobi3d_diamond_rows(a, b, 1.0 / 6.0, rep.plan, SimdLevel::kScalar);
+  inj.disarm_all();
+  EXPECT_LT(run.threads, rep.plan.threads)
+      << "injected spawn failure must be visible in TemporalRun";
+  expect_bitwise(ra, a, "degraded diamond a");
+  expect_bitwise(rb, b, "degraded diamond b");
+}
+
+TEST(TemporalFirstTouch, ZeroesEveryElementSerialAndParallel) {
+  for (int threads : {1, 3}) {
+    Array3D<double> g = make_grid(9, 7, 11, 0.5);
+    rt::par::ThreadPool pool(threads);
+    first_touch_zero(threads > 1 ? &pool : nullptr, g);
+    for (long k = 0; k < g.n3(); ++k)
+      for (long j = 0; j < g.n2(); ++j)
+        for (long i = 0; i < g.n1(); ++i) ASSERT_EQ(g(i, j, k), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rt::temporal
