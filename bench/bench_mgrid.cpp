@@ -102,7 +102,12 @@ int main(int argc, char** argv) {
                  "direct search\n";
     return 1;
   }
-  const rt::core::TilingPlan gcd_plan = rep.plan;
+  // Tuned winners pin *after* the model-consistency check above (a pinned
+  // plan intentionally differs from the direct search); the re-query below
+  // serves the pinned plan when the store has one for this key.
+  std::cout << rt::bench::apply_tune_options(bo, cache) << "\n";
+  const rt::core::TilingPlan gcd_plan =
+      cache.plan(rt::core::Transform::kGcdPad, 2048, n, n, resid_spec).plan;
 
   std::cout << "MGRID experiment (paper Section 4.6): " << n << "^3 finest "
             << "grid, " << iters << " V-cycle iterations\n"

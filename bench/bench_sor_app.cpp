@@ -43,6 +43,9 @@ int main(int argc, char** argv) {
   const int sweeps = bo.steps > 2 ? bo.steps : 6;
   rt::core::PlanCache& cache = rt::core::PlanCache::instance();
   const auto rb_spec = rt::core::StencilSpec::redblack3d();
+  // --tune: pin stored winners so the per-size plan queries below serve
+  // the measured plan ahead of the model search.
+  std::cout << rt::bench::apply_tune_options(bo, cache) << "\n";
 
   if (bo.simulate) {
     std::vector<std::string> header{"n^3",       "version",   "tile",

@@ -70,7 +70,9 @@ int main(int argc, char** argv) {
   // time skewing needs "necessarily large tiles", Section 5).
   const std::vector<long> sizes = bo.sweep(96, 320, 64, 32);
   const long kd = 60;
-  const int tsteps = bo.steps > 2 ? bo.steps : 4;
+  // --tsteps sets the fused time-step count directly; otherwise it derives
+  // from --steps as before (parse_options rejects --tsteps=0 + --temporal).
+  const int tsteps = bo.tsteps > 0 ? bo.tsteps : (bo.steps > 2 ? bo.steps : 4);
   const auto spec = rt::core::StencilSpec::jacobi3d();
 
   std::vector<std::string> header{"N", "version", "L1 miss %", "L2 miss %",
@@ -143,6 +145,9 @@ int main(int argc, char** argv) {
     rt::par::ThreadPool pool(threads);
     rt::obs::MetricsWriter writer;
     auto& cache = rt::core::PlanCache::instance();
+    // --tune: pin stored temporal winners so the cache.temporal() queries
+    // below serve measured block depths ahead of the analytic window.
+    std::cout << rt::bench::apply_tune_options(bo, cache) << "\n";
 
     const auto init = [&](Array3D<double>& b) {
       for (long k = 0; k < kd; ++k)

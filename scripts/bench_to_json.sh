@@ -10,18 +10,23 @@
 # google-benchmark binaries until they migrate.
 #
 # App-level records (bench_mgrid / bench_sor_app --json=FILE, tracked in
-# results/BENCH_5.json) extend the schema with two nested blocks this
-# wrapper does not produce:
-#   plan_cache: {hits, misses, hit_rate}           (rt::core::PlanCache)
+# results/BENCH_5.json) extend the schema with nested blocks this wrapper
+# does not produce:
+#   plan_cache: {hits, misses, hit_rate,
+#                pinned_hits, evictions}           (rt::core::PlanCache)
 #   phases: {<op>: {count, total_s, mean_s}, ...}  (per-operator timings)
-# Both are golden-pinned in tests/golden/metrics_schema.json.
+#   tune: {mode, key, status, origin, ...}         (rt::tune calibration,
+#                                                   results/BENCH_7.json)
+# All are golden-pinned in tests/golden/metrics_schema.json.
 #
 # The benchmark names are
-# "KERNEL/<n>/<transform>/<simd-mode>/<threads>/<temporal>"; `simd` is the
-# requested mode (off/auto/avx2) split from the name, `simd_level` is the
-# level that actually ran (the benchmark's label, e.g. auto -> avx2 on an
-# AVX2 host, scalar under off), and `temporal` is the wavefront schedule
-# (off/skew/diamond; pre-PR6 five-component names default to "off").
+# "KERNEL/<n>/<transform>/<simd-mode>/<threads>/<temporal>/<tune>"; `simd`
+# is the requested mode (off/auto/avx2) split from the name, `simd_level`
+# is the level that actually ran (the benchmark's label, e.g. auto -> avx2
+# on an AVX2 host, scalar under off), `temporal` is the wavefront schedule
+# (off/skew/diamond; pre-PR6 five-component names default to "off"), and
+# `tune` is the autotuning mode (off/load/on; pre-PR7 names default to
+# "off").
 #
 # Env overrides:
 #   BUILD_DIR  build tree containing bench/bench_kernels_hostperf (build)
@@ -67,6 +72,7 @@ jq '[.benchmarks[]
         simd_level: (.label // "scalar"),
         threads: (($p[4] // "1") | tonumber),
         temporal: ($p[5] // "off"),
+        tune: ($p[6] // "off"),
         mflops: (.MFlops * 1000 | round / 1000)}]' "${raw}" > "${OUT}"
 
 echo "wrote $(jq length "${OUT}") records to ${OUT}"

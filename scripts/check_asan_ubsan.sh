@@ -24,7 +24,7 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DRT_BUILD_BENCH=OFF -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
   --target guard_test guard_fault_injection_test array_test core_plan_test \
-           plan_cache_test mg_fastpath_test temporal_test
+           plan_cache_test mg_fastpath_test temporal_test tune_test
 
 # halt_on_error turns the first finding into a hard failure; the abandoned-
 # watchdog path is never taken by these tests (injected hangs are cancelled
@@ -38,6 +38,7 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/plan_cache_test"
 "${BUILD_DIR}/tests/mg_fastpath_test"
 "${BUILD_DIR}/tests/temporal_test"
+"${BUILD_DIR}/tests/tune_test"
 echo "ASan+UBSan clean: guard_test + guard_fault_injection_test +" \
      "array_test + core_plan_test + plan_cache_test + mg_fastpath_test" \
-     "+ temporal_test reported no findings."
+     "+ temporal_test + tune_test reported no findings."

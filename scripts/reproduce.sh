@@ -37,5 +37,12 @@ build/bench/bench_hw_validation ${FULL_FLAG} --json=results/BENCH_3.json
 build/bench/bench_timeskew --no-sim --host --nmax=448 --steps=4 \
   --threads="$(nproc)" --json=results/BENCH_6.json
 
+# Measurement-driven autotuning ablation (PR 7): calibrate JACOBI/RESID
+# plans on this host, persist the winners in a repo-local plan store, and
+# record autotuned vs model-only vs worst-candidate rows.  Re-running with
+# --tune=load serves the stored winners without re-sweeping.
+build/bench/bench_autotune_ablation ${FULL_FLAG} --tune=on \
+  --plan-store=results/rt-tune-plans.json --json=results/BENCH_7.json
+
 echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json," \
-     "results/BENCH_6.json"
+     "results/BENCH_6.json, results/BENCH_7.json"

@@ -18,9 +18,21 @@
 //   --verify=M      post-run NaN/Inf sweep: off | post | para (rt::guard)
 //   --timeout=SECS  per-run watchdog deadline; a hung run becomes a
 //                   recorded "timeout" row instead of wedging the sweep
+//   --tune=M        measurement-driven plan autotuning (rt::tune):
+//                   off | load (serve persisted winners, never calibrate) |
+//                   on (serve winners, calibrate + persist missing keys)
+//   --plan-store=F  tuned-plan store file (default: rt::tune's resolved
+//                   default path, $RT_TUNE_STORE / ~/.cache/rt-tune)
+//   --tsteps=N      fused time steps for temporal blocking (0 = derive
+//                   from --steps)
 //
 // Numeric flags are validated in full: `--nmin=abc` or `--threads=` exit 2
 // with a message instead of silently becoming 0 (and the default).
+// Contradictory combinations are rejected the same way after parsing:
+// an explicit `--tsteps=0` alongside `--temporal=skew|diamond` (a temporal
+// schedule with nothing to fuse), and `--tune=load` when the resolved plan
+// store file does not exist (nothing to load — a silent model-plan run
+// would masquerade as a tuned one).
 
 #include <string>
 #include <vector>
@@ -29,6 +41,7 @@
 #include "rt/guard/verify.hpp"
 #include "rt/obs/perf_counters.hpp"
 #include "rt/simd/simd.hpp"
+#include "rt/tune/tune.hpp"
 
 namespace rt::bench {
 
@@ -54,6 +67,18 @@ struct BenchOptions {
   rt::guard::VerifyMode verify = rt::guard::VerifyMode::kOff;
   /// --timeout=SECS per-run watchdog deadline (0 = off).
   double timeout_seconds = 0;
+  /// --tune=off|load|on autotuning policy (rt::tune).
+  rt::tune::TuneMode tune = rt::tune::TuneMode::kOff;
+  /// --plan-store=FILE tuned-plan store ("" = rt::tune default path).
+  std::string plan_store;
+  /// --tsteps=N fused time steps for temporal blocking (0 = derive from
+  /// steps; an *explicit* 0 with --temporal=skew|diamond exits 2).
+  int tsteps = 0;
+  bool tsteps_given = false;  ///< --tsteps= was on the command line
+
+  /// The store file --tune=load/on will use: plan_store if given, else
+  /// rt::tune::default_store_path().
+  std::string resolved_plan_store() const;
 
   /// Sweep of problem sizes honouring the defaults and overrides.
   std::vector<long> sweep(long def_min, long def_max, long def_step,

@@ -21,6 +21,7 @@
 #include "rt/obs/perf_counters.hpp"
 #include "rt/obs/phase_timer.hpp"
 #include "rt/simd/simd.hpp"
+#include "rt/tune/autotuner.hpp"
 
 namespace rt::bench {
 
@@ -56,6 +57,11 @@ struct RunOptions {
   /// the deadline returns a recorded Status::kTimeout row instead of
   /// wedging the sweep.  0 disables the watchdog.
   double timeout_seconds = 0;
+  /// When set, run_kernel plans through this cache instead of calling
+  /// plan_for_checked directly — so pinned (autotuned) winners installed by
+  /// rt::tune are served ahead of the model plan.  nullptr (the default)
+  /// keeps the direct planner path.
+  rt::core::PlanCache* plan_cache = nullptr;
   long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
   rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
   rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
@@ -172,9 +178,26 @@ rt::obs::JsonValue temporal_json(const rt::core::TemporalPlan& p);
 /// unavailable (containers, non-Linux).
 long outer_cache_elems();
 
-/// "plan_cache" block for app-level records: rt::core::PlanCache hit/miss
-/// counters as {hits, misses, hit_rate} (stable key order; golden-pinned).
+/// "plan_cache" block for app-level records: rt::core::PlanCache counters
+/// as {hits, misses, hit_rate, pinned_hits, evictions} (stable key order;
+/// golden-pinned).
 rt::obs::JsonValue plan_cache_json(const rt::core::PlanCacheStats& s);
+
+/// "tune" block for autotuned records: the calibration outcome as {mode,
+/// key, status, origin, candidates, skipped, winner_mflops, model_mflops,
+/// worst_mflops} (stable key order; golden-pinned).
+rt::obs::JsonValue tune_json(rt::tune::TuneMode mode,
+                             const rt::tune::TuneResult& r);
+
+struct BenchOptions;  // options.hpp
+
+/// Apply the --tune flags to @p cache: load the resolved plan store and pin
+/// its winners, so subsequent cache.plan()/temporal() lookups serve the
+/// measured plans ahead of the model search.  Returns a one-line summary
+/// for bench headers.  A corrupt/stale/missing store installs nothing and
+/// reports the typed reason — the bench keeps running on model plans.
+std::string apply_tune_options(const BenchOptions& bo,
+                               rt::core::PlanCache& cache);
 
 /// "phases" block for app-level records: named per-operator wall-clock
 /// phases in caller order, each as {count, total_s, mean_s}.

@@ -1,10 +1,12 @@
 #include "rt/bench/options.hpp"
 
 #include "rt/bench/table.hpp"
+#include "rt/tune/plan_store.hpp"
 
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 
 namespace rt::bench {
@@ -19,6 +21,10 @@ std::vector<long> BenchOptions::sweep(long def_min, long def_max,
   for (long n = lo; n <= hi; n += st) xs.push_back(n);
   if (xs.empty() || xs.back() != hi) xs.push_back(hi);
   return xs;
+}
+
+std::string BenchOptions::resolved_plan_store() const {
+  return plan_store.empty() ? rt::tune::default_store_path() : plan_store;
 }
 
 BenchOptions parse_options(int argc, char** argv) {
@@ -106,15 +112,54 @@ BenchOptions parse_options(int argc, char** argv) {
         std::exit(2);
       }
       o.timeout_seconds = v;
+    } else if (a.rfind("--tune=", 0) == 0) {
+      if (!rt::tune::parse_tune_mode(a.substr(7), &o.tune)) {
+        std::cerr << "bad --tune value (want off|load|on): " << a << "\n";
+        std::exit(2);
+      }
+    } else if (a.rfind("--plan-store=", 0) == 0) {
+      o.plan_store = a.substr(13);
+      if (o.plan_store.empty()) {
+        std::cerr << "empty --plan-store= path\n";
+        std::exit(2);
+      }
+    } else if (a.rfind("--tsteps=", 0) == 0) {
+      o.tsteps = static_cast<int>(num("--tsteps="));
+      if (o.tsteps < 0) {
+        std::cerr << "bad --tsteps value (want >= 0; 0 = derive): " << a
+                  << "\n";
+        std::exit(2);
+      }
+      o.tsteps_given = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
                    "--steps= --threads=N --simd=off|auto|avx2 --simd-align "
-                   "--temporal=off|skew|diamond --bk=N "
+                   "--temporal=off|skew|diamond --bk=N --tsteps=N "
                    "--csv=FILE --counters=off|auto|on --json=FILE "
-                   "--verify=off|post|para --timeout=SECS\n";
+                   "--verify=off|post|para --timeout=SECS "
+                   "--tune=off|load|on --plan-store=FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  // Cross-flag contradictions are configuration errors, not data points:
+  // reject them the way a malformed value is rejected.
+  if (o.temporal != rt::core::TemporalMode::kOff && o.tsteps_given &&
+      o.tsteps == 0) {
+    std::cerr << "contradictory flags: --temporal="
+              << rt::core::temporal_mode_name(o.temporal)
+              << " fuses time steps, but --tsteps=0 leaves none to fuse\n";
+    std::exit(2);
+  }
+  if (o.tune == rt::tune::TuneMode::kLoad) {
+    const std::string store = o.resolved_plan_store();
+    std::error_code ec;
+    if (!std::filesystem::exists(store, ec)) {
+      std::cerr << "--tune=load needs an existing plan store, but " << store
+                << " does not exist (run --tune=on first, or pass "
+                   "--plan-store=FILE)\n";
       std::exit(2);
     }
   }

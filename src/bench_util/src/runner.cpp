@@ -1,5 +1,7 @@
 #include "rt/bench/runner.hpp"
 
+#include "rt/bench/options.hpp"
+
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -11,6 +13,7 @@
 #include <stdexcept>
 
 #include "rt/array/address_space.hpp"
+#include "rt/core/cache_topology.hpp"
 #include "rt/guard/fault_injector.hpp"
 #include "rt/guard/watchdog.hpp"
 #include "rt/array/array3d.hpp"
@@ -476,9 +479,14 @@ RunResult run_with_plan_impl(KernelId id, const rt::core::TilingPlan& plan,
 }  // namespace
 
 RunResult run_kernel(KernelId id, Transform tr, long n, const RunOptions& opts) {
-  const rt::core::PlanReport rep = rt::core::plan_for_checked(
-      tr, opts.cs_elems(), n, n, rt::kernels::kernel_info(id).spec,
-      opts.k_dim);
+  // Through the PlanCache when the caller provides one (pinned autotuned
+  // winners are served ahead of the model search); direct otherwise.
+  const rt::core::StencilSpec& spec = rt::kernels::kernel_info(id).spec;
+  const rt::core::PlanReport rep =
+      opts.plan_cache != nullptr
+          ? opts.plan_cache->plan(tr, opts.cs_elems(), n, n, spec, opts.k_dim)
+          : rt::core::plan_for_checked(tr, opts.cs_elems(), n, n, spec,
+                                       opts.k_dim);
   if (rep.status == rt::guard::Status::kOverflow) {
     // The planned allocation cannot be represented: skip-and-record, the
     // fallback plan would overflow just the same.
@@ -656,36 +664,58 @@ rt::obs::JsonValue temporal_json(const rt::core::TemporalPlan& p) {
 }
 
 long outer_cache_elems() {
-  long best_bytes = 0;
-  for (int idx = 0; idx < 8; ++idx) {
-    const std::string dir =
-        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx);
-    std::ifstream type(dir + "/type"), size(dir + "/size");
-    std::string t, sz;
-    if (!(type >> t) || !(size >> sz) || t == "Instruction") continue;
-    long v = 0;
-    std::size_t pos = 0;
-    try {
-      v = std::stol(sz, &pos);
-    } catch (...) {
-      continue;
-    }
-    if (pos < sz.size() && (sz[pos] == 'K' || sz[pos] == 'k')) v *= 1024;
-    if (pos < sz.size() && (sz[pos] == 'M' || sz[pos] == 'm')) {
-      v *= 1024 * 1024;
-    }
-    best_bytes = std::max(best_bytes, v);
-  }
-  if (best_bytes <= 0) best_bytes = 32L * 1024 * 1024;
-  return best_bytes / 8;
+  // Delegates to the shared rt::core probe (one sysfs parse per process,
+  // one answer for every consumer — benches, temporal planner, rt::tune).
+  return rt::core::host_cache_topology().outer_data_elems();
 }
 
 rt::obs::JsonValue plan_cache_json(const rt::core::PlanCacheStats& s) {
   rt::obs::JsonValue v = rt::obs::JsonValue::object();
   v.set("hits", static_cast<std::int64_t>(s.hits))
       .set("misses", static_cast<std::int64_t>(s.misses))
-      .set("hit_rate", s.hit_rate());
+      .set("hit_rate", s.hit_rate())
+      .set("pinned_hits", static_cast<std::int64_t>(s.pinned_hits))
+      .set("evictions", static_cast<std::int64_t>(s.evictions));
   return v;
+}
+
+rt::obs::JsonValue tune_json(rt::tune::TuneMode mode,
+                             const rt::tune::TuneResult& r) {
+  rt::obs::JsonValue v = rt::obs::JsonValue::object();
+  int skipped = 0;
+  for (const auto& c : r.candidates) {
+    if (!c.m.ok()) ++skipped;
+  }
+  const std::string origin =
+      r.winner >= 0 ? r.candidates[static_cast<std::size_t>(r.winner)].origin
+                    : std::string("model");
+  v.set("mode", std::string(rt::tune::tune_mode_name(mode)))
+      .set("key", r.key.str())
+      .set("status", std::string(rt::guard::status_name(r.status)))
+      .set("origin", origin)
+      .set("candidates", static_cast<std::int64_t>(r.candidates.size()))
+      .set("skipped", skipped)
+      .set("winner_mflops", r.mflops_at(r.winner))
+      .set("model_mflops", r.mflops_at(r.model))
+      .set("worst_mflops", r.mflops_at(r.worst));
+  return v;
+}
+
+std::string apply_tune_options(const BenchOptions& bo,
+                               rt::core::PlanCache& cache) {
+  const std::string mode = rt::tune::tune_mode_name(bo.tune);
+  if (bo.tune == rt::tune::TuneMode::kOff) return "tune: off (model plans)";
+  const std::string path = bo.resolved_plan_store();
+  const rt::guard::Expected<rt::tune::PlanStore> loaded = rt::tune::load_store(
+      path, rt::core::host_cache_topology().fingerprint());
+  if (!loaded.ok()) {
+    return "tune: " + mode + " — store " + path + " " +
+           rt::guard::status_name(loaded.status()) + " (" + loaded.detail() +
+           "); serving model plans";
+  }
+  const std::size_t n = rt::tune::install(loaded.value(), cache);
+  return "tune: " + mode + " — pinned " + std::to_string(n) +
+         " tuned winners from " + path;
 }
 
 rt::obs::JsonValue phases_json(

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 
@@ -68,6 +69,12 @@ struct TemporalKeyHash {
 struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Subset of `hits` served from pinned (autotuned) entries — the
+  /// measurement-driven plans rt::tune installs ahead of the model search.
+  std::uint64_t pinned_hits = 0;
+  /// Memoized entries dropped by the capacity cap since construction (or
+  /// the last clear()); pinned entries are never evicted.
+  std::uint64_t evictions = 0;
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
@@ -89,19 +96,58 @@ class PlanCache {
                           long n3, int tsteps, long bk, int threads,
                           long halo = 1);
 
+  /// Key builders, so callers that pin externally computed (autotuned)
+  /// reports key them exactly the way plan()/temporal() will look them up.
+  static PlanKey make_key(Transform transform, long cs, long di, long dj,
+                          const StencilSpec& spec, long n3 = 0);
+  static TemporalKey make_temporal_key(TemporalMode mode, long cs, long n1,
+                                       long n2, long n3, int tsteps, long bk,
+                                       int threads, long halo = 1);
+
+  /// Pin a report for @p key: served ahead of the model plan on every
+  /// subsequent plan()/temporal() lookup (counted in stats().pinned_hits),
+  /// never evicted by the capacity cap, replaced by a repeat pin.  This is
+  /// how rt::tune installs measured winners over the analytic search.
+  void pin(const PlanKey& key, const PlanReport& rep);
+  void pin_temporal(const TemporalKey& key, const TemporalReport& rep);
+  /// Pinned entries across both maps.
+  std::size_t pinned_size() const;
+
+  /// Cap on *memoized* entries across the spatial and temporal maps
+  /// (pinned entries don't count).  Exceeding inserts evict the oldest
+  /// memoized entry (FIFO) and bump stats().evictions.  0 = unlimited
+  /// (the default).  Shrinking below the current size evicts immediately.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const;
+
   PlanCacheStats stats() const;
-  /// Entries across both the spatial and temporal maps.
+  /// Memoized entries across both the spatial and temporal maps (pinned
+  /// entries are counted separately: pinned_size()).
   std::size_t size() const;
-  /// Drop all entries and reset the counters.
+  /// Drop all entries — memoized and pinned — and reset the counters.
+  /// Safe to call concurrently with lookups: racing queries simply re-run
+  /// the (pure) search and repopulate.
   void clear();
 
   /// Process-wide shared cache (solvers and benches default to this).
   static PlanCache& instance();
 
  private:
+  /// FIFO insertion record for capacity eviction.
+  struct Order {
+    bool temporal = false;
+    PlanKey key{};
+    TemporalKey tkey{};
+  };
+  void evict_locked();
+
   mutable std::mutex m_;
   std::unordered_map<PlanKey, PlanReport, PlanKeyHash> map_;
   std::unordered_map<TemporalKey, TemporalReport, TemporalKeyHash> tmap_;
+  std::unordered_map<PlanKey, PlanReport, PlanKeyHash> pinned_;
+  std::unordered_map<TemporalKey, TemporalReport, TemporalKeyHash> tpinned_;
+  std::deque<Order> order_;  ///< memoized insertions, oldest first
+  std::size_t capacity_ = 0;
   PlanCacheStats stats_;
 };
 

@@ -35,12 +35,31 @@ std::size_t TemporalKeyHash::operator()(const TemporalKey& k) const {
   return seed;
 }
 
+PlanKey PlanCache::make_key(Transform transform, long cs, long di, long dj,
+                            const StencilSpec& spec, long n3) {
+  return PlanKey{transform,   cs,          di,       dj,
+                 spec.trim_i, spec.trim_j, spec.atd, spec.halo, n3};
+}
+
+TemporalKey PlanCache::make_temporal_key(TemporalMode mode, long cs, long n1,
+                                         long n2, long n3, int tsteps,
+                                         long bk, int threads, long halo) {
+  return TemporalKey{mode, cs, n1, n2, n3, tsteps, bk, threads, halo};
+}
+
 PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
                            const StencilSpec& spec, long n3) {
-  const PlanKey key{transform,   cs,          di,       dj,
-                    spec.trim_i, spec.trim_j, spec.atd, spec.halo, n3};
+  const PlanKey key = make_key(transform, cs, di, dj, spec, n3);
   {
     std::lock_guard<std::mutex> lock(m_);
+    // Pinned (autotuned) winners are served ahead of the memoized model
+    // search — the PlanCache lookup-order contract rt::tune relies on.
+    const auto pit = pinned_.find(key);
+    if (pit != pinned_.end()) {
+      ++stats_.hits;
+      ++stats_.pinned_hits;
+      return pit->second;
+    }
     const auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
@@ -54,7 +73,10 @@ PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
   {
     std::lock_guard<std::mutex> lock(m_);
     ++stats_.misses;
-    map_.emplace(key, rep);
+    if (map_.emplace(key, rep).second) {
+      order_.push_back(Order{false, key, TemporalKey{}});
+      evict_locked();
+    }
   }
   return rep;
 }
@@ -62,9 +84,16 @@ PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
 TemporalReport PlanCache::temporal(TemporalMode mode, long cs, long n1,
                                    long n2, long n3, int tsteps, long bk,
                                    int threads, long halo) {
-  const TemporalKey key{mode, cs, n1, n2, n3, tsteps, bk, threads, halo};
+  const TemporalKey key =
+      make_temporal_key(mode, cs, n1, n2, n3, tsteps, bk, threads, halo);
   {
     std::lock_guard<std::mutex> lock(m_);
+    const auto pit = tpinned_.find(key);
+    if (pit != tpinned_.end()) {
+      ++stats_.hits;
+      ++stats_.pinned_hits;
+      return pit->second;
+    }
     const auto it = tmap_.find(key);
     if (it != tmap_.end()) {
       ++stats_.hits;
@@ -77,9 +106,50 @@ TemporalReport PlanCache::temporal(TemporalMode mode, long cs, long n1,
   {
     std::lock_guard<std::mutex> lock(m_);
     ++stats_.misses;
-    tmap_.emplace(key, rep);
+    if (tmap_.emplace(key, rep).second) {
+      order_.push_back(Order{true, PlanKey{}, key});
+      evict_locked();
+    }
   }
   return rep;
+}
+
+void PlanCache::pin(const PlanKey& key, const PlanReport& rep) {
+  std::lock_guard<std::mutex> lock(m_);
+  pinned_[key] = rep;
+}
+
+void PlanCache::pin_temporal(const TemporalKey& key,
+                             const TemporalReport& rep) {
+  std::lock_guard<std::mutex> lock(m_);
+  tpinned_[key] = rep;
+}
+
+std::size_t PlanCache::pinned_size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return pinned_.size() + tpinned_.size();
+}
+
+void PlanCache::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(m_);
+  capacity_ = cap;
+  evict_locked();
+}
+
+std::size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return capacity_;
+}
+
+void PlanCache::evict_locked() {
+  if (capacity_ == 0) return;
+  while (map_.size() + tmap_.size() > capacity_ && !order_.empty()) {
+    const Order o = order_.front();
+    order_.pop_front();
+    const std::size_t erased =
+        o.temporal ? tmap_.erase(o.tkey) : map_.erase(o.key);
+    stats_.evictions += erased;
+  }
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -96,6 +166,9 @@ void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(m_);
   map_.clear();
   tmap_.clear();
+  pinned_.clear();
+  tpinned_.clear();
+  order_.clear();
   stats_ = PlanCacheStats{};
 }
 

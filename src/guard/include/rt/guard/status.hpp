@@ -22,6 +22,9 @@ enum class Status : int {
   kAllocFailed,       ///< allocation failed (real OOM or injected)
   kNonFinite,         ///< verify sweep found NaN/Inf in kernel output
   kTimeout,           ///< watchdog deadline expired before the run finished
+  kCorrupt,           ///< persisted state failed to parse (truncated/garbage)
+  kStale,             ///< persisted state is valid but no longer applicable
+                      ///< (version or topology-fingerprint mismatch, age)
 };
 
 /// Stable lower-snake token ("ok", "fell_back_untiled", …) for tables/JSON.

@@ -12,6 +12,8 @@ const char* status_name(Status s) {
     case Status::kAllocFailed: return "alloc_failed";
     case Status::kNonFinite: return "nonfinite";
     case Status::kTimeout: return "timeout";
+    case Status::kCorrupt: return "corrupt";
+    case Status::kStale: return "stale";
   }
   return "?";
 }
@@ -20,7 +22,7 @@ bool parse_status(const std::string& s, Status* out) {
   for (Status st : {Status::kOk, Status::kInvalidArgument, Status::kInfeasible,
                     Status::kFellBackUntiled, Status::kOverflow,
                     Status::kAllocFailed, Status::kNonFinite,
-                    Status::kTimeout}) {
+                    Status::kTimeout, Status::kCorrupt, Status::kStale}) {
     if (s == status_name(st)) {
       *out = st;
       return true;

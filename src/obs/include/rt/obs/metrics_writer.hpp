@@ -42,6 +42,31 @@ class JsonValue {
   bool is_null() const { return kind_ == Kind::kNull; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  /// Scalar readers for parsed documents (json_parse): each returns
+  /// @p fallback when the value is not of the requested kind.  Numbers
+  /// convert between the integer and double representations.
+  bool as_bool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    if (kind_ == Kind::kInt) return int_;
+    if (kind_ == Kind::kDouble) return static_cast<std::int64_t>(double_);
+    return fallback;
+  }
+  double as_double(double fallback = 0) const {
+    if (kind_ == Kind::kDouble) return double_;
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    return fallback;
+  }
+  std::string as_string(const std::string& fallback = {}) const {
+    return kind_ == Kind::kString ? str_ : fallback;
+  }
 
   /// Object access: set (insert or replace) and lookup (null if absent).
   JsonValue& set(const std::string& key, JsonValue v);
@@ -50,6 +75,12 @@ class JsonValue {
   /// Array append.
   JsonValue& push_back(JsonValue v);
   std::size_t size() const { return items_.size(); }
+  /// Element access for parsed arrays/objects (nullptr when out of range).
+  const JsonValue* at(std::size_t i) const {
+    return i < items_.size() ? &items_[i] : nullptr;
+  }
+  /// Key of object entry @p i ("" when out of range; pairs with at()).
+  const std::string& key_at(std::size_t i) const;
 
   /// Serialize.  indent < 0: compact one-line; indent >= 0: pretty-printed
   /// with that many spaces per level (the results/ files use 2).
@@ -75,6 +106,18 @@ class JsonValue {
 
 /// Escape a string for embedding in JSON (quotes not included).
 std::string json_escape(const std::string& s);
+
+/// Parse a complete JSON document into a JsonValue.  The counterpart of
+/// dump() — added for the rt::tune plan store, which must read back what
+/// MetricsWriter-style code wrote.  Strict where it matters for durable
+/// state: trailing garbage, truncated input, bad escapes, and nesting
+/// deeper than 64 levels are all rejected (returns false, *out untouched,
+/// @p err set to a one-line reason with the byte offset).  Accepts any
+/// value as the top level, \uXXXX escapes (BMP, encoded as UTF-8), and
+/// both integer and double number forms (integers that fit int64 stay
+/// integers, everything else parses as double).
+bool json_parse(const std::string& text, JsonValue* out,
+                std::string* err = nullptr);
 
 /// Accumulates flat records and writes them as a JSON array.
 ///

@@ -1,7 +1,10 @@
 #include "rt/obs/metrics_writer.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 namespace rt::obs {
@@ -136,6 +139,257 @@ std::string JsonValue::dump(int indent) const {
   std::string out;
   write(out, indent, 0);
   return out;
+}
+
+const std::string& JsonValue::key_at(std::size_t i) const {
+  static const std::string empty;
+  return i < keys_.size() ? keys_[i] : empty;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string.  Strictness targets the
+/// durable-state use case (rt::tune plan store): a truncated or appended
+/// file must fail cleanly, never half-parse.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (err_ != nullptr) {
+      *err_ = why + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, JsonValue v, JsonValue* out) {
+    const std::size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    *out = std::move(v);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    // pos_ is on the opening quote.
+    ++pos_;
+    std::string str;
+    while (true) {
+      if (pos_ >= s_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        *out = std::move(str);
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        str += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= s_.size()) return fail("unterminated escape");
+      const char e = s_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': str += '"'; break;
+        case '\\': str += '\\'; break;
+        case '/': str += '/'; break;
+        case 'b': str += '\b'; break;
+        case 'f': str += '\f'; break;
+        case 'n': str += '\n'; break;
+        case 'r': str += '\r'; break;
+        case 't': str += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_ + static_cast<std::size_t>(i)];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          pos_ += 4;
+          // BMP code point to UTF-8 (surrogate pairs are rejected: the
+          // writer never emits them and durable state should not either).
+          if (cp >= 0xD800 && cp <= 0xDFFF) return fail("surrogate in \\u escape");
+          if (cp < 0x80) {
+            str += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            str += static_cast<char>(0xC0 | (cp >> 6));
+            str += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            str += static_cast<char>(0xE0 | (cp >> 12));
+            str += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            str += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    if (!is_double) {
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end == tok.c_str() || *end != '\0') {
+        pos_ = start;
+        return fail("bad number");
+      }
+      if (errno != ERANGE) {
+        *out = JsonValue(v);
+        return true;
+      }
+      // Integer overflow: fall through to the double representation.
+    }
+    errno = 0;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE) {
+      pos_ = start;
+      return fail("bad number");
+    }
+    *out = JsonValue(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case 'n': return literal("null", JsonValue(), out);
+      case 't': return literal("true", JsonValue(true), out);
+      case 'f': return literal("false", JsonValue(false), out);
+      case '"': {
+        std::string str;
+        if (!parse_string(&str)) return false;
+        *out = JsonValue(std::move(str));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        JsonValue arr = JsonValue::array();
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          *out = std::move(arr);
+          return true;
+        }
+        while (true) {
+          JsonValue v;
+          skip_ws();
+          if (!parse_value(&v, depth + 1)) return false;
+          arr.push_back(std::move(v));
+          skip_ws();
+          if (pos_ >= s_.size()) return fail("unterminated array");
+          if (s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (s_[pos_] == ']') {
+            ++pos_;
+            *out = std::move(arr);
+            return true;
+          }
+          return fail("expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        ++pos_;
+        JsonValue obj = JsonValue::object();
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          *out = std::move(obj);
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (pos_ >= s_.size() || s_[pos_] != '"') {
+            return fail("expected object key");
+          }
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (pos_ >= s_.size() || s_[pos_] != ':') {
+            return fail("expected ':' after object key");
+          }
+          ++pos_;
+          skip_ws();
+          JsonValue v;
+          if (!parse_value(&v, depth + 1)) return false;
+          obj.set(key, std::move(v));
+          skip_ws();
+          if (pos_ >= s_.size()) return fail("unterminated object");
+          if (s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (s_[pos_] == '}') {
+            ++pos_;
+            *out = std::move(obj);
+            return true;
+          }
+          return fail("expected ',' or '}' in object");
+        }
+      }
+      default:
+        if (s_[pos_] == '-' || (s_[pos_] >= '0' && s_[pos_] <= '9')) {
+          return parse_number(out);
+        }
+        return fail("unexpected character");
+    }
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue* out, std::string* err) {
+  JsonValue v;
+  if (!Parser(text, err).parse(&v)) return false;
+  *out = std::move(v);
+  return true;
 }
 
 JsonValue& MetricsWriter::add_record() {

@@ -1,0 +1,52 @@
+#pragma once
+// Candidate-plan generation: the search neighbourhood the calibration sweep
+// measures.  Seeded by the model plan (the analytic search's answer) and
+// expanded with the perturbations that matter on real hosts — tile-shape
+// scalings (associative caches tolerate far larger tiles than the
+// direct-mapped model admits), padding variants (prefetcher/TLB effects),
+// and the untiled baseline (so tuning can *undo* tiling when the model
+// overfits).  Every candidate is bounds-clamped and the set is de-duplicated
+// so the sweep never measures the same plan twice.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rt/core/plan.hpp"
+#include "rt/core/temporal.hpp"
+
+namespace rt::tune {
+
+/// One spatial candidate: a concrete executable plan plus where it came
+/// from ("model", "tile*2", "pad+8", "untiled", ...) for the result table.
+struct Candidate {
+  rt::core::TilingPlan plan;
+  std::string origin;
+};
+
+/// Build the spatial candidate set around @p model for DI x DJ arrays of a
+/// stencil with radius @p halo.  The model plan is always candidates[0];
+/// the rest are clamped to valid iteration tiles (1 <= ti <= DI-2*halo,
+/// same for J) and paddings (dip >= DI, djp >= DJ), de-duplicated, and
+/// capped at @p max_candidates (generation order is preference order).
+std::vector<Candidate> spatial_candidates(const rt::core::TilingPlan& model,
+                                          long di, long dj, long halo,
+                                          std::size_t max_candidates = 24);
+
+/// One temporal candidate: a full validated report (the temporal planner
+/// re-runs for each bk variant, so stages/occupancy stay consistent).
+struct TemporalCandidate {
+  rt::core::TemporalReport report;
+  std::string origin;
+};
+
+/// Build the temporal candidate set: the auto-sized model plan (bk = 0,
+/// always candidates[0]) plus halved / doubled / stepped block-depth
+/// variants, each re-planned through temporal_plan_checked.  Candidates
+/// whose report degrades to kInvalidArgument are dropped (kInfeasible ones
+/// are kept — they run correctly, just without the residency guarantee).
+std::vector<TemporalCandidate> temporal_candidates(
+    rt::core::TemporalMode mode, long cs, long n1, long n2, long n3,
+    int tsteps, int threads, long halo, std::size_t max_candidates = 12);
+
+}  // namespace rt::tune

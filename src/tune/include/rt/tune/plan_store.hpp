@@ -1,0 +1,87 @@
+#pragma once
+// Durable plan store: measured winners persisted as versioned JSON, keyed
+// by the host's cache-topology fingerprint (rt::core::cache_topology).  A
+// store is only *served* on the hierarchy it was measured on — loading one
+// written by a different schema version or a different host degrades to the
+// model plan with a typed reason (kStale), and a truncated or hand-mangled
+// file degrades the same way with kCorrupt.  Neither ever crashes a bench.
+//
+// Durability contract: parsing is strict (rt::obs::json_parse) and
+// all-or-nothing — one malformed entry rejects the whole store, because a
+// half-trusted store could silently serve a plan for the wrong shape.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/core/plan.hpp"
+#include "rt/core/plan_cache.hpp"
+#include "rt/core/temporal.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/tune/tune.hpp"
+
+namespace rt::tune {
+
+/// Bumped whenever the serialized schema changes shape; a mismatch is
+/// kStale (regenerate by re-tuning), never reinterpreted.
+inline constexpr int kPlanStoreVersion = 1;
+
+/// One persisted winner: the human-readable TuneKey it answers, the exact
+/// PlanCache key to pin it under, the winning plan, and the calibration
+/// evidence (winner vs model throughput, when it was measured).
+struct StoreEntry {
+  TuneKey key;
+  bool temporal = false;  ///< which (key, plan) pair below is meaningful
+
+  rt::core::PlanKey plan_key{};       ///< spatial entries
+  rt::core::TilingPlan plan{};
+  rt::core::TemporalKey temporal_key{};  ///< temporal entries
+  rt::core::TemporalPlan temporal_plan{};
+
+  std::string origin;       ///< candidate label that won ("tile*2", ...)
+  double mflops = 0;        ///< winner's measured throughput
+  double model_mflops = 0;  ///< model plan's throughput in the same sweep
+  std::int64_t tuned_at_ms = 0;  ///< wall-clock ms since epoch at tuning
+};
+
+struct PlanStore {
+  int version = kPlanStoreVersion;
+  std::string fingerprint;  ///< rt::core::CacheTopology::fingerprint()
+  std::vector<StoreEntry> entries;
+
+  const StoreEntry* find(const TuneKey& key) const;
+  /// Insert or replace the entry for e.key (one winner per key).
+  void put(StoreEntry e);
+};
+
+/// Resolved default location: $RT_TUNE_STORE if set, else
+/// $XDG_CACHE_HOME/rt-tune/plans.json, else ~/.cache/rt-tune/plans.json
+/// (cwd-relative ".rt-tune-plans.json" when HOME is unset).
+std::string default_store_path();
+
+/// Serialize (pretty-printed JSON, trailing newline — diffable).
+std::string store_to_json(const PlanStore& s);
+
+/// Parse + validate @p text against @p host_fingerprint.
+///   kCorrupt          JSON parse failure, or a missing/mistyped field
+///   kStale            parsed fine, but version != kPlanStoreVersion or
+///                     fingerprint != host_fingerprint
+/// The detail line carries the parser reason / the mismatching values.
+rt::guard::Expected<PlanStore> parse_store(const std::string& text,
+                                           const std::string& host_fingerprint);
+
+/// Read @p path and parse_store it.  A missing/unreadable file is
+/// kInvalidArgument (distinct from kCorrupt: nothing was persisted there).
+rt::guard::Expected<PlanStore> load_store(const std::string& path,
+                                          const std::string& host_fingerprint);
+
+/// Write store_to_json(s) to @p path, creating parent directories.
+/// Returns kOk or kInvalidArgument (unwritable path).
+rt::guard::Status save_store(const PlanStore& s, const std::string& path);
+
+/// Pin every entry into @p cache (PlanCache serves pinned entries ahead of
+/// the model search).  Returns the number of entries installed.  The pinned
+/// report carries status kOk and a detail line naming the tuned origin.
+std::size_t install(const PlanStore& s, rt::core::PlanCache& cache);
+
+}  // namespace rt::tune

@@ -1,0 +1,151 @@
+#include "rt/tune/candidates.hpp"
+
+#include <algorithm>
+
+namespace rt::tune {
+
+namespace {
+
+long clamp_tile(long t, long lo, long hi) {
+  return std::max(lo, std::min(t, hi));
+}
+
+}  // namespace
+
+std::vector<Candidate> spatial_candidates(const rt::core::TilingPlan& model,
+                                          long di, long dj, long halo,
+                                          std::size_t max_candidates) {
+  std::vector<Candidate> out;
+  if (di <= 0 || dj <= 0 || max_candidates == 0) return out;
+
+  const long max_ti = std::max<long>(1, di - 2 * halo);
+  const long max_tj = std::max<long>(1, dj - 2 * halo);
+
+  const auto add = [&](rt::core::TilingPlan p, const std::string& origin) {
+    if (out.size() >= max_candidates) return;
+    // Clamp to a valid executable plan.
+    p.dip = std::max(p.dip, di);
+    p.djp = std::max(p.djp, dj);
+    if (p.tiled) {
+      p.tile.ti = clamp_tile(p.tile.ti, 1, max_ti);
+      p.tile.tj = clamp_tile(p.tile.tj, 1, max_tj);
+      // A tile covering the whole interior is just the untiled loop.
+      if (p.tile.ti == max_ti && p.tile.tj == max_tj) {
+        p.tiled = false;
+        p.tile = {};
+      }
+    } else {
+      p.tile = {};
+    }
+    for (const Candidate& c : out) {
+      if (c.plan.tiled == p.tiled && c.plan.tile == p.tile &&
+          c.plan.dip == p.dip && c.plan.djp == p.djp) {
+        return;  // duplicate shape: first origin wins
+      }
+    }
+    out.push_back(Candidate{p, origin});
+  };
+
+  // The model plan is always candidate 0: the sweep measures it under the
+  // identical protocol, so "autotuned >= model" holds by construction.
+  add(model, "model");
+
+  // Untiled baselines: tuning must be able to *undo* tiling when the model
+  // overfits the direct-mapped assumption (prefetchers love long rows).
+  rt::core::TilingPlan untiled = model;
+  untiled.tiled = false;
+  untiled.tile = {};
+  untiled.dip = di;
+  untiled.djp = dj;
+  add(untiled, "untiled");
+  if (model.dip != di || model.djp != dj) {
+    rt::core::TilingPlan up = untiled;
+    up.dip = model.dip;
+    up.djp = model.djp;
+    add(up, "untiled+pad");
+  }
+
+  // Tile-shape neighbourhood.  Associative caches hold conflict misses off
+  // far larger tiles than the direct-mapped model admits, so the scaled-up
+  // shapes are the likely winners on modern hosts.
+  const long ti = model.tiled ? model.tile.ti : 0;
+  const long tj = model.tiled ? model.tile.tj : 0;
+  if (model.tiled) {
+    const auto tile_variant = [&](long vti, long vtj, const char* origin) {
+      rt::core::TilingPlan p = model;
+      p.tile = rt::core::IterTile{vti, vtj};
+      add(p, origin);
+    };
+    tile_variant(ti * 2, tj * 2, "tile*2");
+    tile_variant(ti * 4, tj * 4, "tile*4");
+    tile_variant(std::max<long>(1, ti / 2), std::max<long>(1, tj / 2),
+                 "tile/2");
+    tile_variant(ti * 2, tj, "ti*2");
+    tile_variant(ti, tj * 2, "tj*2");
+    tile_variant(ti, max_tj, "tj=max");  // full rows: unit-stride streaming
+    tile_variant(max_ti, tj, "ti=max");
+  } else {
+    // Model says untiled: still probe a few square tiles so tuning can
+    // *introduce* blocking where the model found nothing feasible.
+    for (long t : {16L, 32L, 64L}) {
+      rt::core::TilingPlan p = model;
+      p.tiled = true;
+      p.tile = rt::core::IterTile{t, t};
+      add(p, "square" + std::to_string(t));
+    }
+  }
+
+  // Padding neighbourhood: one cache line (8 doubles) more, and the classic
+  // odd leading dimension (kills power-of-two set aliasing outright).
+  {
+    rt::core::TilingPlan p = model;
+    p.dip = model.dip + 8;
+    add(p, "pad+8");
+  }
+  {
+    rt::core::TilingPlan p = model;
+    p.djp = model.djp + 8;
+    add(p, "padj+8");
+  }
+  if (model.dip % 2 == 0) {
+    rt::core::TilingPlan p = model;
+    p.dip = model.dip + 1;
+    add(p, "pad:odd");
+  }
+
+  return out;
+}
+
+std::vector<TemporalCandidate> temporal_candidates(
+    rt::core::TemporalMode mode, long cs, long n1, long n2, long n3,
+    int tsteps, int threads, long halo, std::size_t max_candidates) {
+  std::vector<TemporalCandidate> out;
+  if (mode == rt::core::TemporalMode::kOff || max_candidates == 0) return out;
+
+  const auto add = [&](long bk, const std::string& origin) {
+    if (out.size() >= max_candidates) return;
+    rt::core::TemporalReport rep = rt::core::temporal_plan_checked(
+        mode, cs, n1, n2, n3, tsteps, bk, threads, halo);
+    if (rep.status == rt::guard::Status::kInvalidArgument) return;
+    for (const TemporalCandidate& c : out) {
+      if (c.report.plan.bk == rep.plan.bk && c.report.plan.tb == rep.plan.tb) {
+        return;
+      }
+    }
+    out.push_back(TemporalCandidate{std::move(rep), origin});
+  };
+
+  // Auto-sized model plan first (the bk the planner would pick itself).
+  add(0, "model");
+  const long model_bk = out.empty() ? 0 : out.front().report.plan.bk;
+  if (model_bk > 0) {
+    add(std::max<long>(1, model_bk / 2), "bk/2");
+    add(model_bk * 2, "bk*2");
+    add(model_bk + 2 * halo, "bk+2h");
+    add(std::max<long>(1, model_bk - 2 * halo), "bk-2h");
+    add(model_bk * 4, "bk*4");
+  }
+  return out;
+}
+
+}  // namespace rt::tune

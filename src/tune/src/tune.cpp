@@ -1,0 +1,47 @@
+#include "rt/tune/tune.hpp"
+
+namespace rt::tune {
+
+const char* tune_mode_name(TuneMode m) {
+  switch (m) {
+    case TuneMode::kOff: return "off";
+    case TuneMode::kLoad: return "load";
+    case TuneMode::kOn: return "on";
+  }
+  return "?";
+}
+
+bool parse_tune_mode(const std::string& s, TuneMode* out) {
+  for (TuneMode m : {TuneMode::kOff, TuneMode::kLoad, TuneMode::kOn}) {
+    if (s == tune_mode_name(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_transform(const std::string& s, rt::core::Transform* out) {
+  for (rt::core::Transform t : rt::core::all_transforms()) {
+    if (s == rt::core::transform_name(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TuneKey::str() const {
+  std::string out = kernel;
+  out += "/n" + std::to_string(n) + "x" + std::to_string(n3);
+  out += "/";
+  out += rt::core::transform_name(transform);
+  out += "/t" + std::to_string(threads);
+  out += "/simd=" + simd;
+  out += "/temporal=";
+  out += rt::core::temporal_mode_name(temporal);
+  out += "/ts" + std::to_string(tsteps);
+  return out;
+}
+
+}  // namespace rt::tune

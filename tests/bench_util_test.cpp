@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "rt/bench/options.hpp"
 #include "rt/bench/table.hpp"
 
@@ -100,6 +105,63 @@ TEST(OptionsDeathTest, RejectsBadEnumValues) {
 TEST(Options, NegativeThreadsClampsToOne) {
   const BenchOptions o = parse({"--threads=-3"});
   EXPECT_EQ(o.threads, 1);
+}
+
+TEST(Options, TuneFlagsParseAndDefaultOff) {
+  const BenchOptions d = parse({});
+  EXPECT_EQ(d.tune, rt::tune::TuneMode::kOff);
+  EXPECT_TRUE(d.plan_store.empty());
+  EXPECT_EQ(d.tsteps, 0);
+  EXPECT_FALSE(d.tsteps_given);
+
+  const BenchOptions o =
+      parse({"--tune=on", "--plan-store=/tmp/p.json", "--tsteps=6"});
+  EXPECT_EQ(o.tune, rt::tune::TuneMode::kOn);
+  EXPECT_EQ(o.plan_store, "/tmp/p.json");
+  EXPECT_EQ(o.tsteps, 6);
+  EXPECT_TRUE(o.tsteps_given);
+  // Explicit --plan-store wins over every environment default.
+  EXPECT_EQ(o.resolved_plan_store(), "/tmp/p.json");
+}
+
+TEST(Options, ResolvedPlanStoreFallsBackToTheDurableDefault) {
+  const char* old = std::getenv("RT_TUNE_STORE");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("RT_TUNE_STORE", "/tmp/env-plans.json", 1);
+  EXPECT_EQ(parse({}).resolved_plan_store(), "/tmp/env-plans.json");
+  if (old != nullptr) {
+    ::setenv("RT_TUNE_STORE", saved.c_str(), 1);
+  } else {
+    ::unsetenv("RT_TUNE_STORE");
+  }
+}
+
+// Contradictory flag combinations must die with exit(2) at the parse
+// boundary — a bench that silently reconciled them would print a table for
+// a configuration nobody asked for.
+TEST(OptionsDeathTest, RejectsBadTuneValuesAndContradictions) {
+  EXPECT_EXIT(parse({"--tune=maybe"}), testing::ExitedWithCode(2),
+              "bad --tune value");
+  EXPECT_EXIT(parse({"--plan-store="}), testing::ExitedWithCode(2),
+              "empty --plan-store");
+  EXPECT_EXIT(parse({"--tsteps=-1"}), testing::ExitedWithCode(2),
+              "--tsteps");
+  // Temporal blocking with zero steps to fuse: nothing to skew.
+  EXPECT_EXIT(parse({"--temporal=skew", "--tsteps=0"}),
+              testing::ExitedWithCode(2), "contradictory");
+  // load-only mode against a store that does not exist.
+  EXPECT_EXIT(
+      parse({"--tune=load", "--plan-store=/nonexistent/rt-tune/p.json"}),
+      testing::ExitedWithCode(2), "--tune=load");
+}
+
+TEST(Options, TuneLoadAcceptsAnExistingStoreFile) {
+  const std::string path = "/tmp/rt_bench_tune_load_test.json";
+  std::ofstream(path) << "{}\n";  // existence is all parse checks here
+  const std::string flag = "--plan-store=" + path;
+  const BenchOptions o = parse({"--tune=load", flag.c_str()});
+  EXPECT_EQ(o.tune, rt::tune::TuneMode::kLoad);
+  std::remove(path.c_str());
 }
 
 TEST(Table, FmtPrecision) {

@@ -38,7 +38,9 @@ TEST(Status, NamesAreStableTokensAndRoundTrip) {
   EXPECT_STREQ(status_name(Status::kAllocFailed), "alloc_failed");
   EXPECT_STREQ(status_name(Status::kNonFinite), "nonfinite");
   EXPECT_STREQ(status_name(Status::kTimeout), "timeout");
-  for (int i = 0; i <= static_cast<int>(Status::kTimeout); ++i) {
+  EXPECT_STREQ(status_name(Status::kCorrupt), "corrupt");
+  EXPECT_STREQ(status_name(Status::kStale), "stale");
+  for (int i = 0; i <= static_cast<int>(Status::kStale); ++i) {
     const auto s = static_cast<Status>(i);
     Status back;
     ASSERT_TRUE(parse_status(status_name(s), &back)) << status_name(s);

@@ -177,10 +177,96 @@ TEST(Json, NestedPrettyPrint) {
   EXPECT_EQ(o.dump(), "{\"list\":[1,\"x\"],\"empty\":[]}");
 }
 
-/// A fixed two-record document shaped like results/BENCH_3.json: one
-/// serial-scalar record with hw available, one degraded PSINV-style record
-/// with counters unavailable.  Byte-compared against the golden file so the
-/// schema cannot drift silently.
+// --- JSON parser (the plan store's read path) ---
+
+TEST(JsonParse, RoundTripsEveryKindThroughDump) {
+  const std::string text =
+      "{\"s\":\"a\\\"b\",\"i\":-42,\"d\":0.5,\"t\":true,\"f\":false,"
+      "\"nul\":null,\"arr\":[1,2.5,\"x\"],\"obj\":{\"k\":1}}";
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(text, &v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b");
+  EXPECT_TRUE(v.find("i")->is_number());
+  EXPECT_EQ(v.find("i")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(v.find("d")->as_double(), 0.5);
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_TRUE(v.find("f")->is_bool());
+  EXPECT_FALSE(v.find("f")->as_bool(true));
+  EXPECT_TRUE(v.find("nul")->is_null());
+  ASSERT_TRUE(v.find("arr")->is_array());
+  EXPECT_EQ(v.find("arr")->size(), 3u);
+  EXPECT_EQ(v.find("arr")->at(0)->as_int(), 1);
+  EXPECT_EQ(v.find("arr")->at(3), nullptr);
+  EXPECT_EQ(v.key_at(0), "s");
+  // dump() -> json_parse -> dump() is a fixed point (both orderings kept).
+  JsonValue again;
+  ASSERT_TRUE(json_parse(v.dump(), &again, &err)) << err;
+  EXPECT_EQ(again.dump(), v.dump());
+  // Pretty-printed input parses to the same document.
+  JsonValue pretty;
+  ASSERT_TRUE(json_parse(v.dump(2), &pretty, &err)) << err;
+  EXPECT_EQ(pretty.dump(), v.dump());
+}
+
+TEST(JsonParse, IntegerDoubleBoundaryAndEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("9007199254740993", &v));  // > 2^53: must stay int
+  EXPECT_EQ(v.as_int(), 9007199254740993LL);
+  ASSERT_TRUE(json_parse("1e3", &v));
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_double(), 1000.0);
+  ASSERT_TRUE(json_parse("\"tab\\tnl\\n\\u0041\\u00e9\"", &v));
+  EXPECT_EQ(v.as_string(), "tab\tnl\nA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsCorruptInputWithAByteOffset) {
+  JsonValue v;
+  std::string err;
+  const char* bad[] = {
+      "",                      // empty
+      "{\"a\":1",              // truncated object
+      "[1,2",                  // truncated array
+      "\"unterminated",        // truncated string
+      "{\"a\":1} trailing",    // trailing garbage
+      "{'a':1}",               // wrong quotes
+      "[1,]",                  // trailing comma
+      "nul",                   // truncated keyword
+      "\"bad\\q escape\"",     // unknown escape
+      "\"ctrl \x01 char\"",    // raw control character in string
+      "{\"a\" 1}",             // missing colon
+  };
+  for (const char* text : bad) {
+    v = JsonValue(123);  // sentinel: *out must stay untouched on failure
+    err.clear();
+    EXPECT_FALSE(json_parse(text, &v, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+    EXPECT_EQ(v.as_int(), 123) << text;
+  }
+  EXPECT_FALSE(json_parse("{\"a\":1} x", &v, &err));
+  EXPECT_NE(err.find("byte"), std::string::npos) << err;
+}
+
+TEST(JsonParse, RejectsNestingDeeperThan64Levels) {
+  // The limit is on the depth counter (0 at top level, fails above 64),
+  // so 65 nested arrays are the deepest accepted document.
+  JsonValue v;
+  std::string err;
+  std::string ok(65, '[');
+  ok += std::string(65, ']');
+  EXPECT_TRUE(json_parse(ok, &v, &err)) << err;
+  std::string deep(66, '[');
+  deep += std::string(66, ']');
+  EXPECT_FALSE(json_parse(deep, &v, &err));
+  EXPECT_NE(err.find("deep"), std::string::npos) << err;
+}
+
+/// A fixed document covering every record shape the benches emit: a
+/// serial-scalar record with hw available, a degraded PSINV-style record
+/// with counters unavailable, an app-level record (plan cache + phases), a
+/// temporal-blocking record, and an autotuned record.  Byte-compared
+/// against the golden file so the schema cannot drift silently.
 std::string golden_document() {
   MetricsWriter w;
   {
@@ -251,6 +337,8 @@ std::string golden_document() {
     rt::core::PlanCacheStats pcs;
     pcs.hits = 5;
     pcs.misses = 1;
+    pcs.pinned_hits = 2;
+    pcs.evictions = 1;
     r.set("plan_cache", rt::bench::plan_cache_json(pcs));
     PhaseStats resid, psinv;
     resid.add(0.25);
@@ -289,6 +377,36 @@ std::string golden_document() {
     tp.stages = 56;
     tp.occupancy = 0.8754321;
     r.set("temporal", rt::bench::temporal_json(tp));
+  }
+  {
+    // Autotuner record (bench_autotune_ablation shape): the "tune" block
+    // is built through rt::bench::tune_json from a hand-assembled sweep
+    // result, so the calibration-evidence schema cannot drift.
+    JsonValue& r = w.add_record();
+    r.set("kernel", "JACOBI")
+        .set("n", 400)
+        .set("transform", "GcdPad")
+        .set("variant", "autotuned")
+        .set("origin", "untiled")
+        .set("store_status", "fresh")
+        .set("mflops", 3010.75);
+    rt::tune::TuneResult tr;
+    tr.key.kernel = "JACOBI";
+    tr.key.n = 400;
+    tr.key.n3 = 30;
+    tr.key.transform = rt::core::Transform::kGcdPad;
+    tr.key.threads = 1;
+    tr.candidates.resize(3);
+    tr.candidates[0].origin = "model";
+    tr.candidates[0].m.mflops = 1411.5;
+    tr.candidates[1].origin = "untiled";
+    tr.candidates[1].m.mflops = 3010.75;
+    tr.candidates[2].origin = "pad+8";
+    tr.candidates[2].m.status = rt::guard::Status::kTimeout;
+    tr.winner = 1;
+    tr.model = 0;
+    tr.worst = 0;
+    r.set("tune", rt::bench::tune_json(rt::tune::TuneMode::kOn, tr));
   }
   return w.dump();
 }

@@ -121,6 +121,157 @@ TEST(PlanCache, InstanceIsProcessWideAndShared) {
   EXPECT_EQ(&a, &b);
 }
 
+TEST(PlanCache, PinnedEntriesServeAheadOfTheModelSearch) {
+  // rt::tune installs measured winners by pinning: the pinned report must
+  // answer the exact plan() lookup solvers make, beat an already-memoized
+  // model entry, count as a pinned hit, and be replaceable by a repeat pin.
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  const PlanReport model = c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+
+  PlanReport tuned;
+  tuned.plan.transform = Transform::kGcdPad;
+  tuned.plan.tiled = true;
+  tuned.plan.tile = IterTile{64, 64};
+  tuned.plan.dip = 208;
+  tuned.plan.djp = 200;
+  tuned.detail = "autotuned(tile*4)";
+  c.pin(PlanCache::make_key(Transform::kGcdPad, 2048, 200, 200, spec), tuned);
+  EXPECT_EQ(c.pinned_size(), 1u);
+
+  const PlanReport served = c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+  EXPECT_FALSE(same_plan(served.plan, model.plan));
+  EXPECT_TRUE(same_plan(served.plan, tuned.plan));
+  EXPECT_EQ(served.detail, "autotuned(tile*4)");
+  EXPECT_EQ(c.stats().pinned_hits, 1u);
+  EXPECT_EQ(c.stats().hits, 1u);  // pinned hits are hits too
+
+  tuned.plan.tile = IterTile{32, 32};
+  c.pin(PlanCache::make_key(Transform::kGcdPad, 2048, 200, 200, spec), tuned);
+  EXPECT_EQ(c.pinned_size(), 1u);  // replaced, not duplicated
+  EXPECT_EQ(c.plan(Transform::kGcdPad, 2048, 200, 200, spec).plan.tile.ti, 32);
+}
+
+TEST(PlanCache, PinnedTemporalEntriesServeTemporalLookups) {
+  PlanCache c;
+  TemporalReport tuned;
+  tuned.plan.mode = TemporalMode::kSkew;
+  tuned.plan.tsteps = 4;
+  tuned.plan.bk = 48;
+  tuned.plan.threads = 2;
+  tuned.detail = "autotuned(bk*2)";
+  c.pin_temporal(PlanCache::make_temporal_key(TemporalMode::kSkew, 1 << 20,
+                                              200, 200, 200, 4, 0, 2, 1),
+                 tuned);
+  const TemporalReport served =
+      c.temporal(TemporalMode::kSkew, 1 << 20, 200, 200, 200, 4, 0, 2, 1);
+  EXPECT_EQ(served.plan.bk, 48);
+  EXPECT_EQ(served.detail, "autotuned(bk*2)");
+  EXPECT_EQ(c.stats().pinned_hits, 1u);
+  // A different tsteps misses the pin and runs the real planner.
+  const TemporalReport other =
+      c.temporal(TemporalMode::kSkew, 1 << 20, 200, 200, 200, 2, 0, 2, 1);
+  EXPECT_EQ(other.detail.find("autotuned"), std::string::npos);
+  EXPECT_EQ(c.stats().pinned_hits, 1u);
+}
+
+TEST(PlanCache, CapacityCapEvictsOldestMemoizedEntriesFifo) {
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  c.set_capacity(2);
+  EXPECT_EQ(c.capacity(), 2u);
+  (void)c.plan(Transform::kGcdPad, 2048, 100, 100, spec);
+  (void)c.plan(Transform::kGcdPad, 2048, 110, 110, spec);
+  (void)c.plan(Transform::kGcdPad, 2048, 120, 120, spec);  // evicts 100
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.stats().evictions, 1u);
+
+  // The evicted key re-runs the search (a miss), the survivors hit.
+  (void)c.plan(Transform::kGcdPad, 2048, 120, 120, spec);
+  EXPECT_EQ(c.stats().hits, 1u);
+  (void)c.plan(Transform::kGcdPad, 2048, 100, 100, spec);  // miss again
+  EXPECT_EQ(c.stats().misses, 4u);
+  EXPECT_EQ(c.stats().evictions, 2u);  // its re-insert evicted 110
+
+  // Shrinking below the current size evicts immediately.
+  c.set_capacity(1);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.stats().evictions, 3u);
+}
+
+TEST(PlanCache, PinnedEntriesAreExemptFromTheCapacityCap) {
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  c.set_capacity(1);
+  PlanReport tuned;
+  tuned.plan.dip = 123;
+  tuned.detail = "autotuned(untiled)";
+  c.pin(PlanCache::make_key(Transform::kGcdPad, 2048, 100, 100, spec), tuned);
+  (void)c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+  (void)c.plan(Transform::kGcdPad, 2048, 300, 300, spec);  // churns memoized
+  EXPECT_EQ(c.pinned_size(), 1u);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.plan(Transform::kGcdPad, 2048, 100, 100, spec).plan.dip, 123);
+}
+
+TEST(PlanCache, UnlimitedCapacityNeverEvicts) {
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  for (long di = 100; di < 140; ++di) {
+    (void)c.plan(Transform::kGcdPad, 2048, di, di, spec);
+  }
+  EXPECT_EQ(c.size(), 40u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(PlanCache, ConcurrentClearVsLookupIsSafeAndConverges) {
+  // clear() is documented safe against racing queries: they re-run the
+  // pure search and repopulate.  Hammer both paths (plus a pinner) and
+  // check nothing tears — every served report matches the direct search.
+  PlanCache c;
+  const auto spec = StencilSpec::resid27();
+  const PlanReport direct =
+      plan_for_checked(Transform::kGcdPad, 2048, 130, 130, spec);
+  constexpr int kReaders = 4;
+  constexpr int kQueries = 200;
+  std::vector<std::thread> ts;
+  std::vector<int> bad(kReaders, 0);
+  for (int t = 0; t < kReaders; ++t) {
+    ts.emplace_back([&, t] {
+      for (int q = 0; q < kQueries; ++q) {
+        const PlanReport r =
+            c.plan(Transform::kGcdPad, 2048, 130 + (q % 3), 130, spec);
+        if (q % 3 == 0 &&
+            (!same_plan(r.plan, direct.plan) || r.status != direct.status)) {
+          ++bad[t];
+        }
+      }
+    });
+  }
+  ts.emplace_back([&] {
+    for (int q = 0; q < 50; ++q) {
+      c.clear();
+      std::this_thread::yield();
+    }
+  });
+  ts.emplace_back([&] {
+    PlanReport tuned;
+    tuned.detail = "autotuned(untiled)";
+    const PlanKey k =
+        PlanCache::make_key(Transform::kGcdPad, 2048, 999, 999, spec);
+    for (int q = 0; q < 50; ++q) {
+      c.pin(k, tuned);
+      (void)c.pinned_size();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& th : ts) th.join();
+  for (int t = 0; t < kReaders; ++t) EXPECT_EQ(bad[t], 0) << "thread " << t;
+  // After the dust settles the cache still answers correctly.
+  EXPECT_TRUE(same_plan(
+      c.plan(Transform::kGcdPad, 2048, 130, 130, spec).plan, direct.plan));
+}
+
 TEST(PlanCache, ConcurrentLookupsAgreeAndCountEveryQuery) {
   PlanCache c;
   const auto spec = StencilSpec::resid27();
