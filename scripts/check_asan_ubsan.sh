@@ -24,11 +24,13 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DRT_BUILD_BENCH=OFF -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
   --target guard_test guard_fault_injection_test array_test core_plan_test \
-           plan_cache_test mg_fastpath_test temporal_test tune_test
+           plan_cache_test mg_fastpath_test temporal_test tune_test serve_test
 
-# halt_on_error turns the first finding into a hard failure; the abandoned-
-# watchdog path is never taken by these tests (injected hangs are cancelled
-# and joined), so leak detection stays meaningful.
+# halt_on_error turns the first finding into a hard failure.  Abandonment
+# tests deliberately detach a wedged worker, but always wait for it to
+# finish (guard_test sleeps past the grace; serve_test polls
+# abandoned_in_flight down to zero) before the process exits, so leak
+# detection stays meaningful.
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/guard_test"
@@ -39,6 +41,7 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/mg_fastpath_test"
 "${BUILD_DIR}/tests/temporal_test"
 "${BUILD_DIR}/tests/tune_test"
+"${BUILD_DIR}/tests/serve_test"
 echo "ASan+UBSan clean: guard_test + guard_fault_injection_test +" \
      "array_test + core_plan_test + plan_cache_test + mg_fastpath_test" \
-     "+ temporal_test + tune_test reported no findings."
+     "+ temporal_test + tune_test + serve_test reported no findings."

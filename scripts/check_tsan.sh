@@ -24,7 +24,7 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
 cmake --build "${BUILD_DIR}" -j \
   --target par_pool_test par_kernels_test simd_kernels_test \
            simd_mg_kernels_test plan_cache_test mg_fastpath_test obs_test \
-           temporal_test tune_test
+           temporal_test tune_test serve_test
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/par_pool_test"
@@ -36,6 +36,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/obs_test"
 "${BUILD_DIR}/tests/temporal_test"
 "${BUILD_DIR}/tests/tune_test"
+# The serve suite runs a real multi-threaded server (acceptor + handlers +
+# executors + watchdog abandonment) end to end — the strongest race check
+# in the tree.
+"${BUILD_DIR}/tests/serve_test"
 echo "TSan clean: par_pool_test + par_kernels_test + simd_kernels_test" \
      "+ simd_mg_kernels_test + plan_cache_test + mg_fastpath_test" \
-     "+ obs_test + temporal_test + tune_test reported no races."
+     "+ obs_test + temporal_test + tune_test + serve_test reported no races."

@@ -44,5 +44,11 @@ build/bench/bench_timeskew --no-sim --host --nmax=448 --steps=4 \
 build/bench/bench_autotune_ablation ${FULL_FLAG} --tune=on \
   --plan-store=results/rt-tune-plans.json --json=results/BENCH_7.json
 
+# Serving under load (PR 8): closed-loop and open-loop client mixes against
+# the rt::serve server over loopback, batching on vs off, p50/p99 latency
+# and req/s.  Every served checksum is verified against the direct
+# batch-binary computation; any mismatch fails the run.
+build/bench/bench_serve_load ${FULL_FLAG} --json=results/BENCH_8.json
+
 echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json," \
-     "results/BENCH_6.json, results/BENCH_7.json"
+     "results/BENCH_6.json, results/BENCH_7.json, results/BENCH_8.json"

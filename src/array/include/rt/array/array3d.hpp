@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "rt/array/aligned.hpp"
@@ -92,6 +93,24 @@ class Array3D {
   /// pool right after construction.
   Array3D(Dims3 d, uninit_t) : d_(d), data_(checked_count(d)) {
     assert(d.valid());
+  }
+  /// Adopt recycled storage (rt::serve's buffer arena): reuse @p storage's
+  /// allocation instead of paying a fresh one, resized to exactly
+  /// alloc_elems() — a no-op when the arena bucket matches, which is what
+  /// keying buckets by alloc_elems guarantees.  Element values are
+  /// whatever the previous owner left (stale data, not zeroes); the caller
+  /// must initialize the logical region before any read, same contract as
+  /// the uninit_t constructor.
+  Array3D(Dims3 d, AlignedVector<T>&& storage)
+      : d_(d), data_(std::move(storage)) {
+    assert(d.valid());
+    data_.resize(checked_count(d));
+  }
+  /// Surrender the storage (the arena recycling counterpart of the adopt
+  /// constructor).  The array is left empty/dimensionless.
+  AlignedVector<T> release() {
+    d_ = Dims3{};
+    return std::move(data_);
   }
 
   const Dims3& dims() const { return d_; }

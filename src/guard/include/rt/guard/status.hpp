@@ -25,6 +25,8 @@ enum class Status : int {
   kCorrupt,           ///< persisted state failed to parse (truncated/garbage)
   kStale,             ///< persisted state is valid but no longer applicable
                       ///< (version or topology-fingerprint mismatch, age)
+  kOverloaded,        ///< admission rejected: queue at capacity / draining
+  kIoError,           ///< an I/O write failed (full disk, closed pipe/socket)
 };
 
 /// Stable lower-snake token ("ok", "fell_back_untiled", …) for tables/JSON.

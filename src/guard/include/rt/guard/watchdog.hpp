@@ -23,6 +23,10 @@ struct WatchdogResult {
   bool completed = false;  ///< task finished before the deadline
   bool abandoned = false;  ///< timed out AND did not finish within the grace
                            ///< period; its thread was detached (leaked)
+  /// Process-wide abandonment count *after* this run (see
+  /// abandoned_thread_count()) — long-lived callers snapshot it into their
+  /// own stats so leaked workers are observable, not silent.
+  long abandoned_total = 0;
 };
 
 /// Run @p fn on a dedicated thread and wait at most @p timeout for it.
@@ -31,5 +35,11 @@ struct WatchdogResult {
 WatchdogResult run_with_deadline(
     std::function<void()> fn, std::chrono::milliseconds timeout,
     std::chrono::milliseconds grace = std::chrono::milliseconds(500));
+
+/// Monotonic count of worker threads ever abandoned (detached) by
+/// run_with_deadline in this process.  A batch sweep tolerates the
+/// occasional leak; a long-lived server must surface it — rt::serve
+/// reports this in its stats block and its load-bench records.
+long abandoned_thread_count();
 
 }  // namespace rt::guard

@@ -14,6 +14,8 @@ const char* status_name(Status s) {
     case Status::kTimeout: return "timeout";
     case Status::kCorrupt: return "corrupt";
     case Status::kStale: return "stale";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kIoError: return "io_error";
   }
   return "?";
 }
@@ -22,7 +24,8 @@ bool parse_status(const std::string& s, Status* out) {
   for (Status st : {Status::kOk, Status::kInvalidArgument, Status::kInfeasible,
                     Status::kFellBackUntiled, Status::kOverflow,
                     Status::kAllocFailed, Status::kNonFinite,
-                    Status::kTimeout, Status::kCorrupt, Status::kStale}) {
+                    Status::kTimeout, Status::kCorrupt, Status::kStale,
+                    Status::kOverloaded, Status::kIoError}) {
     if (s == status_name(st)) {
       *out = st;
       return true;

@@ -1,5 +1,6 @@
 #include "rt/guard/watchdog.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -19,7 +20,13 @@ struct TaskState {
   std::exception_ptr error;
 };
 
+std::atomic<long> g_abandoned{0};
+
 }  // namespace
+
+long abandoned_thread_count() {
+  return g_abandoned.load(std::memory_order_relaxed);
+}
 
 WatchdogResult run_with_deadline(std::function<void()> fn,
                                  std::chrono::milliseconds timeout,
@@ -59,9 +66,11 @@ WatchdogResult run_with_deadline(std::function<void()> fn,
 
   if (res.abandoned) {
     worker.detach();
+    res.abandoned_total = g_abandoned.fetch_add(1, std::memory_order_relaxed) + 1;
     return res;
   }
   worker.join();
+  res.abandoned_total = g_abandoned.load(std::memory_order_relaxed);
   if (res.completed && state->error) std::rethrow_exception(state->error);
   return res;
 }

@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "rt/guard/status.hpp"
+
 namespace rt::obs {
 
 /// One JSON value.  Objects keep insertion order (schema readability and
@@ -137,11 +139,36 @@ class MetricsWriter {
   std::string dump() const;
 
   /// Write dump() to @p path; returns false (and leaves a partial file at
-  /// worst) if the file cannot be opened or written.
+  /// worst) if the file cannot be opened or written.  Thin wrapper over
+  /// write_file_checked for callers that only need pass/fail.
   bool write_file(const std::string& path) const;
+
+  /// Checked write with a *typed* outcome: records must land complete or
+  /// the caller must know why they did not — a truncated JSON array is
+  /// worse than no file, and once output can be a pipe or socket
+  /// (rt::serve), short writes are routine, not exotic.
+  ///   kOk               everything reached stable storage (write + flush)
+  ///   kInvalidArgument  the path cannot be opened for writing
+  ///   kIoError          a short write or failed flush/close (full disk,
+  ///                     closed pipe; errno text in @p detail)
+  /// @p detail (optional) receives a one-line reason on failure.
+  rt::guard::Status write_file_checked(const std::string& path,
+                                       std::string* detail = nullptr) const;
+
+  /// The checked writer over an already-open file descriptor (sockets,
+  /// pipes): writes dump() fully or reports kIoError with the errno text.
+  /// The caller should ignore SIGPIPE process-wide (rt::serve does) so a
+  /// closed peer surfaces here as EPIPE instead of killing the process.
+  rt::guard::Status write_fd_checked(int fd, std::string* detail = nullptr) const;
 
  private:
   std::vector<std::unique_ptr<JsonValue>> records_;
 };
+
+/// Write @p text fully to @p fd, retrying partial writes and EINTR.
+/// Returns kOk or kIoError (errno text in @p detail).  Shared by
+/// MetricsWriter::write_fd_checked and the rt::serve response path.
+rt::guard::Status write_all_fd(int fd, const std::string& text,
+                               std::string* detail = nullptr);
 
 }  // namespace rt::obs

@@ -1,11 +1,12 @@
 #include "rt/obs/metrics_writer.hpp"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 
 namespace rt::obs {
 
@@ -404,10 +405,64 @@ std::string MetricsWriter::dump() const {
 }
 
 bool MetricsWriter::write_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << dump();
-  return static_cast<bool>(f.flush());
+  return write_file_checked(path) == rt::guard::Status::kOk;
+}
+
+rt::guard::Status MetricsWriter::write_file_checked(const std::string& path,
+                                                    std::string* detail) const {
+  // stdio instead of ofstream: the C streams report *which* call failed and
+  // leave errno set, which is the whole point of the typed path.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (detail != nullptr) {
+      *detail = "cannot open " + path + ": " + std::strerror(errno);
+    }
+    return rt::guard::Status::kInvalidArgument;
+  }
+  const std::string text = dump();
+  rt::guard::Status st = rt::guard::Status::kOk;
+  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  if (wrote != text.size()) {
+    if (detail != nullptr) {
+      *detail = "short write to " + path + " (" + std::to_string(wrote) +
+                " of " + std::to_string(text.size()) + " bytes): " +
+                std::strerror(errno);
+    }
+    st = rt::guard::Status::kIoError;
+  }
+  // fclose flushes; a flush failure (ENOSPC discovered late) must not be
+  // swallowed — that is exactly the silent-truncation bug this fixes.
+  if (std::fclose(f) != 0 && st == rt::guard::Status::kOk) {
+    if (detail != nullptr) {
+      *detail = "flush/close of " + path + " failed: " + std::strerror(errno);
+    }
+    st = rt::guard::Status::kIoError;
+  }
+  return st;
+}
+
+rt::guard::Status MetricsWriter::write_fd_checked(int fd,
+                                                  std::string* detail) const {
+  return write_all_fd(fd, dump(), detail);
+}
+
+rt::guard::Status write_all_fd(int fd, const std::string& text,
+                               std::string* detail) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (detail != nullptr) {
+        *detail = "write failed after " + std::to_string(off) + " of " +
+                  std::to_string(text.size()) + " bytes: " +
+                  std::strerror(errno);
+      }
+      return rt::guard::Status::kIoError;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return rt::guard::Status::kOk;
 }
 
 }  // namespace rt::obs

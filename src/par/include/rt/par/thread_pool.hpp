@@ -13,7 +13,16 @@
 //    to the serial kernels;
 //  * `parallel_for` is a barrier: it returns only after every index has
 //    completed, which is what gives the parallel kernels their inter-sweep
-//    ordering guarantees (e.g. red before black).
+//    ordering guarantees (e.g. red before black);
+//  * concurrent entry is safe: a multi-tenant caller (rt::serve request
+//    threads sharing one pool) may call `parallel_for` from many threads at
+//    once.  Jobs are serialized on an internal job mutex — one job runs at
+//    a time, the rest queue on the lock — instead of racing on the shared
+//    body_/count_/generation_ dispatch state (the historical behaviour was
+//    a documented-but-unchecked data race).  Entry from *inside* a running
+//    body on the same pool (reentrancy) cannot wait for the pool — that
+//    would deadlock the barrier — so it degrades to the sequential
+//    index-order loop on the calling thread, which is always correct.
 
 #include <atomic>
 #include <condition_variable>
@@ -39,8 +48,11 @@ class ThreadPool {
 
   /// Run body(i) for every i in [0, count) exactly once, distributed over
   /// the pool; the calling thread participates.  Blocks until all indices
-  /// complete (full barrier).  Not reentrant: body must not call
-  /// parallel_for on the same pool.
+  /// complete (full barrier).  Safe to call concurrently from multiple
+  /// threads: concurrent jobs are serialized (one at a time) on an internal
+  /// mutex.  Calling it from inside a body running on the same pool runs
+  /// the nested loop sequentially on the calling thread instead (a nested
+  /// job cannot wait for the pool it is executing on).
   void parallel_for(long count, const std::function<void(long)>& body);
 
   /// std::thread::hardware_concurrency() clamped to >= 1.
@@ -50,6 +62,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  /// Serializes whole parallel_for jobs from concurrent external callers;
+  /// held for the full fork-join span of one job.  m_ below only guards the
+  /// dispatch handshake inside a job.
+  std::mutex job_m_;
   std::mutex m_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

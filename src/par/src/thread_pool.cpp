@@ -6,6 +6,22 @@
 
 namespace rt::par {
 
+namespace {
+// The pool whose body the current thread is executing right now (nullptr
+// outside any body).  Lets parallel_for detect reentrant entry — from the
+// job's calling thread or from a pool worker — where waiting on job_m_
+// would deadlock the barrier.
+thread_local const ThreadPool* tl_running_pool = nullptr;
+
+struct RunningPoolScope {
+  const ThreadPool* prev;
+  explicit RunningPoolScope(const ThreadPool* p) : prev(tl_running_pool) {
+    tl_running_pool = p;
+  }
+  ~RunningPoolScope() { tl_running_pool = prev; }
+};
+}  // namespace
+
 int ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -55,9 +71,12 @@ void ThreadPool::worker_loop() {
       body = body_;
       count = count_;
     }
-    for (long i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
-         i = next_.fetch_add(1, std::memory_order_relaxed)) {
-      (*body)(i);
+    {
+      RunningPoolScope scope(this);
+      for (long i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        (*body)(i);
+      }
     }
     {
       std::lock_guard<std::mutex> lk(m_);
@@ -69,11 +88,18 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(long count,
                               const std::function<void(long)>& body) {
   if (count <= 0) return;
-  if (workers_.empty() || count == 1) {
-    // Sequential fast path, index order: what the serial kernels do.
+  if (workers_.empty() || count == 1 || tl_running_pool == this) {
+    // Sequential fast path, index order: what the serial kernels do.  Also
+    // the reentrant path — a body running on this pool calling back in
+    // cannot wait for the pool's own barrier, so the nested job runs
+    // inline (still exactly-once, still deterministic index order).
     for (long i = 0; i < count; ++i) body(i);
     return;
   }
+  // One job at a time: concurrent external callers queue here instead of
+  // racing on body_/count_/generation_.  Each caller's job still runs at
+  // full pool width once admitted.
+  std::lock_guard<std::mutex> job_lk(job_m_);
   {
     std::lock_guard<std::mutex> lk(m_);
     body_ = &body;
@@ -84,9 +110,12 @@ void ThreadPool::parallel_for(long count,
   }
   cv_start_.notify_all();
   // The calling thread works too; workers and caller share the dispenser.
-  for (long i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
-       i = next_.fetch_add(1, std::memory_order_relaxed)) {
-    body(i);
+  {
+    RunningPoolScope scope(this);
+    for (long i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
   }
   std::unique_lock<std::mutex> lk(m_);
   cv_done_.wait(lk, [&] { return running_ == 0; });

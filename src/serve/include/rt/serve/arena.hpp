@@ -1,0 +1,71 @@
+#pragma once
+// Buffer arena for the solve server: recycles padded Array3D<double>
+// allocations across requests so a long-lived server's steady state does
+// no large allocations at all.
+//
+// Buckets are keyed by *allocation element count* (p1*p2*n3), not by
+// logical shape: two different (n, transform) pairs whose plans pad to the
+// same footprint share buffers, and the Array3D adopt constructor's resize
+// is guaranteed to be a no-op on a bucket hit.  Returned storage is stale
+// (previous request's values) — every solve path initializes the logical
+// region before reading, the same contract as the uninit_t constructor.
+//
+// Lifetime rule under abandonment (see rt::serve::Server): buffers lent to
+// a batch that gets *abandoned* by the deadline watchdog are never
+// returned — the abandoned thread owns them until it exits, and handing
+// them back while it might still write would hand a torn buffer to the
+// next request.  The arena just sees the buffers never come home; the
+// server counts the loss in its stats.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "rt/array/array3d.hpp"
+
+namespace rt::serve {
+
+class BufferArena {
+ public:
+  /// @p max_cached_bytes caps the *idle* pool (buffers held in buckets, not
+  /// lent out).  A release that would exceed the cap drops the buffer
+  /// instead.  0 = unlimited.
+  explicit BufferArena(std::size_t max_cached_bytes = 0)
+      : max_cached_bytes_(max_cached_bytes) {}
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  /// A buffer shaped @p d: recycled when a bucket matches, freshly
+  /// allocated (uninitialized, first-touch pending) otherwise.  Throws
+  /// std::bad_alloc/std::length_error like Array3D itself; callers turn
+  /// that into kAllocFailed.
+  rt::array::Array3D<double> acquire(const rt::array::Dims3& d);
+
+  /// Return a buffer to its bucket (or drop it if the idle pool is full).
+  void release(rt::array::Array3D<double>&& a);
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< acquires served from a bucket
+    std::uint64_t misses = 0;      ///< acquires that allocated fresh
+    std::uint64_t returns = 0;     ///< buffers released back
+    std::uint64_t dropped = 0;     ///< releases discarded by the byte cap
+    std::size_t cached_buffers = 0;
+    std::size_t cached_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Drop every idle buffer (keeps counters).
+  void clear();
+
+ private:
+  const std::size_t max_cached_bytes_;
+  mutable std::mutex m_;
+  std::map<long, std::vector<rt::array::AlignedVector<double>>> buckets_;
+  std::size_t cached_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rt::serve

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal blocking client for the rt::serve protocol: what the tests, the
+// load bench, and any in-process tooling use to talk to a Server.  One
+// connection, synchronous call() for the common case, split send/recv for
+// pipelining (responses are matched to requests by `id`, not order), and
+// send_raw() so the hostile-input tests can put arbitrary bytes on the
+// wire.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "rt/guard/status.hpp"
+#include "rt/obs/metrics_writer.hpp"
+
+namespace rt::serve {
+
+class Client {
+ public:
+  Client() = default;  ///< disconnected; use connect()
+  ~Client() { close(); }
+  Client(Client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a server on 127.0.0.1:@p port.
+  static rt::guard::Expected<Client> connect(int port);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// One framed request document; does not wait for the response.
+  rt::guard::Status send(const rt::obs::JsonValue& req,
+                         std::string* detail = nullptr);
+  /// Read the next framed response document (blocking).
+  rt::guard::Status recv(rt::obs::JsonValue* out,
+                         std::string* detail = nullptr);
+  /// send() + recv(): the synchronous request/response round trip.
+  rt::guard::Expected<rt::obs::JsonValue> call(const rt::obs::JsonValue& req);
+
+  /// Arbitrary bytes, no framing — hostile-input tests only.
+  rt::guard::Status send_raw(const void* data, std::size_t n,
+                             std::string* detail = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace rt::serve

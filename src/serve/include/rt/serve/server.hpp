@@ -1,0 +1,174 @@
+#pragma once
+// rt::serve::Server — a long-lived, multi-tenant solve server over the
+// length-prefixed JSON protocol (protocol.hpp).
+//
+// Threading model:
+//   * one acceptor thread (listen socket, 127.0.0.1 only),
+//   * one handler thread per connection (reads frames, parses, admits),
+//   * `executors` executor threads draining a bounded admission queue.
+// Responses are written by whichever thread finishes the work, under a
+// per-connection write mutex — so a connection can pipeline requests and
+// receive responses out of order (matched by `id`).
+//
+// Admission: the queue holds at most `queue_depth` requests.  A request
+// arriving at a full queue — or after drain began — is rejected
+// immediately with status "overloaded"; nothing about an overloaded server
+// is slow, which is the point of bounding the queue.
+//
+// Batching: an executor pops the head request, then pulls every queued
+// request with the same BatchKey (kernel, n, k, transform), up to
+// `batch_max`.  The batch shares ONE PlanCache/plan-store lookup and ONE
+// padded allocation set from the buffer arena; members whose full
+// SolveParams are equal additionally share the computed result (dedup).
+// Batching changes scheduling, never results: served checksums are
+// bit-identical with batching on or off.
+//
+// Deadlines and abandonment: a batch containing any deadline runs under
+// rt::guard::run_with_deadline with the minimum remaining member deadline.
+// Everything the watchdog closure touches is owned by a heap-held batch
+// context (arrays, a batch-private thread pool, outcome slots behind a
+// mutex) — never server members — so an abandoned thread can outlive the
+// batch, the connection, even stop(), without touching freed state.  The
+// price of abandonment is paid in resources, visibly: the context's
+// buffers never return to the arena, and stats report both the process-wide
+// abandoned-thread count and how many abandoned contexts are still alive.
+//
+// Shutdown: stop() closes the listener, flips to draining (new requests
+// rejected as overloaded), lets executors finish every admitted request,
+// then shuts down connections and joins every thread it owns.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/core/plan_cache.hpp"
+#include "rt/guard/status.hpp"
+#include "rt/obs/metrics_writer.hpp"
+#include "rt/obs/phase_timer.hpp"
+#include "rt/par/thread_pool.hpp"
+#include "rt/serve/arena.hpp"
+#include "rt/serve/protocol.hpp"
+#include "rt/serve/solve.hpp"
+
+namespace rt::serve {
+
+struct ServerOptions {
+  int port = 0;           ///< 0 = ephemeral (read back via Server::port())
+  int executors = 2;      ///< executor threads draining the queue
+  std::size_t queue_depth = 64;  ///< admission bound; beyond = kOverloaded
+  bool batching = true;   ///< coalesce same-BatchKey requests
+  int batch_max = 8;      ///< max requests fused into one batch
+  int solver_threads = 1; ///< threads per solve (kernel sweeps + app pools)
+  int default_deadline_ms = 0;   ///< applied when a request sends none
+  int watchdog_grace_ms = 500;   ///< grace before a timed-out batch is abandoned
+  long max_n = 1024;      ///< policy cap on n (and k): larger = rejected
+  std::size_t arena_max_bytes = 1u << 30;  ///< idle buffer-pool cap
+  long cs_elems = 0;      ///< planning cache size (0 = serve_cs_elems())
+  std::string plan_store; ///< optional rt::tune store to pin at startup
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, spawn acceptor + executors.  kOk or the typed reason
+  /// (kIoError: socket/bind/listen failed).  Ignores SIGPIPE process-wide:
+  /// a peer closing mid-response must surface as EPIPE on the write, not
+  /// kill the server.
+  rt::guard::Status start(std::string* detail = nullptr);
+
+  /// Graceful drain (see file header).  Idempotent.
+  void stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Point-in-time server statistics as a JSON object — the same document
+  /// the "stats" op returns on the wire.
+  rt::obs::JsonValue stats_json() const;
+
+  /// Outcome of the optional plan-store load at start() (kOk also when no
+  /// store was configured; kStale/kCorrupt/... mirror rt::tune).
+  rt::guard::Status plan_store_status() const { return store_status_; }
+
+ private:
+  struct Conn;
+  struct Pending;
+  struct BatchCtx;
+
+  void acceptor_loop();
+  void handler_loop(std::shared_ptr<Conn> conn);
+  void executor_loop();
+  void handle_payload(const std::shared_ptr<Conn>& conn,
+                      const std::string& payload);
+  void admit(const std::shared_ptr<Conn>& conn, const Request& req);
+  void run_batch(std::vector<std::unique_ptr<Pending>> batch);
+  void respond(const std::shared_ptr<Conn>& conn,
+               const rt::obs::JsonValue& doc);
+  void respond_error(const std::shared_ptr<Conn>& conn, std::int64_t id,
+                     rt::guard::Status st, const std::string& detail);
+  void record_latency(double queue_s, double solve_s, double total_s);
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  rt::guard::Status store_status_ = rt::guard::Status::kOk;
+  std::string store_detail_;
+
+  rt::core::PlanCache cache_;
+  BufferArena arena_;
+  /// Shared solver pool for batches WITHOUT a deadline (deadline batches
+  /// build their own pool inside the owned context — see file header).
+  std::unique_ptr<rt::par::ThreadPool> pool_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> executors_;
+
+  std::mutex conns_m_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> handlers_;
+
+  std::mutex q_m_;
+  std::condition_variable q_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool stop_executors_ = false;
+
+  mutable std::mutex stats_m_;
+  struct Counters {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_overloaded = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t io_errors = 0;
+    std::uint64_t responses_ok = 0;
+    std::uint64_t responses_error = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;  ///< members of size->1 batches
+    std::uint64_t max_batch = 0;
+    std::uint64_t dedup_shared = 0;  ///< members served from a group-mate
+    std::uint64_t abandoned_batches = 0;
+  } counters_;
+  rt::obs::PhaseStats queue_phase_;
+  rt::obs::PhaseStats solve_phase_;
+  std::vector<double> latencies_s_;  ///< per-request total, capped
+  long abandoned_baseline_ = 0;  ///< guard counter at start()
+  /// Contexts abandoned to their detached threads; expired entries mean
+  /// the thread finished and the context died with it.
+  std::vector<std::weak_ptr<void>> abandoned_ctxs_;
+};
+
+}  // namespace rt::serve

@@ -1,0 +1,60 @@
+#include "rt/serve/arena.hpp"
+
+#include <utility>
+
+namespace rt::serve {
+
+rt::array::Array3D<double> BufferArena::acquire(const rt::array::Dims3& d) {
+  const std::optional<long> elems = d.checked_alloc_elems();
+  if (elems) {
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = buckets_.find(*elems);
+    if (it != buckets_.end() && !it->second.empty()) {
+      rt::array::AlignedVector<double> storage = std::move(it->second.back());
+      it->second.pop_back();
+      if (it->second.empty()) buckets_.erase(it);
+      cached_bytes_ -= storage.size() * sizeof(double);
+      ++stats_.hits;
+      return rt::array::Array3D<double>(d, std::move(storage));
+    }
+    ++stats_.misses;
+  }
+  // Fresh path: allocate outside the lock (the allocation may be large and
+  // invalid dims must still throw through Array3D's checked_count).
+  return rt::array::Array3D<double>(d, rt::array::uninit);
+}
+
+void BufferArena::release(rt::array::Array3D<double>&& a) {
+  rt::array::AlignedVector<double> storage = a.release();
+  if (storage.empty()) return;
+  const std::size_t bytes = storage.size() * sizeof(double);
+  const long key = static_cast<long>(storage.size());
+  std::lock_guard<std::mutex> lk(m_);
+  ++stats_.returns;
+  if (max_cached_bytes_ != 0 && cached_bytes_ + bytes > max_cached_bytes_) {
+    ++stats_.dropped;
+    return;  // storage frees on scope exit
+  }
+  cached_bytes_ += bytes;
+  buckets_[key].push_back(std::move(storage));
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  Stats s = stats_;
+  s.cached_bytes = cached_bytes_;
+  s.cached_buffers = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    (void)key;
+    s.cached_buffers += bucket.size();
+  }
+  return s;
+}
+
+void BufferArena::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  buckets_.clear();
+  cached_bytes_ = 0;
+}
+
+}  // namespace rt::serve

@@ -1,0 +1,106 @@
+#include "rt/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "rt/serve/protocol.hpp"
+
+namespace rt::serve {
+
+using rt::guard::Status;
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+rt::guard::Expected<Client> Client::connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return {Status::kIoError, std::string("socket: ") + std::strerror(errno)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return {Status::kIoError, why};
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+rt::guard::Status Client::send(const rt::obs::JsonValue& req,
+                               std::string* detail) {
+  if (fd_ < 0) {
+    if (detail) *detail = "not connected";
+    return Status::kInvalidArgument;
+  }
+  return write_frame(fd_, req.dump(), detail);
+}
+
+rt::guard::Status Client::recv(rt::obs::JsonValue* out, std::string* detail) {
+  if (fd_ < 0) {
+    if (detail) *detail = "not connected";
+    return Status::kInvalidArgument;
+  }
+  std::string payload;
+  switch (read_frame(fd_, &payload, detail)) {
+    case FrameResult::kOk:
+      break;
+    case FrameResult::kEof:
+      if (detail) *detail = "server closed the connection";
+      return Status::kIoError;
+    case FrameResult::kTruncated:
+    case FrameResult::kOversized:
+      return Status::kCorrupt;
+    case FrameResult::kError:
+      return Status::kIoError;
+  }
+  std::string err;
+  if (!rt::obs::json_parse(payload, out, &err)) {
+    if (detail) *detail = "bad response JSON: " + err;
+    return Status::kCorrupt;
+  }
+  return Status::kOk;
+}
+
+rt::guard::Expected<rt::obs::JsonValue> Client::call(
+    const rt::obs::JsonValue& req) {
+  std::string why;
+  Status st = send(req, &why);
+  if (st != Status::kOk) return {st, why};
+  rt::obs::JsonValue resp;
+  st = recv(&resp, &why);
+  if (st != Status::kOk) return {st, why};
+  return resp;
+}
+
+rt::guard::Status Client::send_raw(const void* data, std::size_t n,
+                                   std::string* detail) {
+  if (fd_ < 0) {
+    if (detail) *detail = "not connected";
+    return Status::kInvalidArgument;
+  }
+  return rt::obs::write_all_fd(
+      fd_, std::string(static_cast<const char*>(data), n), detail);
+}
+
+}  // namespace rt::serve

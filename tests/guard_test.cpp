@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <thread>
 #include <limits>
 #include <stdexcept>
 
@@ -40,7 +41,9 @@ TEST(Status, NamesAreStableTokensAndRoundTrip) {
   EXPECT_STREQ(status_name(Status::kTimeout), "timeout");
   EXPECT_STREQ(status_name(Status::kCorrupt), "corrupt");
   EXPECT_STREQ(status_name(Status::kStale), "stale");
-  for (int i = 0; i <= static_cast<int>(Status::kStale); ++i) {
+  EXPECT_STREQ(status_name(Status::kOverloaded), "overloaded");
+  EXPECT_STREQ(status_name(Status::kIoError), "io_error");
+  for (int i = 0; i <= static_cast<int>(Status::kIoError); ++i) {
     const auto s = static_cast<Status>(i);
     Status back;
     ASSERT_TRUE(parse_status(status_name(s), &back)) << status_name(s);
@@ -240,6 +243,38 @@ TEST_F(GuardFixture, WatchdogCancelsInjectedHangWithinGrace) {
 TEST_F(GuardFixture, HangPointIsNoOpWhenDisarmed) {
   FaultInjector::instance().hang_point();  // must return immediately
   SUCCEED();
+}
+
+TEST(Watchdog, AbandonedThreadCountIsMonotonicAndReported) {
+  const long before = abandoned_thread_count();
+  // A completed run must not bump the counter, and must report the current
+  // process-wide total so long-lived callers can snapshot it.
+  WatchdogResult w =
+      run_with_deadline([] {}, std::chrono::milliseconds(5000));
+  EXPECT_TRUE(w.completed);
+  EXPECT_EQ(w.abandoned_total, before);
+  EXPECT_EQ(abandoned_thread_count(), before);
+}
+
+TEST_F(GuardFixture, AbandonedRunBumpsProcessWideCounter) {
+  const long before = abandoned_thread_count();
+  FaultInjector::instance().arm(FaultKind::kHang);
+  // Zero grace: the injected hang is cancelled at the deadline, but the
+  // watchdog does not wait for the worker — it detaches immediately.  The
+  // worker then finishes harmlessly on its own (hang_point returns after
+  // cancel_hangs), which is exactly the leak-but-observable contract.
+  const WatchdogResult w = run_with_deadline(
+      [] {
+        FaultInjector::instance().hang_point();
+        // Outlive the zero grace deterministically, then exit on our own.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      },
+      /*timeout=*/std::chrono::milliseconds(50),
+      /*grace=*/std::chrono::milliseconds(0));
+  EXPECT_FALSE(w.completed);
+  EXPECT_TRUE(w.abandoned);
+  EXPECT_EQ(w.abandoned_total, before + 1);
+  EXPECT_EQ(abandoned_thread_count(), before + 1);
 }
 
 }  // namespace

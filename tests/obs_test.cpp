@@ -8,9 +8,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <unistd.h>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -449,6 +451,62 @@ TEST(MetricsWriter, WriteFileFailsOnBadPath) {
   MetricsWriter w;
   w.add_record().set("a", 1);
   EXPECT_FALSE(w.write_file("/nonexistent-dir/nope/metrics.json"));
+}
+
+TEST(MetricsWriter, CheckedWriteReportsTypedOutcomes) {
+  MetricsWriter w;
+  w.add_record().set("a", 1);
+
+  // Success: kOk, file content identical to dump().
+  const std::string path = ::testing::TempDir() + "rt_obs_checked_test.json";
+  std::remove(path.c_str());
+  std::string why;
+  EXPECT_EQ(w.write_file_checked(path, &why), rt::guard::Status::kOk) << why;
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), w.dump());
+  std::remove(path.c_str());
+
+  // Unopenable path: kInvalidArgument with a reason, not a silent false.
+  EXPECT_EQ(w.write_file_checked("/nonexistent-dir/nope/m.json", &why),
+            rt::guard::Status::kInvalidArgument);
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(MetricsWriter, CheckedWriteSurfacesShortWriteAsIoError) {
+  // /dev/full accepts the open but fails every write with ENOSPC — the
+  // canonical silent-short-write device.  Skip where it doesn't exist.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  MetricsWriter w;
+  w.add_record().set("a", 1);
+  std::string why;
+  EXPECT_EQ(w.write_file_checked("/dev/full", &why),
+            rt::guard::Status::kIoError);
+  EXPECT_NE(why.find("No space"), std::string::npos) << why;
+}
+
+TEST(MetricsWriter, WriteAllFdReportsClosedPipeAsIoError) {
+  // A reader that went away must surface as a typed kIoError (EPIPE), not
+  // kill the process — the exact failure a serving socket write hits.
+  ::signal(SIGPIPE, SIG_IGN);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // no reader
+  std::string why;
+  EXPECT_EQ(write_all_fd(fds[1], "hello", &why), rt::guard::Status::kIoError);
+  EXPECT_FALSE(why.empty());
+  ::close(fds[1]);
+
+  // And a healthy fd takes the full text, retrying partial writes.
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(write_all_fd(fds[1], "roundtrip", &why), rt::guard::Status::kOk);
+  char buf[16] = {};
+  EXPECT_EQ(::read(fds[0], buf, sizeof(buf)), 9);
+  EXPECT_STREQ(buf, "roundtrip");
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(MetricsWriter, RecordReferencesStayValidAcrossAppends) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "rt/par/thread_pool.hpp"
@@ -77,6 +78,60 @@ TEST(ThreadPool, ParallelForIsABarrier) {
   pool.parallel_for(1000, [&](long i) { out[static_cast<std::size_t>(i)] = i * i; });
   for (long i = 0; i < 1000; ++i) {
     EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersEachCoverExactlyOnce) {
+  // Regression: two threads entering parallel_for on the SAME pool used to
+  // race on the job state (body_/count_/generation_) — indices were lost or
+  // run twice, silently.  Entry is now serialized on an internal job mutex:
+  // both jobs must still see exact once-each coverage.  The TSan gate runs
+  // this test; pre-fix it reports the data race even when counts happen to
+  // come out right.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr long kCount = 4000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kCount);
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      for (int round = 0; round < 5; ++round) {
+        pool.parallel_for(kCount, [&hits, c](long i) {
+          hits[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)]
+              .fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (long i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)]
+                    .load(),
+                5)
+          << "caller=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsInlineWithoutDeadlock) {
+  // A worker body calling parallel_for on its own pool must not block on
+  // the job mutex its outer job holds — the nested call degrades to an
+  // inline sequential loop on the calling thread.
+  ThreadPool pool(4);
+  const long outer = 8, inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(outer, [&](long o) {
+    pool.parallel_for(inner, [&](long i) {
+      hits[static_cast<std::size_t>(o * inner + i)].fetch_add(
+          1, std::memory_order_relaxed);
+    });
+  });
+  for (long x = 0; x < outer * inner; ++x) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(x)].load(), 1) << "x=" << x;
   }
 }
 
