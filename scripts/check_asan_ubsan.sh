@@ -21,10 +21,11 @@ fi
 cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRT_SANITIZE=address,undefined \
-  -DRT_BUILD_BENCH=OFF -DRT_BUILD_EXAMPLES=OFF
+  -DRT_BUILD_BENCH=ON -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
   --target guard_test guard_fault_injection_test array_test core_plan_test \
-           plan_cache_test mg_fastpath_test temporal_test tune_test serve_test
+           plan_cache_test mg_fastpath_test temporal_test tune_test \
+           serve_test resil_test bench_chaos_soak
 
 # halt_on_error turns the first finding into a hard failure.  Abandonment
 # tests deliberately detach a wedged worker, but always wait for it to
@@ -42,6 +43,13 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/temporal_test"
 "${BUILD_DIR}/tests/tune_test"
 "${BUILD_DIR}/tests/serve_test"
+"${BUILD_DIR}/tests/resil_test"
+# Short deterministic chaos soak: torn frames, short writes, wedged
+# executors and a failed fsync, with every lifetime on the failure paths
+# under ASan (respawned executors, abandoned workers, reconnecting
+# clients) and the invariants checked.
+"${BUILD_DIR}/bench/bench_chaos_soak"
 echo "ASan+UBSan clean: guard_test + guard_fault_injection_test +" \
      "array_test + core_plan_test + plan_cache_test + mg_fastpath_test" \
-     "+ temporal_test + tune_test + serve_test reported no findings."
+     "+ temporal_test + tune_test + serve_test + resil_test" \
+     "+ bench_chaos_soak reported no findings."

@@ -20,11 +20,11 @@ fi
 cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRT_SANITIZE=thread \
-  -DRT_BUILD_BENCH=OFF -DRT_BUILD_EXAMPLES=OFF
+  -DRT_BUILD_BENCH=ON -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
   --target par_pool_test par_kernels_test simd_kernels_test \
            simd_mg_kernels_test plan_cache_test mg_fastpath_test obs_test \
-           temporal_test tune_test serve_test
+           temporal_test tune_test serve_test resil_test bench_chaos_soak
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/par_pool_test"
@@ -40,6 +40,13 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # executors + watchdog abandonment) end to end — the strongest race check
 # in the tree.
 "${BUILD_DIR}/tests/serve_test"
+# The resilience layer: retrying client + supervisor respawn + breaker.
+"${BUILD_DIR}/tests/resil_test"
+# Short deterministic chaos soak: fault storms against a live server with
+# supervisor respawn and reconnecting clients — the full concurrency story
+# under injected failure, with invariants checked.
+"${BUILD_DIR}/bench/bench_chaos_soak"
 echo "TSan clean: par_pool_test + par_kernels_test + simd_kernels_test" \
      "+ simd_mg_kernels_test + plan_cache_test + mg_fastpath_test" \
-     "+ obs_test + temporal_test + tune_test + serve_test reported no races."
+     "+ obs_test + temporal_test + tune_test + serve_test + resil_test" \
+     "+ bench_chaos_soak reported no races."

@@ -50,5 +50,14 @@ build/bench/bench_autotune_ablation ${FULL_FLAG} --tune=on \
 # batch-binary computation; any mismatch fails the run.
 build/bench/bench_serve_load ${FULL_FLAG} --json=results/BENCH_8.json
 
+# Chaos soak (PR 9): deterministic fault storms (torn sockets, short
+# writes, wedged executors, failed fsync) against the live server, with
+# the resilience layer on vs off under identical fault schedules.  The
+# run itself asserts the invariants (exactly-once outcomes, bit-identical
+# checksums, monotone counters, post-storm health) and fails on any
+# violation or if retry+self-heal does not strictly improve goodput.
+build/bench/bench_chaos_soak ${FULL_FLAG} --json=results/BENCH_9.json
+
 echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json," \
-     "results/BENCH_6.json, results/BENCH_7.json, results/BENCH_8.json"
+     "results/BENCH_6.json, results/BENCH_7.json, results/BENCH_8.json," \
+     "results/BENCH_9.json"

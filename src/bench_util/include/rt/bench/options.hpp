@@ -25,14 +25,21 @@
 //                   default path, $RT_TUNE_STORE / ~/.cache/rt-tune)
 //   --tsteps=N      fused time steps for temporal blocking (0 = derive
 //                   from --steps)
+//   --retries=N     serving benches: client retry attempts beyond the
+//                   first (0 = retrying off)
+//   --retry-budget-ms=N  total wall budget per call incl. backoff
+//   --backoff-ms=N  base of the exponential retry backoff
 //
 // Numeric flags are validated in full: `--nmin=abc` or `--threads=` exit 2
 // with a message instead of silently becoming 0 (and the default).
 // Contradictory combinations are rejected the same way after parsing:
 // an explicit `--tsteps=0` alongside `--temporal=skew|diamond` (a temporal
-// schedule with nothing to fuse), and `--tune=load` when the resolved plan
+// schedule with nothing to fuse), `--tune=load` when the resolved plan
 // store file does not exist (nothing to load — a silent model-plan run
-// would masquerade as a tuned one).
+// would masquerade as a tuned one), an explicit `--retry-budget-ms=0`
+// while retries are enabled (retrying with zero time to retry in), and
+// `--backoff-ms=N` alongside an explicit `--retries=0` (a backoff curve
+// no retry will ever walk).
 
 #include <string>
 #include <vector>
@@ -75,6 +82,18 @@ struct BenchOptions {
   /// steps; an *explicit* 0 with --temporal=skew|diamond exits 2).
   int tsteps = 0;
   bool tsteps_given = false;  ///< --tsteps= was on the command line
+  /// --retries=N retry attempts beyond the first for serving benches
+  /// (0 = retrying disabled; rt::resil policy).
+  int retries = 3;
+  bool retries_given = false;  ///< --retries= was on the command line
+  /// --retry-budget-ms=N total wall budget per retried call (an explicit
+  /// 0 with retries enabled exits 2).
+  int retry_budget_ms = 2000;
+  bool retry_budget_given = false;  ///< --retry-budget-ms= was given
+  /// --backoff-ms=N base exponential backoff (given with an explicit
+  /// --retries=0 exits 2).
+  int backoff_ms = 5;
+  bool backoff_given = false;  ///< --backoff-ms= was on the command line
 
   /// The store file --tune=load/on will use: plan_store if given, else
   /// rt::tune::default_store_path().

@@ -131,13 +131,36 @@ BenchOptions parse_options(int argc, char** argv) {
         std::exit(2);
       }
       o.tsteps_given = true;
+    } else if (a.rfind("--retries=", 0) == 0) {
+      o.retries = static_cast<int>(num("--retries="));
+      if (o.retries < 0) {
+        std::cerr << "bad --retries value (want >= 0; 0 = off): " << a
+                  << "\n";
+        std::exit(2);
+      }
+      o.retries_given = true;
+    } else if (a.rfind("--retry-budget-ms=", 0) == 0) {
+      o.retry_budget_ms = static_cast<int>(num("--retry-budget-ms="));
+      if (o.retry_budget_ms < 0) {
+        std::cerr << "bad --retry-budget-ms value (want >= 0): " << a << "\n";
+        std::exit(2);
+      }
+      o.retry_budget_given = true;
+    } else if (a.rfind("--backoff-ms=", 0) == 0) {
+      o.backoff_ms = static_cast<int>(num("--backoff-ms="));
+      if (o.backoff_ms < 0) {
+        std::cerr << "bad --backoff-ms value (want >= 0): " << a << "\n";
+        std::exit(2);
+      }
+      o.backoff_given = true;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --full --host --no-sim --nmin= --nmax= --nstep= "
                    "--steps= --threads=N --simd=off|auto|avx2 --simd-align "
                    "--temporal=off|skew|diamond --bk=N --tsteps=N "
                    "--csv=FILE --counters=off|auto|on --json=FILE "
                    "--verify=off|post|para --timeout=SECS "
-                   "--tune=off|load|on --plan-store=FILE\n";
+                   "--tune=off|load|on --plan-store=FILE "
+                   "--retries=N --retry-budget-ms=N --backoff-ms=N\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << a << "\n";
@@ -151,6 +174,18 @@ BenchOptions parse_options(int argc, char** argv) {
     std::cerr << "contradictory flags: --temporal="
               << rt::core::temporal_mode_name(o.temporal)
               << " fuses time steps, but --tsteps=0 leaves none to fuse\n";
+    std::exit(2);
+  }
+  if (o.retry_budget_given && o.retry_budget_ms == 0 && o.retries > 0) {
+    std::cerr << "contradictory flags: --retries=" << o.retries
+              << " enables retrying, but --retry-budget-ms=0 leaves no "
+                 "time to retry in (pass --retries=0 to disable retrying)\n";
+    std::exit(2);
+  }
+  if (o.backoff_given && o.retries_given && o.retries == 0) {
+    std::cerr << "contradictory flags: --backoff-ms=" << o.backoff_ms
+              << " shapes the retry backoff, but --retries=0 disables "
+                 "retrying\n";
     std::exit(2);
   }
   if (o.tune == rt::tune::TuneMode::kLoad) {

@@ -28,10 +28,14 @@ enum class FaultKind : int {
   kThreadSpawn,   ///< rt::par::ThreadPool stops spawning workers (degrades)
   kNanInput,      ///< rt::bench runner seeds a NaN into the input grid
   kHang,          ///< hang_point() blocks until cancel_hangs()
+  kSockDrop,      ///< rt::serve::write_frame tears the stream mid-frame
+  kPartialWrite,  ///< rt::serve::write_frame leaves a short frame behind
+  kFsyncFail,     ///< rt::tune::save_store's durability fsync fails
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 8;
 
-/// Stable token ("alloc", "counter", "thread", "nan", "hang").
+/// Stable token ("alloc", "counter", "thread", "nan", "hang", "sockdrop",
+/// "partialwrite", "fsyncfail").
 const char* fault_kind_name(FaultKind k);
 bool parse_fault_kind(const std::string& s, FaultKind* out);
 

@@ -14,6 +14,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kThreadSpawn: return "thread";
     case FaultKind::kNanInput: return "nan";
     case FaultKind::kHang: return "hang";
+    case FaultKind::kSockDrop: return "sockdrop";
+    case FaultKind::kPartialWrite: return "partialwrite";
+    case FaultKind::kFsyncFail: return "fsyncfail";
   }
   return "?";
 }

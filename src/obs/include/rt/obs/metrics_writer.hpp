@@ -166,8 +166,10 @@ class MetricsWriter {
 };
 
 /// Write @p text fully to @p fd, retrying partial writes and EINTR.
-/// Returns kOk or kIoError (errno text in @p detail).  Shared by
-/// MetricsWriter::write_fd_checked and the rt::serve response path.
+/// Returns kOk, kTimeout (EAGAIN/EWOULDBLOCK — an SO_SNDTIMEO send
+/// deadline expired, or the fd is non-blocking and full), or kIoError
+/// (errno text in @p detail).  Shared by MetricsWriter::write_fd_checked
+/// and the rt::serve request/response paths.
 rt::guard::Status write_all_fd(int fd, const std::string& text,
                                std::string* detail = nullptr);
 

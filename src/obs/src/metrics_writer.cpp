@@ -453,12 +453,15 @@ rt::guard::Status write_all_fd(int fd, const std::string& text,
     const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
       if (detail != nullptr) {
-        *detail = "write failed after " + std::to_string(off) + " of " +
+        *detail = std::string(timed_out ? "write timed out" : "write failed") +
+                  " after " + std::to_string(off) + " of " +
                   std::to_string(text.size()) + " bytes: " +
                   std::strerror(errno);
       }
-      return rt::guard::Status::kIoError;
+      return timed_out ? rt::guard::Status::kTimeout
+                       : rt::guard::Status::kIoError;
     }
     off += static_cast<std::size_t>(n);
   }

@@ -1,0 +1,117 @@
+#pragma once
+// rt::resil — the client half of the serve path's resilience layer: a
+// retry policy (bounded exponential backoff, deterministic seeded jitter,
+// a total retry budget) and a RetryingClient that drives rt::serve::Client
+// through transient failure until an answer arrives or the budget is gone.
+//
+// Why retrying is *safe* here: solves are pure functions of SolveParams
+// and every response carries a checksum, so replaying a request can never
+// double-apply anything — the worst cost of a retry is wasted work.  That
+// purity is what lets the client treat "the stream died mid-frame" and
+// "the server said come back later" the same way: reconnect/wait, ask
+// again.
+//
+// What retries and what doesn't:
+//   * transport failures (kIoError, kTimeout, kCorrupt frames) — retry on
+//     a FRESH connection: after a timeout or torn frame the old stream's
+//     position is unknown, and reconnecting guarantees a stale in-flight
+//     response can never be matched to a new request;
+//   * typed server responses "overloaded" / "timeout" / "alloc_failed" —
+//     transient server states; retry on the same connection, pacing by
+//     the server's `retry_after_ms` hint when present;
+//   * everything else ("invalid_argument", "overflow", "corrupt", ...) —
+//     deterministic rejections; retrying cannot change them, fail fast.
+//
+// Determinism: jitter comes from splitmix64 over (seed, retry ordinal),
+// never from wall clock or a global RNG — two runs with the same policy
+// see the same backoff schedule, which is what lets the chaos soak
+// compare retry-on vs retry-off under identical fault schedules.
+
+#include <cstdint>
+#include <string>
+
+#include "rt/guard/status.hpp"
+#include "rt/obs/metrics_writer.hpp"
+#include "rt/serve/client.hpp"
+
+namespace rt::resil {
+
+struct RetryPolicy {
+  int max_attempts = 4;     ///< total tries per call (1 = no retry)
+  int base_backoff_ms = 10; ///< backoff before retry k is base * 2^(k-1)
+  int max_backoff_ms = 1000;  ///< exponential growth is clamped here
+  double jitter = 0.5;      ///< fraction of each backoff randomized [0,1]
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< jitter stream seed
+  int budget_ms = 10'000;   ///< total wall budget incl. backoff (0 = none)
+  int connect_timeout_ms = 1000;   ///< per-attempt connect deadline
+  int send_timeout_ms = 1000;      ///< per-attempt SO_SNDTIMEO
+  int recv_timeout_ms = 5000;      ///< per-attempt SO_RCVTIMEO
+  bool honor_retry_after = true;   ///< pace by the server's hint
+
+  /// kOk, or kInvalidArgument with a one-line reason (max_attempts < 1,
+  /// negative backoff/budget/timeouts, jitter outside [0,1], backoff
+  /// bounds out of order).  budget_ms = 0 means unlimited here; the bench
+  /// flag layer is stricter and rejects an explicit zero budget.
+  rt::guard::Status validate(std::string* detail = nullptr) const;
+
+  /// The jittered backoff before retry @p retry_ordinal (1-based; drives
+  /// the exponent).  @p jitter_stream selects an independent deterministic
+  /// jitter sequence (RetryingClient passes its call ordinal, so two calls
+  /// don't share one schedule).  Pure in (policy, ordinal, stream):
+  /// schedules are reproducible run to run.
+  int backoff_ms(int retry_ordinal, std::uint64_t jitter_stream = 0) const;
+};
+
+/// What one call() actually cost — cumulative across the client's life.
+struct RetryStats {
+  std::uint64_t calls = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;       ///< attempts beyond each call's first
+  std::uint64_t reconnects = 0;    ///< fresh connections after transport loss
+  std::uint64_t transport_retries = 0;  ///< kIoError/kTimeout/kCorrupt
+  std::uint64_t overloaded_retries = 0;
+  std::uint64_t timeout_retries = 0;    ///< typed "timeout" responses
+  std::uint64_t retry_after_waits = 0;  ///< paced by the server's hint
+  std::uint64_t budget_exhausted = 0;   ///< calls that died on the budget
+  std::uint64_t gave_up = 0;            ///< calls that died on attempts
+  std::uint64_t total_backoff_ms = 0;
+};
+
+/// rt::serve::Client wrapped in RetryPolicy.  Not thread-safe (one
+/// in-flight call per instance, like the raw client).
+class RetryingClient {
+ public:
+  /// Lazily connects on first call().  @p policy is validated: an invalid
+  /// one is replaced by a default-constructed policy and the validation
+  /// failure is reported by policy_status().
+  RetryingClient(int port, RetryPolicy policy = {});
+
+  rt::guard::Status policy_status() const { return policy_status_; }
+  const std::string& policy_detail() const { return policy_detail_; }
+  const RetryPolicy& policy() const { return policy_; }
+  const RetryStats& stats() const { return stats_; }
+  bool connected() const { return client_.connected(); }
+
+  /// One request/response round trip under the policy.  Success returns
+  /// the response document (its "status" field may still be a non-ok
+  /// deterministic rejection — those are returned, not retried, see file
+  /// header).  Failure is the *last* attempt's typed status with a detail
+  /// line recording how many attempts were spent.
+  rt::guard::Expected<rt::obs::JsonValue> call(const rt::obs::JsonValue& req);
+
+  /// Drop the connection (next call reconnects).  Exposed for tests.
+  void disconnect();
+
+ private:
+  rt::guard::Status ensure_connected(std::string* why);
+
+  int port_;
+  RetryPolicy policy_;
+  rt::guard::Status policy_status_ = rt::guard::Status::kOk;
+  std::string policy_detail_;
+  rt::serve::Client client_;
+  RetryStats stats_;
+  bool ever_connected_ = false;
+};
+
+}  // namespace rt::resil

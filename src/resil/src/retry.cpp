@@ -1,0 +1,216 @@
+#include "rt/resil/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace rt::resil {
+
+using Clock = std::chrono::steady_clock;
+using rt::guard::Status;
+using rt::obs::JsonValue;
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer — cheap, stateless, and good
+/// enough to decorrelate jitter streams.  No global RNG, no wall clock.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Typed server statuses that name a *transient* condition.  Everything
+/// else a server says is deterministic — retrying cannot change it.
+bool retryable_response_status(const std::string& token) {
+  return token == "overloaded" || token == "timeout" ||
+         token == "alloc_failed";
+}
+
+Status status_for_token(const std::string& token) {
+  if (token == "overloaded") return Status::kOverloaded;
+  if (token == "timeout") return Status::kTimeout;
+  if (token == "alloc_failed") return Status::kAllocFailed;
+  return Status::kIoError;
+}
+
+}  // namespace
+
+rt::guard::Status RetryPolicy::validate(std::string* detail) const {
+  const auto fail = [detail](const char* why) {
+    if (detail) *detail = why;
+    return Status::kInvalidArgument;
+  };
+  if (max_attempts < 1) return fail("max_attempts must be >= 1");
+  if (base_backoff_ms < 0) return fail("base_backoff_ms must be >= 0");
+  if (max_backoff_ms < base_backoff_ms) {
+    return fail("max_backoff_ms must be >= base_backoff_ms");
+  }
+  if (!(jitter >= 0.0 && jitter <= 1.0)) {
+    return fail("jitter must be in [0, 1]");
+  }
+  if (budget_ms < 0) return fail("budget_ms must be >= 0 (0 = unlimited)");
+  if (connect_timeout_ms < 0 || send_timeout_ms < 0 || recv_timeout_ms < 0) {
+    return fail("timeouts must be >= 0 (0 = blocking)");
+  }
+  return Status::kOk;
+}
+
+int RetryPolicy::backoff_ms(int retry_ordinal, std::uint64_t stream) const {
+  if (retry_ordinal < 1 || base_backoff_ms <= 0) return 0;
+  // base * 2^(ordinal-1), saturating into [base, max].
+  const int shift = std::min(retry_ordinal - 1, 30);
+  long long exp = static_cast<long long>(base_backoff_ms) << shift;
+  exp = std::min<long long>(exp, max_backoff_ms);
+  // Deterministic jitter shaves up to `jitter * exp` off: full backoff at
+  // u = 0, (1 - jitter) of it at u -> 1.  Never larger than exp, never
+  // negative — the schedule stays bounded by the un-jittered curve.
+  const std::uint64_t r =
+      splitmix64(seed ^ (stream * 0x100000001b3ull +
+                         static_cast<std::uint64_t>(retry_ordinal)));
+  const double u =
+      static_cast<double>(r >> 11) / static_cast<double>(1ull << 53);
+  return static_cast<int>(static_cast<double>(exp) * (1.0 - jitter * u));
+}
+
+RetryingClient::RetryingClient(int port, RetryPolicy policy)
+    : port_(port), policy_(policy) {
+  policy_status_ = policy_.validate(&policy_detail_);
+  if (policy_status_ != Status::kOk) policy_ = RetryPolicy{};
+}
+
+void RetryingClient::disconnect() { client_.close(); }
+
+rt::guard::Status RetryingClient::ensure_connected(std::string* why) {
+  if (client_.connected()) return Status::kOk;
+  rt::guard::Expected<rt::serve::Client> c =
+      rt::serve::Client::connect(port_, policy_.connect_timeout_ms);
+  if (!c.ok()) {
+    if (why) *why = c.detail();
+    return c.status();
+  }
+  client_ = std::move(c.value());
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  std::string detail;
+  const Status st = client_.set_timeouts(policy_.send_timeout_ms,
+                                         policy_.recv_timeout_ms, &detail);
+  if (st != Status::kOk) {
+    if (why) *why = "set_timeouts: " + detail;
+    client_.close();
+    return st;
+  }
+  return Status::kOk;
+}
+
+rt::guard::Expected<rt::obs::JsonValue> RetryingClient::call(
+    const JsonValue& req) {
+  const std::uint64_t call_ordinal = stats_.calls++;
+  const Clock::time_point t0 = Clock::now();
+  const bool budgeted = policy_.budget_ms > 0;
+  const Clock::time_point deadline =
+      t0 + std::chrono::milliseconds(budgeted ? policy_.budget_ms : 0);
+
+  long long req_id = -1;
+  if (const JsonValue* v = req.find("id"); v && v->is_number()) {
+    req_id = v->as_int();
+  }
+
+  Status last_st = Status::kIoError;
+  std::string last_why = "no attempt made";
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 1) ++stats_.retries;
+    if (budgeted && Clock::now() >= deadline) {
+      ++stats_.budget_exhausted;
+      return {last_st, "retry budget (" + std::to_string(policy_.budget_ms) +
+                           " ms) exhausted after " +
+                           std::to_string(attempt - 1) +
+                           " attempts; last: " + last_why};
+    }
+
+    std::string why;
+    Status st = ensure_connected(&why);
+    JsonValue resp;
+    if (st == Status::kOk) st = client_.send(req, &why);
+    if (st == Status::kOk) st = client_.recv(&resp, &why);
+    if (st == Status::kOk) {
+      // A response from a connection we just (re)opened and on which we
+      // have exactly one request in flight must echo our id; anything
+      // else is stream desync — treat like a torn frame.
+      long long resp_id = -1;
+      if (const JsonValue* v = resp.find("id"); v && v->is_number()) {
+        resp_id = v->as_int();
+      }
+      if (resp_id != req_id) {
+        st = Status::kCorrupt;
+        why = "response id " + std::to_string(resp_id) +
+              " does not match request id " + std::to_string(req_id);
+      }
+    }
+
+    int hint_ms = 0;
+    bool typed_retry = false;
+    if (st != Status::kOk) {
+      // Transport-level loss: the stream position is unknown.  Drop the
+      // connection so the retry starts clean — a stale in-flight response
+      // can never be matched against a fresh socket.
+      client_.close();
+      ++stats_.transport_retries;
+      last_st = st;
+      last_why = why;
+    } else {
+      std::string token = "?";
+      if (const JsonValue* v = resp.find("status"); v && v->is_string()) {
+        token = v->as_string();
+      }
+      if (token == "ok" || !retryable_response_status(token)) {
+        // Success, or a deterministic rejection the caller must see.
+        return resp;
+      }
+      typed_retry = true;
+      if (token == "overloaded") ++stats_.overloaded_retries;
+      if (token == "timeout") ++stats_.timeout_retries;
+      last_st = status_for_token(token);
+      if (const JsonValue* v = resp.find("detail"); v && v->is_string()) {
+        last_why = v->as_string();
+      } else {
+        last_why = "server said " + token;
+      }
+      if (policy_.honor_retry_after) {
+        if (const JsonValue* v = resp.find("retry_after_ms");
+            v && v->is_number()) {
+          hint_ms = static_cast<int>(v->as_int());
+        }
+      }
+    }
+
+    if (attempt == policy_.max_attempts) break;
+
+    // Pace the next attempt: the jittered exponential curve, or the
+    // server's own hint when it gave a larger one.
+    int wait_ms = policy_.backoff_ms(attempt, call_ordinal);
+    if (typed_retry && hint_ms > wait_ms) {
+      wait_ms = hint_ms;
+      ++stats_.retry_after_waits;
+    }
+    if (budgeted &&
+        Clock::now() + std::chrono::milliseconds(wait_ms) >= deadline) {
+      ++stats_.budget_exhausted;
+      return {last_st, "retry budget (" + std::to_string(policy_.budget_ms) +
+                           " ms) exhausted after " + std::to_string(attempt) +
+                           " attempts; last: " + last_why};
+    }
+    if (wait_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      stats_.total_backoff_ms += static_cast<std::uint64_t>(wait_ms);
+    }
+  }
+
+  ++stats_.gave_up;
+  return {last_st, std::to_string(policy_.max_attempts) +
+                       " attempts exhausted; last: " + last_why};
+}
+
+}  // namespace rt::resil

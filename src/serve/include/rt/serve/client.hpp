@@ -5,6 +5,14 @@
 // pipelining (responses are matched to requests by `id`, not order), and
 // send_raw() so the hostile-input tests can put arbitrary bytes on the
 // wire.
+//
+// Timeouts: a dead peer must never hang a client forever.  connect() takes
+// an optional connect deadline (non-blocking connect + poll), and
+// set_timeouts() arms per-call send/recv deadlines via SO_SNDTIMEO /
+// SO_RCVTIMEO.  An expired deadline surfaces as a typed kTimeout — and
+// because a timeout can strike mid-frame, the stream position is then
+// unknown: the caller must treat the connection as unsynced and reconnect
+// (rt::resil::RetryingClient automates exactly that).
 
 #include <cstddef>
 #include <cstdint>
@@ -24,8 +32,16 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to a server on 127.0.0.1:@p port.
-  static rt::guard::Expected<Client> connect(int port);
+  /// Connect to a server on 127.0.0.1:@p port.  @p connect_timeout_ms > 0
+  /// bounds the connect itself (kTimeout when the peer never answers);
+  /// 0 keeps the historical fully-blocking connect.
+  static rt::guard::Expected<Client> connect(int port,
+                                             int connect_timeout_ms = 0);
+
+  /// Arm per-call socket deadlines (0 = blocking forever, the default).
+  /// An expired deadline surfaces as kTimeout from send()/recv().
+  rt::guard::Status set_timeouts(int send_timeout_ms, int recv_timeout_ms,
+                                 std::string* detail = nullptr);
 
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -34,7 +50,8 @@ class Client {
   /// One framed request document; does not wait for the response.
   rt::guard::Status send(const rt::obs::JsonValue& req,
                          std::string* detail = nullptr);
-  /// Read the next framed response document (blocking).
+  /// Read the next framed response document (blocking, or until the
+  /// SO_RCVTIMEO armed by set_timeouts() expires → kTimeout).
   rt::guard::Status recv(rt::obs::JsonValue* out,
                          std::string* detail = nullptr);
   /// send() + recv(): the synchronous request/response round trip.

@@ -17,7 +17,8 @@
 //    "tsteps": 2, "tol": 0.0, "transform": "gcdpad", "deadline_ms": 250,
 //    "seed": 42}
 // `id` is echoed in the response (default -1), `op` defaults to "solve"
-// (also: "ping", "stats"), `k` defaults to n (cubic), `tol` > 0 turns the
+// (also: "ping", "stats", "health"), `k` defaults to n (cubic), `tol` > 0
+// turns the
 // MGRID/SOR apps into convergence-driven solves, `deadline_ms` > 0 runs
 // the solve under rt::guard::run_with_deadline.
 //
@@ -59,7 +60,7 @@ bool parse_serve_kernel(const std::string& s, ServeKernel* out);
 /// rt::core::transform_name emits.
 bool parse_transform_token(const std::string& s, rt::core::Transform* out);
 
-enum class Op { kSolve, kPing, kStats };
+enum class Op { kSolve, kPing, kStats, kHealth };
 const char* op_name(Op op);
 
 /// Everything that determines a solve's *result bits*.  Two requests with
@@ -86,8 +87,11 @@ struct Request {
 /// Parse + validate one request document.  kOk fills @p out; otherwise the
 /// typed reason (kInvalidArgument for unknown kernels / mistyped fields /
 /// out-of-range values, kOverflow when n*n*k cannot be represented) with a
-/// one-line @p detail.  Limits that are *server policy* (max n, queue
-/// depth) are enforced by the server, not here.
+/// one-line @p detail.  On failure @p out->id still carries the request's
+/// id when it parsed before the rejection, so error responses can echo it
+/// (pipelining clients match responses to requests by id).  Limits that
+/// are *server policy* (max n, queue depth) are enforced by the server,
+/// not here.
 rt::guard::Status parse_request(const rt::obs::JsonValue& doc, Request* out,
                                 std::string* detail);
 
@@ -102,12 +106,20 @@ enum class FrameResult {
   kTruncated,  ///< stream ended mid-prefix or mid-payload
   kOversized,  ///< prefix length exceeds kMaxFrameBytes (payload unread)
   kError,      ///< recv failed (errno text in detail)
+  kTimeout,    ///< an SO_RCVTIMEO deadline expired mid-read; after a
+               ///< timeout the stream position is unknown — the caller
+               ///< must treat the connection as unsynced and hang up
 };
 FrameResult read_frame(int fd, std::string* payload,
                        std::string* detail = nullptr);
 
-/// Write one frame (prefix + payload).  kOk or kIoError (short write,
-/// closed peer — with SIGPIPE ignored this is EPIPE, not process death).
+/// Write one frame (prefix + payload).  kOk, kTimeout (an SO_SNDTIMEO
+/// send deadline expired mid-frame — connection unsynced), or kIoError
+/// (short write, closed peer — with SIGPIPE ignored this is EPIPE, not
+/// process death).  This is the chaos-injection choke point for both
+/// directions of the wire: rt::guard kSockDrop tears the stream after a
+/// torn prefix, kPartialWrite leaves a short frame behind (the reader
+/// sees kTruncated once the writer hangs up).
 rt::guard::Status write_frame(int fd, const std::string& payload,
                               std::string* detail = nullptr);
 

@@ -33,9 +33,30 @@
 // buffers never return to the arena, and stats report both the process-wide
 // abandoned-thread count and how many abandoned contexts are still alive.
 //
+// Self-healing (rt::resil, PR 9): a supervisor thread watches the
+// executors.  A no-deadline batch runs its work inline on the executor
+// thread, so a wedge there (injected hang, pathological solve) eats the
+// executor itself; when one stays busy past `executor_wedge_ms` the
+// supervisor retires it (the thread exits on its own once the wedge
+// clears — wedges here are cooperative, same contract as the watchdog)
+// and respawns a replacement, up to `max_respawns`.  Every wedge and
+// every watchdog abandonment is an event in a sliding window; when
+// `breaker_threshold` events accumulate inside `breaker_window_ms` the
+// circuit breaker trips into explicit *degraded* mode — solves rejected
+// as overloaded with a `retry_after_ms` hint, ping/stats/health still
+// answered — and resets once the window clears.  The "health" op reports
+// healthy/degraded/draining plus readiness for clients and supervisors.
+//
+// Backpressure: every kOverloaded rejection caused by queue pressure
+// carries a server-supplied `retry_after_ms` hint (breaker rejections a
+// larger one); `queue_watermark` < 1.0 sheds load before the queue is
+// hard-full.  rt::resil::RetryingClient honors the hint.
+//
 // Shutdown: stop() closes the listener, flips to draining (new requests
 // rejected as overloaded), lets executors finish every admitted request,
-// then shuts down connections and joins every thread it owns.
+// then shuts down connections and joins every thread it owns — including
+// retired executors, whose wedges must have cleared (cancel_hangs() in
+// tests) by then.
 
 #include <atomic>
 #include <condition_variable>
@@ -71,6 +92,16 @@ struct ServerOptions {
   std::size_t arena_max_bytes = 1u << 30;  ///< idle buffer-pool cap
   long cs_elems = 0;      ///< planning cache size (0 = serve_cs_elems())
   std::string plan_store; ///< optional rt::tune store to pin at startup
+
+  // Self-healing knobs (see file header).
+  int retry_after_ms = 50;   ///< backpressure hint on queue rejections
+  double queue_watermark = 1.0;  ///< shed load at this fraction of depth
+  int supervise_interval_ms = 20;  ///< supervisor poll period
+  int executor_wedge_ms = 0; ///< busy longer than this = wedged (0 = off)
+  int max_respawns = 4;      ///< lifetime cap on replacement executors
+  int breaker_threshold = 0; ///< events in window that trip (0 = off)
+  int breaker_window_ms = 2000;    ///< abandonment/wedge sliding window
+  int breaker_retry_after_ms = 250;  ///< hint while degraded
 };
 
 class Server {
@@ -97,6 +128,13 @@ class Server {
   /// the "stats" op returns on the wire.
   rt::obs::JsonValue stats_json() const;
 
+  /// The "health" op's document: state ("healthy"/"degraded"/"draining"),
+  /// readiness, queue occupancy, executor liveness, breaker state.
+  rt::obs::JsonValue health_json() const;
+
+  /// True while the circuit breaker holds the server in degraded mode.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
   /// Outcome of the optional plan-store load at start() (kOk also when no
   /// store was configured; kStale/kCorrupt/... mirror rt::tune).
   rt::guard::Status plan_store_status() const { return store_status_; }
@@ -106,9 +144,23 @@ class Server {
   struct Pending;
   struct BatchCtx;
 
+  /// Heartbeat the supervisor reads: busy_since_ms >= 0 while the thread
+  /// is inside run_batch; retired tells the thread to exit at the next
+  /// loop turn (a wedged thread observes it once its wedge clears).
+  struct ExecState {
+    std::atomic<bool> retired{false};
+    std::atomic<long long> busy_since_ms{-1};
+  };
+  struct ExecSlot {
+    std::thread th;
+    std::shared_ptr<ExecState> state;
+  };
+
   void acceptor_loop();
   void handler_loop(std::shared_ptr<Conn> conn);
-  void executor_loop();
+  void executor_loop(std::shared_ptr<ExecState> state);
+  void supervisor_loop();
+  void spawn_executor();  ///< callers hold exec_m_
   void handle_payload(const std::shared_ptr<Conn>& conn,
                       const std::string& payload);
   void admit(const std::shared_ptr<Conn>& conn, const Request& req);
@@ -116,7 +168,8 @@ class Server {
   void respond(const std::shared_ptr<Conn>& conn,
                const rt::obs::JsonValue& doc);
   void respond_error(const std::shared_ptr<Conn>& conn, std::int64_t id,
-                     rt::guard::Status st, const std::string& detail);
+                     rt::guard::Status st, const std::string& detail,
+                     int retry_after_ms = 0);
   void record_latency(double queue_s, double solve_s, double total_s);
 
   ServerOptions opts_;
@@ -134,13 +187,26 @@ class Server {
   std::unique_ptr<rt::par::ThreadPool> pool_;
 
   std::thread acceptor_;
-  std::vector<std::thread> executors_;
+
+  mutable std::mutex exec_m_;  ///< executors_ / retired_executors_ (never nested
+                       ///< inside stats_m_; take it first when both)
+  std::vector<ExecSlot> executors_;
+  /// Handles of retired (wedged) executors, joined at stop() once their
+  /// wedges clear.  Never detached: a wedged executor touches server
+  /// members, so its thread must not outlive the Server.
+  std::vector<std::thread> retired_executors_;
+
+  std::thread supervisor_;
+  std::mutex sup_m_;
+  std::condition_variable sup_cv_;
+  bool sup_stop_ = false;
+  std::atomic<bool> degraded_{false};
 
   std::mutex conns_m_;
   std::vector<std::shared_ptr<Conn>> conns_;
   std::vector<std::thread> handlers_;
 
-  std::mutex q_m_;
+  mutable std::mutex q_m_;
   std::condition_variable q_cv_;
   std::deque<std::unique_ptr<Pending>> queue_;
   bool stop_executors_ = false;
@@ -161,7 +227,16 @@ class Server {
     std::uint64_t max_batch = 0;
     std::uint64_t dedup_shared = 0;  ///< members served from a group-mate
     std::uint64_t abandoned_batches = 0;
+    std::uint64_t retry_hints = 0;   ///< rejections carrying retry_after_ms
+    std::uint64_t degraded_rejections = 0;  ///< rejected by the breaker
+    std::uint64_t executors_wedged = 0;
+    std::uint64_t executors_respawned = 0;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_resets = 0;
   } counters_;
+  /// Abandonment/wedge event timestamps (steady ms) for the breaker's
+  /// sliding window; guarded by stats_m_.
+  std::deque<long long> breaker_events_ms_;
   rt::obs::PhaseStats queue_phase_;
   rt::obs::PhaseStats solve_phase_;
   std::vector<double> latencies_s_;  ///< per-request total, capped

@@ -2,8 +2,11 @@
 
 #include <arpa/inet.h>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "rt/serve/protocol.hpp"
@@ -11,6 +14,17 @@
 namespace rt::serve {
 
 using rt::guard::Status;
+
+namespace {
+
+timeval timeval_from_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  return tv;
+}
+
+}  // namespace
 
 Client& Client::operator=(Client&& o) noexcept {
   if (this != &o) {
@@ -21,7 +35,7 @@ Client& Client::operator=(Client&& o) noexcept {
   return *this;
 }
 
-rt::guard::Expected<Client> Client::connect(int port) {
+rt::guard::Expected<Client> Client::connect(int port, int connect_timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return {Status::kIoError, std::string("socket: ") + std::strerror(errno)};
@@ -30,14 +44,86 @@ rt::guard::Expected<Client> Client::connect(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  if (connect_timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string why = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return {Status::kIoError, why};
+    }
+    Client c;
+    c.fd_ = fd;
+    return c;
+  }
+
+  // Bounded connect: non-blocking connect, poll for writability, then read
+  // SO_ERROR for the real outcome.  A peer that never answers (SYN
+  // blackhole, dead listener behind a firewall) costs connect_timeout_ms,
+  // not forever.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const std::string why = std::string("fcntl: ") + std::strerror(errno);
+    ::close(fd);
+    return {Status::kIoError, why};
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string why = std::string("connect: ") + std::strerror(errno);
+    if (errno != EINPROGRESS) {
+      const std::string why = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      return {Status::kIoError, why};
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, connect_timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      ::close(fd);
+      return {Status::kTimeout, "connect timed out after " +
+                                    std::to_string(connect_timeout_ms) +
+                                    " ms"};
+    }
+    if (rc < 0) {
+      const std::string why = std::string("poll: ") + std::strerror(errno);
+      ::close(fd);
+      return {Status::kIoError, why};
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      const std::string why =
+          std::string("connect: ") + std::strerror(err != 0 ? err : errno);
+      ::close(fd);
+      return {Status::kIoError, why};
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    const std::string why = std::string("fcntl: ") + std::strerror(errno);
     ::close(fd);
     return {Status::kIoError, why};
   }
   Client c;
   c.fd_ = fd;
   return c;
+}
+
+rt::guard::Status Client::set_timeouts(int send_timeout_ms,
+                                       int recv_timeout_ms,
+                                       std::string* detail) {
+  if (fd_ < 0) {
+    if (detail) *detail = "not connected";
+    return Status::kInvalidArgument;
+  }
+  const timeval snd = timeval_from_ms(send_timeout_ms > 0 ? send_timeout_ms : 0);
+  const timeval rcv = timeval_from_ms(recv_timeout_ms > 0 ? recv_timeout_ms : 0);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd)) < 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof(rcv)) < 0) {
+    if (detail) *detail = std::string("setsockopt: ") + std::strerror(errno);
+    return Status::kIoError;
+  }
+  return Status::kOk;
 }
 
 void Client::close() {
@@ -71,6 +157,10 @@ rt::guard::Status Client::recv(rt::obs::JsonValue* out, std::string* detail) {
     case FrameResult::kTruncated:
     case FrameResult::kOversized:
       return Status::kCorrupt;
+    case FrameResult::kTimeout:
+      // The deadline may have struck mid-frame; this connection's stream
+      // position is no longer trustworthy (see client.hpp header).
+      return Status::kTimeout;
     case FrameResult::kError:
       return Status::kIoError;
   }

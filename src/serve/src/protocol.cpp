@@ -4,10 +4,13 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <limits>
+
+#include "rt/guard/fault_injector.hpp"
 
 namespace rt::serve {
 
@@ -17,8 +20,11 @@ std::string errno_text(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-/// Read exactly @p n bytes; short count means EOF (or error with errno set).
-ssize_t read_full(int fd, char* buf, std::size_t n, bool* io_error) {
+/// Read exactly @p n bytes; short count means EOF (or error with errno
+/// set).  @p timed_out distinguishes an SO_RCVTIMEO expiry (EAGAIN /
+/// EWOULDBLOCK) from a real transport error.
+ssize_t read_full(int fd, char* buf, std::size_t n, bool* io_error,
+                  bool* timed_out) {
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::read(fd, buf + got, n - got);
@@ -28,7 +34,11 @@ ssize_t read_full(int fd, char* buf, std::size_t n, bool* io_error) {
     }
     if (r == 0) break;  // EOF
     if (errno == EINTR) continue;
-    *io_error = true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *timed_out = true;
+    } else {
+      *io_error = true;
+    }
     break;
   }
   return static_cast<ssize_t>(got);
@@ -123,6 +133,8 @@ const char* op_name(Op op) {
       return "ping";
     case Op::kStats:
       return "stats";
+    case Op::kHealth:
+      return "health";
   }
   return "?";
 }
@@ -144,6 +156,10 @@ rt::guard::Status parse_request(const rt::obs::JsonValue& doc, Request* out,
     return Status::kInvalidArgument;
   }
   req.id = id;
+  // Record the id even when a later field is rejected: the error response
+  // must echo it so a pipelining client can match the rejection to its
+  // request (a -1 echo would read as stream desync).
+  out->id = id;
 
   if (const rt::obs::JsonValue* v = doc.find("op")) {
     if (!v->is_string()) {
@@ -157,6 +173,8 @@ rt::guard::Status parse_request(const rt::obs::JsonValue& doc, Request* out,
       req.op = Op::kPing;
     } else if (o == "stats") {
       req.op = Op::kStats;
+    } else if (o == "health") {
+      req.op = Op::kHealth;
     } else {
       why = "unknown op '" + v->as_string() + "'";
       return Status::kInvalidArgument;
@@ -266,7 +284,13 @@ rt::guard::Status parse_request_text(const std::string& text, Request* out,
 FrameResult read_frame(int fd, std::string* payload, std::string* detail) {
   unsigned char prefix[4];
   bool io_error = false;
-  ssize_t got = read_full(fd, reinterpret_cast<char*>(prefix), 4, &io_error);
+  bool timed_out = false;
+  ssize_t got = read_full(fd, reinterpret_cast<char*>(prefix), 4, &io_error,
+                          &timed_out);
+  if (timed_out) {
+    if (detail) *detail = "recv timed out waiting for a frame";
+    return FrameResult::kTimeout;
+  }
   if (io_error) {
     if (detail) *detail = errno_text("read");
     return FrameResult::kError;
@@ -289,7 +313,11 @@ FrameResult read_frame(int fd, std::string* payload, std::string* detail) {
   }
   payload->resize(len);
   if (len == 0) return FrameResult::kOk;
-  got = read_full(fd, payload->data(), len, &io_error);
+  got = read_full(fd, payload->data(), len, &io_error, &timed_out);
+  if (timed_out) {
+    if (detail) *detail = "recv timed out mid payload";
+    return FrameResult::kTimeout;
+  }
   if (io_error) {
     if (detail) *detail = errno_text("read");
     return FrameResult::kError;
@@ -315,6 +343,32 @@ rt::guard::Status write_frame(int fd, const std::string& payload,
   frame.push_back(static_cast<char>((len >> 8) & 0xff));
   frame.push_back(static_cast<char>(len & 0xff));
   frame += payload;
+
+  // Chaos hooks: both fault kinds leave the wire in the torn state a real
+  // crash would — a partial frame the peer can only resolve as kTruncated
+  // (once the stream ends) or a timeout.  shutdown(), never close(): the
+  // fd number stays owned by whoever opened it, so no double-close races.
+  using rt::guard::FaultInjector;
+  using rt::guard::FaultKind;
+  if (FaultInjector::armed(FaultKind::kSockDrop) &&
+      FaultInjector::instance().should_fail(FaultKind::kSockDrop)) {
+    // Tear mid-prefix, then kill both directions immediately.
+    (void)!::write(fd, frame.data(), 2);
+    ::shutdown(fd, SHUT_RDWR);
+    if (detail) *detail = "injected sockdrop: stream torn mid-frame";
+    return rt::guard::Status::kIoError;
+  }
+  if (FaultInjector::armed(FaultKind::kPartialWrite) &&
+      FaultInjector::instance().should_fail(FaultKind::kPartialWrite)) {
+    // Write the prefix plus half the payload, then report failure without
+    // closing: the short frame sits on the wire until the connection is
+    // torn down, exactly like a writer that died mid-send.
+    const std::size_t cut = 4 + payload.size() / 2;
+    (void)!::write(fd, frame.data(), cut);
+    if (detail) *detail = "injected partialwrite: short frame on the wire";
+    return rt::guard::Status::kIoError;
+  }
+
   return rt::obs::write_all_fd(fd, frame, detail);
 }
 

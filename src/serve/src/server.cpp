@@ -27,6 +27,12 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+long long steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 JsonValue plan_json(const rt::core::PlanReport& rep) {
   JsonValue p = JsonValue::object();
   p.set("transform", std::string(rt::core::transform_name(rep.plan.transform)));
@@ -93,6 +99,14 @@ Server::Server(ServerOptions opts)
   if (opts_.batch_max < 1) opts_.batch_max = 1;
   if (opts_.queue_depth < 1) opts_.queue_depth = 1;
   if (opts_.solver_threads < 1) opts_.solver_threads = 1;
+  if (opts_.retry_after_ms < 0) opts_.retry_after_ms = 0;
+  if (opts_.queue_watermark <= 0 || opts_.queue_watermark > 1.0) {
+    opts_.queue_watermark = 1.0;
+  }
+  if (opts_.supervise_interval_ms < 1) opts_.supervise_interval_ms = 1;
+  if (opts_.max_respawns < 0) opts_.max_respawns = 0;
+  if (opts_.breaker_window_ms < 1) opts_.breaker_window_ms = 1;
+  if (opts_.breaker_retry_after_ms < 0) opts_.breaker_retry_after_ms = 0;
 }
 
 Server::~Server() { stop(); }
@@ -149,20 +163,40 @@ rt::guard::Status Server::start(std::string* detail) {
   abandoned_baseline_ = rt::guard::abandoned_thread_count();
 
   draining_.store(false, std::memory_order_release);
+  degraded_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(q_m_);
     stop_executors_ = false;
   }
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    breaker_events_ms_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(sup_m_);
+    sup_stop_ = false;
+  }
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { acceptor_loop(); });
-  for (int i = 0; i < opts_.executors; ++i) {
-    executors_.emplace_back([this] { executor_loop(); });
+  {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    for (int i = 0; i < opts_.executors; ++i) spawn_executor();
   }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
   return Status::kOk;
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  // 0. Retire the supervisor first: nothing may respawn executors while
+  //    the lists below are being drained and joined.
+  {
+    std::lock_guard<std::mutex> lk(sup_m_);
+    sup_stop_ = true;
+  }
+  sup_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
 
   // 1. Stop intake: no new connections, new solve requests rejected as
   //    overloaded ("draining").
@@ -170,16 +204,25 @@ void Server::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
 
-  // 2. Drain: executors finish every admitted request, then exit.
+  // 2. Drain: executors finish every admitted request, then exit.  This
+  //    joins retired (wedged) executors too — their wedges must have
+  //    cleared by now (cooperative contract, see server.hpp).
   {
     std::lock_guard<std::mutex> lk(q_m_);
     stop_executors_ = true;
   }
   q_cv_.notify_all();
-  for (std::thread& t : executors_) {
-    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    for (ExecSlot& s : executors_) {
+      if (s.th.joinable()) s.th.join();
+    }
+    executors_.clear();
+    for (std::thread& t : retired_executors_) {
+      if (t.joinable()) t.join();
+    }
+    retired_executors_.clear();
   }
-  executors_.clear();
 
   // 3. Hang up: wake blocked readers, join handlers, release connections.
   {
@@ -231,7 +274,10 @@ void Server::handler_loop(std::shared_ptr<Conn> conn) {
     std::string payload, why;
     const FrameResult fr = read_frame(conn->fd, &payload, &why);
     if (fr == FrameResult::kEof) break;
-    if (fr == FrameResult::kTruncated || fr == FrameResult::kError) {
+    if (fr == FrameResult::kTruncated || fr == FrameResult::kError ||
+        fr == FrameResult::kTimeout) {
+      // kTimeout can only fire if someone arms SO_RCVTIMEO on an accepted
+      // fd; the stream is unsynced either way, so hang up like kError.
       std::lock_guard<std::mutex> lk(stats_m_);
       fr == FrameResult::kTruncated ? ++counters_.protocol_errors
                                     : ++counters_.io_errors;
@@ -291,6 +337,15 @@ void Server::handle_payload(const std::shared_ptr<Conn>& conn,
       respond(conn, doc);
       return;
     }
+    case Op::kHealth: {
+      JsonValue doc = JsonValue::object();
+      doc.set("id", static_cast<long long>(req.id));
+      doc.set("op", "health");
+      doc.set("status", std::string(rt::guard::status_name(Status::kOk)));
+      doc.set("health", health_json());
+      respond(conn, doc);
+      return;
+    }
     case Op::kSolve:
       break;
   }
@@ -312,10 +367,20 @@ void Server::admit(const std::shared_ptr<Conn>& conn, const Request& req) {
   p->received = Clock::now();
   bool draining = false;
   bool rejected = false;
+  const bool degraded = degraded_.load(std::memory_order_acquire);
+  // Watermark: < 1.0 sheds load before the queue is hard-full, so the
+  // retry_after hint goes out while the server still has headroom.
+  const std::size_t limit =
+      opts_.queue_watermark >= 1.0
+          ? opts_.queue_depth
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       opts_.queue_watermark *
+                       static_cast<double>(opts_.queue_depth)));
   {
     std::lock_guard<std::mutex> lk(q_m_);
     draining = draining_.load(std::memory_order_acquire);
-    if (draining || queue_.size() >= opts_.queue_depth) {
+    if (draining || degraded || queue_.size() >= limit) {
       rejected = true;
     } else {
       p->enqueued = Clock::now();
@@ -324,14 +389,23 @@ void Server::admit(const std::shared_ptr<Conn>& conn, const Request& req) {
   }
   if (rejected) {
     // Respond outside q_m_: a slow client's socket must never stall the
-    // executors' access to the queue.
+    // executors' access to the queue.  Draining carries no retry hint
+    // (this server is going away); queue pressure and breaker rejections
+    // do — that hint is what rt::resil::RetryingClient paces itself by.
+    const int hint = draining ? 0
+                     : degraded ? opts_.breaker_retry_after_ms
+                                : opts_.retry_after_ms;
     {
       std::lock_guard<std::mutex> slk(stats_m_);
       ++counters_.rejected_overloaded;
+      if (degraded && !draining) ++counters_.degraded_rejections;
+      if (hint > 0) ++counters_.retry_hints;
     }
     respond_error(conn, req.id, Status::kOverloaded,
-                  draining ? "server is draining"
-                           : "admission queue is full");
+                  draining   ? "server is draining"
+                  : degraded ? "server is degraded (circuit breaker open)"
+                             : "admission queue is full",
+                  hint);
     return;
   }
   {
@@ -341,12 +415,18 @@ void Server::admit(const std::shared_ptr<Conn>& conn, const Request& req) {
   q_cv_.notify_one();
 }
 
-void Server::executor_loop() {
+void Server::executor_loop(std::shared_ptr<ExecState> state) {
   for (;;) {
     std::vector<std::unique_ptr<Pending>> batch;
     {
       std::unique_lock<std::mutex> lk(q_m_);
-      q_cv_.wait(lk, [this] { return stop_executors_ || !queue_.empty(); });
+      q_cv_.wait(lk, [this, &state] {
+        return stop_executors_ || !queue_.empty() ||
+               state->retired.load(std::memory_order_acquire);
+      });
+      // A retired executor exits even with work queued: its replacement
+      // (or a surviving sibling) owns the queue now.
+      if (state->retired.load(std::memory_order_acquire)) return;
       if (queue_.empty()) {
         if (stop_executors_) return;  // drained
         continue;
@@ -367,7 +447,97 @@ void Server::executor_loop() {
         }
       }
     }
+    // Heartbeat for the supervisor: busy from here until run_batch
+    // returns.  A no-deadline wedge freezes this thread inside run_batch
+    // with busy_since stuck in the past — exactly what wedge detection
+    // keys on.
+    state->busy_since_ms.store(steady_ms(), std::memory_order_release);
     run_batch(std::move(batch));
+    state->busy_since_ms.store(-1, std::memory_order_release);
+    if (state->retired.load(std::memory_order_acquire)) return;
+  }
+}
+
+void Server::spawn_executor() {
+  ExecSlot slot;
+  slot.state = std::make_shared<ExecState>();
+  std::shared_ptr<ExecState> st = slot.state;
+  slot.th = std::thread([this, st] { executor_loop(st); });
+  executors_.push_back(std::move(slot));
+}
+
+void Server::supervisor_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(sup_m_);
+      sup_cv_.wait_for(lk,
+                       std::chrono::milliseconds(opts_.supervise_interval_ms),
+                       [this] { return sup_stop_; });
+      if (sup_stop_) return;
+    }
+    const long long now = steady_ms();
+
+    // Wedge detection: an executor busy past the threshold is retired
+    // (its thread exits once the wedge clears) and replaced, up to the
+    // respawn cap.  Lock order: exec_m_ before stats_m_ (see server.hpp).
+    int newly_wedged = 0;
+    if (opts_.executor_wedge_ms > 0) {
+      std::lock_guard<std::mutex> lk(exec_m_);
+      std::uint64_t respawned;
+      {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        respawned = counters_.executors_respawned;
+      }
+      for (std::size_t i = 0; i < executors_.size();) {
+        const long long busy =
+            executors_[i].state->busy_since_ms.load(std::memory_order_acquire);
+        if (busy >= 0 && now - busy >= opts_.executor_wedge_ms) {
+          executors_[i].state->retired.store(true, std::memory_order_release);
+          q_cv_.notify_all();  // in case it is parked, not wedged
+          retired_executors_.push_back(std::move(executors_[i].th));
+          executors_.erase(executors_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+          ++newly_wedged;
+          if (respawned < static_cast<std::uint64_t>(opts_.max_respawns)) {
+            spawn_executor();
+            ++respawned;
+          }
+          continue;
+        }
+        ++i;
+      }
+      if (newly_wedged > 0) {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        counters_.executors_wedged += static_cast<std::uint64_t>(newly_wedged);
+        counters_.executors_respawned = respawned;
+        for (int i = 0; i < newly_wedged; ++i) {
+          breaker_events_ms_.push_back(now);
+        }
+      }
+    }
+
+    // Circuit breaker: trip when the abandonment/wedge rate crosses the
+    // threshold, reset only when the window has fully cleared.
+    if (opts_.breaker_threshold > 0) {
+      std::size_t in_window = 0;
+      {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        while (!breaker_events_ms_.empty() &&
+               breaker_events_ms_.front() < now - opts_.breaker_window_ms) {
+          breaker_events_ms_.pop_front();
+        }
+        in_window = breaker_events_ms_.size();
+        if (!degraded_.load(std::memory_order_acquire) &&
+            in_window >= static_cast<std::size_t>(opts_.breaker_threshold)) {
+          degraded_.store(true, std::memory_order_release);
+          ++counters_.breaker_trips;
+        } else if (degraded_.load(std::memory_order_acquire) &&
+                   in_window == 0) {
+          degraded_.store(false, std::memory_order_release);
+          ++counters_.breaker_resets;
+        }
+      }
+    }
   }
 }
 
@@ -509,9 +679,11 @@ void Server::run_batch(std::vector<std::unique_ptr<Pending>> batch) {
   if (abandoned) {
     // Record the loss before any timeout response goes out: a client that
     // asks for stats right after its "timeout" must see the abandonment.
+    // The event also feeds the circuit breaker's sliding window.
     std::lock_guard<std::mutex> lk(stats_m_);
     ++counters_.abandoned_batches;
     abandoned_ctxs_.push_back(std::weak_ptr<void>(ctx));
+    breaker_events_ms_.push_back(steady_ms());
   }
 
   // Copy outcomes under the ctx mutex (an abandoned straggler may still be
@@ -598,12 +770,14 @@ void Server::respond(const std::shared_ptr<Conn>& conn,
 }
 
 void Server::respond_error(const std::shared_ptr<Conn>& conn, std::int64_t id,
-                           rt::guard::Status st, const std::string& detail) {
+                           rt::guard::Status st, const std::string& detail,
+                           int retry_after_ms) {
   JsonValue doc = JsonValue::object();
   doc.set("id", static_cast<long long>(id));
   doc.set("op", "solve");
   doc.set("status", std::string(rt::guard::status_name(st)));
   doc.set("detail", detail);
+  if (retry_after_ms > 0) doc.set("retry_after_ms", retry_after_ms);
   respond(conn, doc);
   std::lock_guard<std::mutex> lk(stats_m_);
   ++counters_.responses_error;
@@ -616,6 +790,59 @@ void Server::record_latency(double queue_s, double solve_s, double total_s) {
   if (latencies_s_.size() < kMaxLatencySamples) {
     latencies_s_.push_back(total_s);
   }
+}
+
+rt::obs::JsonValue Server::health_json() const {
+  const bool draining = draining_.load(std::memory_order_acquire);
+  const bool degraded = degraded_.load(std::memory_order_acquire);
+  std::size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lk(q_m_);
+    queued = queue_.size();
+  }
+  std::size_t live = 0;
+  std::size_t retired = 0;
+  {
+    std::lock_guard<std::mutex> lk(exec_m_);
+    live = executors_.size();
+    retired = retired_executors_.size();
+  }
+  const std::size_t limit =
+      opts_.queue_watermark >= 1.0
+          ? opts_.queue_depth
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       opts_.queue_watermark *
+                       static_cast<double>(opts_.queue_depth)));
+
+  JsonValue h = JsonValue::object();
+  h.set("state", std::string(draining   ? "draining"
+                             : degraded ? "degraded"
+                                        : "healthy"));
+  // Ready = would this server admit a solve arriving right now.
+  h.set("ready", !draining && !degraded && queued < limit && live > 0);
+  h.set("queue", static_cast<long long>(queued));
+  h.set("queue_limit", static_cast<long long>(limit));
+  h.set("queue_depth", static_cast<long long>(opts_.queue_depth));
+  h.set("executors_live", static_cast<long long>(live));
+  h.set("executors_retired", static_cast<long long>(retired));
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    const long long now = steady_ms();
+    std::size_t in_window = 0;
+    for (const long long t : breaker_events_ms_) {
+      if (t >= now - opts_.breaker_window_ms) ++in_window;
+    }
+    JsonValue br = JsonValue::object();
+    br.set("enabled", opts_.breaker_threshold > 0);
+    br.set("open", degraded);
+    br.set("events_in_window", static_cast<long long>(in_window));
+    br.set("threshold", opts_.breaker_threshold);
+    br.set("window_ms", opts_.breaker_window_ms);
+    h.set("breaker", std::move(br));
+  }
+  if (degraded) h.set("retry_after_ms", opts_.breaker_retry_after_ms);
+  return h;
 }
 
 rt::obs::JsonValue Server::stats_json() const {
@@ -638,6 +865,28 @@ rt::obs::JsonValue Server::stats_json() const {
   b.set("max_batch", counters_.max_batch);
   b.set("dedup_shared", counters_.dedup_shared);
   s.set("batching", std::move(b));
+
+  JsonValue rz = JsonValue::object();
+  rz.set("state",
+         std::string(draining_.load(std::memory_order_acquire) ? "draining"
+                     : degraded_.load(std::memory_order_acquire)
+                         ? "degraded"
+                         : "healthy"));
+  rz.set("retry_hints", counters_.retry_hints);
+  rz.set("degraded_rejections", counters_.degraded_rejections);
+  rz.set("executors_wedged", counters_.executors_wedged);
+  rz.set("executors_respawned", counters_.executors_respawned);
+  rz.set("breaker_trips", counters_.breaker_trips);
+  rz.set("breaker_resets", counters_.breaker_resets);
+  {
+    const long long now = steady_ms();
+    std::size_t in_window = 0;
+    for (const long long t : breaker_events_ms_) {
+      if (t >= now - opts_.breaker_window_ms) ++in_window;
+    }
+    rz.set("breaker_events_in_window", static_cast<long long>(in_window));
+  }
+  s.set("resilience", std::move(rz));
 
   JsonValue ab = JsonValue::object();
   ab.set("abandoned_batches", counters_.abandoned_batches);

@@ -70,14 +70,39 @@ std::string store_to_json(const PlanStore& s);
 rt::guard::Expected<PlanStore> parse_store(const std::string& text,
                                            const std::string& host_fingerprint);
 
+/// `path + ".bak"`: where save_store keeps the previous last-good store.
+std::string store_bak_path(const std::string& path);
+
+/// How a load_store call actually obtained its result — the success path
+/// of Expected<PlanStore> has no detail channel, and "we served the .bak"
+/// is a fact operators need to see.
+struct LoadInfo {
+  bool recovered_from_bak = false;  ///< primary bad, .bak served instead
+  rt::guard::Status primary_status = rt::guard::Status::kOk;
+  std::string primary_detail;  ///< why the primary was rejected
+};
+
 /// Read @p path and parse_store it.  A missing/unreadable file is
 /// kInvalidArgument (distinct from kCorrupt: nothing was persisted there).
+/// Crash recovery: when the primary is kCorrupt (torn write) — or missing
+/// while `path.bak` exists (a crash between save_store's two renames) —
+/// the `.bak` written by save_store is parsed instead; success then sets
+/// @p info->recovered_from_bak with the primary's typed rejection.  kStale
+/// never falls back: the .bak is the same host/version or older.
 rt::guard::Expected<PlanStore> load_store(const std::string& path,
-                                          const std::string& host_fingerprint);
+                                          const std::string& host_fingerprint,
+                                          LoadInfo* info = nullptr);
 
 /// Write store_to_json(s) to @p path, creating parent directories.
-/// Returns kOk or kInvalidArgument (unwritable path).
-rt::guard::Status save_store(const PlanStore& s, const std::string& path);
+/// Crash-safe: the bytes land in a private temp file first, are fsync'd,
+/// and only then atomically renamed over @p path — a crash (even kill -9)
+/// at any instant leaves either the old store or the new one, never a torn
+/// file.  The previous store is kept as `path.bak` (last-good fallback for
+/// load_store).  Returns kOk, kInvalidArgument (unwritable path), or
+/// kIoError (write/fsync/rename failed — @p detail says which; the
+/// previous store, if any, is untouched).
+rt::guard::Status save_store(const PlanStore& s, const std::string& path,
+                             std::string* detail = nullptr);
 
 /// Pin every entry into @p cache (PlanCache serves pinned entries ahead of
 /// the model search).  Returns the number of entries installed.  The pinned

@@ -1,10 +1,15 @@
 #include "rt/tune/plan_store.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
+#include "rt/guard/fault_injector.hpp"
 #include "rt/obs/metrics_writer.hpp"
 
 namespace rt::tune {
@@ -334,8 +339,12 @@ Expected<PlanStore> parse_store(const std::string& text,
   return s;
 }
 
-Expected<PlanStore> load_store(const std::string& path,
-                               const std::string& host_fingerprint) {
+std::string store_bak_path(const std::string& path) { return path + ".bak"; }
+
+namespace {
+
+Expected<PlanStore> load_store_one(const std::string& path,
+                                   const std::string& host_fingerprint) {
   std::ifstream f(path);
   if (!f) {
     return {Status::kInvalidArgument, "plan store not readable: " + path};
@@ -345,17 +354,117 @@ Expected<PlanStore> load_store(const std::string& path,
   return parse_store(ss.str(), host_fingerprint);
 }
 
-Status save_store(const PlanStore& s, const std::string& path) {
+}  // namespace
+
+Expected<PlanStore> load_store(const std::string& path,
+                               const std::string& host_fingerprint,
+                               LoadInfo* info) {
+  if (info) *info = LoadInfo{};
+  Expected<PlanStore> primary = load_store_one(path, host_fingerprint);
+  if (info) {
+    info->primary_status = primary.status();
+    info->primary_detail = primary.detail();
+  }
+  if (primary.ok()) return primary;
+
+  // Fallback policy (see header): a torn primary is kCorrupt; a primary
+  // missing while the .bak exists means a crash landed between
+  // save_store's two renames.  Both are recoverable from the last-good
+  // copy.  kStale is not: the .bak cannot be newer than the primary.
+  const std::string bak = store_bak_path(path);
+  const bool try_bak =
+      primary.status() == Status::kCorrupt ||
+      (primary.status() == Status::kInvalidArgument && fs::exists(bak));
+  if (!try_bak) return primary;
+
+  Expected<PlanStore> fallback = load_store_one(bak, host_fingerprint);
+  if (!fallback.ok()) return primary;  // the original rejection is the story
+  if (info) info->recovered_from_bak = true;
+  return fallback;
+}
+
+Status save_store(const PlanStore& s, const std::string& path,
+                  std::string* detail) {
   std::error_code ec;
   const fs::path p(path);
   if (p.has_parent_path()) {
     fs::create_directories(p.parent_path(), ec);  // best-effort; open decides
   }
-  std::ofstream f(path);
-  if (!f) return Status::kInvalidArgument;
-  f << store_to_json(s);
-  f.flush();
-  return f ? Status::kOk : Status::kInvalidArgument;
+
+  // Durability order: (1) all bytes into a private temp file, (2) fsync the
+  // temp so the *data* is on disk before any name points at it, (3) demote
+  // the current store to .bak, (4) atomically rename the temp over the
+  // primary.  A crash — even kill -9 — at any instant leaves either the
+  // old bytes (steps 1–3) or the new bytes (after 4) reachable via
+  // path-or-.bak; never a torn file under the primary name.  The temp name
+  // embeds the pid so concurrent savers from forked processes cannot
+  // clobber each other's half-written temp.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (detail) {
+      *detail = "open " + tmp + ": " + std::strerror(errno);
+    }
+    return Status::kInvalidArgument;
+  }
+  std::string why;
+  if (rt::obs::write_all_fd(fd, store_to_json(s), &why) != Status::kOk) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    if (detail) *detail = "write " + tmp + ": " + why;
+    return Status::kIoError;
+  }
+  const bool fsync_injected =
+      rt::guard::FaultInjector::armed(rt::guard::FaultKind::kFsyncFail) &&
+      rt::guard::FaultInjector::instance().should_fail(
+          rt::guard::FaultKind::kFsyncFail);
+  if (fsync_injected || ::fsync(fd) < 0) {
+    // The bytes may still be only in the page cache: renaming now could
+    // persist a name pointing at vanished data.  Abort with the previous
+    // store (and its .bak) untouched.
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    if (detail) {
+      *detail = fsync_injected
+                    ? "injected fsyncfail: durability barrier failed"
+                    : "fsync " + tmp + ": " + std::strerror(errno);
+    }
+    return Status::kIoError;
+  }
+  if (::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    if (detail) *detail = "close " + tmp + ": " + std::strerror(errno);
+    return Status::kIoError;
+  }
+
+  if (fs::exists(p)) {
+    fs::rename(p, fs::path(store_bak_path(path)), ec);
+    if (ec) {
+      ::unlink(tmp.c_str());
+      if (detail) *detail = "rename to .bak: " + ec.message();
+      return Status::kIoError;
+    }
+  }
+  fs::rename(fs::path(tmp), p, ec);
+  if (ec) {
+    // The primary name may now be vacant (demoted to .bak above) — that is
+    // exactly the crash window load_store's .bak fallback recovers from.
+    ::unlink(tmp.c_str());
+    if (detail) *detail = "rename into place: " + ec.message();
+    return Status::kIoError;
+  }
+
+  // Make the renames themselves durable (directory entry).  Best-effort:
+  // the data is already safe under *a* recoverable name either way.
+  if (p.has_parent_path()) {
+    const int dfd = ::open(p.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      (void)!::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return Status::kOk;
 }
 
 std::size_t install(const PlanStore& s, rt::core::PlanCache& cache) {

@@ -155,6 +155,46 @@ TEST(OptionsDeathTest, RejectsBadTuneValuesAndContradictions) {
       testing::ExitedWithCode(2), "--tune=load");
 }
 
+TEST(Options, RetryFlagsParseAndDefaultToRetryingOn) {
+  const BenchOptions d = parse({});
+  EXPECT_EQ(d.retries, 3);
+  EXPECT_FALSE(d.retries_given);
+  EXPECT_EQ(d.retry_budget_ms, 2000);
+  EXPECT_EQ(d.backoff_ms, 5);
+
+  const BenchOptions o =
+      parse({"--retries=7", "--retry-budget-ms=500", "--backoff-ms=2"});
+  EXPECT_EQ(o.retries, 7);
+  EXPECT_TRUE(o.retries_given);
+  EXPECT_EQ(o.retry_budget_ms, 500);
+  EXPECT_TRUE(o.retry_budget_given);
+  EXPECT_EQ(o.backoff_ms, 2);
+  EXPECT_TRUE(o.backoff_given);
+
+  // An explicit --retries=0 (retrying off) is fine on its own, and a zero
+  // budget is fine when retrying is off with it.
+  const BenchOptions off = parse({"--retries=0", "--retry-budget-ms=0"});
+  EXPECT_EQ(off.retries, 0);
+  EXPECT_EQ(off.retry_budget_ms, 0);
+}
+
+TEST(OptionsDeathTest, RejectsBadAndContradictoryRetryFlags) {
+  EXPECT_EXIT(parse({"--retries=-1"}), testing::ExitedWithCode(2),
+              "bad --retries value");
+  EXPECT_EXIT(parse({"--retry-budget-ms=-5"}), testing::ExitedWithCode(2),
+              "bad --retry-budget-ms value");
+  EXPECT_EXIT(parse({"--backoff-ms=abc"}), testing::ExitedWithCode(2),
+              "bad numeric value");
+  // Retrying enabled (default --retries=3) with zero time to retry in.
+  EXPECT_EXIT(parse({"--retry-budget-ms=0"}), testing::ExitedWithCode(2),
+              "contradictory");
+  EXPECT_EXIT(parse({"--retries=2", "--retry-budget-ms=0"}),
+              testing::ExitedWithCode(2), "contradictory");
+  // A backoff curve no retry will ever walk.
+  EXPECT_EXIT(parse({"--backoff-ms=9", "--retries=0"}),
+              testing::ExitedWithCode(2), "contradictory");
+}
+
 TEST(Options, TuneLoadAcceptsAnExistingStoreFile) {
   const std::string path = "/tmp/rt_bench_tune_load_test.json";
   std::ofstream(path) << "{}\n";  // existence is all parse checks here

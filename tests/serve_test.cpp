@@ -634,5 +634,310 @@ TEST_F(ServeFixture, GracefulDrainAnswersEverythingThenRefuses) {
   EXPECT_FALSE(Client::connect(server.port()).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Resilience layer (PR 9): client timeouts, health op, watermark hints,
+// supervisor respawn + circuit breaker, chaos injection at the frame layer.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeFixture, HealthOpReportsHealthyAndReady) {
+  ServerOptions opts = base_options();
+  opts.executors = 2;
+  Server server(opts);
+  ASSERT_EQ(server.start(), Status::kOk);
+  Client c = connect_to(server);
+
+  JsonValue req = JsonValue::object();
+  req.set("id", 3);
+  req.set("op", "health");
+  rt::guard::Expected<JsonValue> resp = c.call(req);
+  ASSERT_TRUE(resp.ok()) << resp.detail();
+  EXPECT_EQ(field(resp.value(), "status"), "ok");
+  EXPECT_EQ(resp.value().find("id")->as_int(), 3);
+  const JsonValue* h = resp.value().find("health");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("state")->as_string(), "healthy");
+  EXPECT_TRUE(h->find("ready")->as_bool());
+  EXPECT_EQ(h->find("executors_live")->as_int(), 2);
+  EXPECT_EQ(h->find("executors_retired")->as_int(), 0);
+  const JsonValue* br = h->find("breaker");
+  ASSERT_NE(br, nullptr);
+  EXPECT_FALSE(br->find("open")->as_bool());
+  server.stop();
+}
+
+TEST_F(ServeFixture, ClientRecvTimesOutOnSilentPeerWithTypedStatus) {
+  Server server(base_options());
+  ASSERT_EQ(server.start(), Status::kOk);
+  // A connect deadline against a live listener succeeds promptly.
+  rt::guard::Expected<Client> c = Client::connect(server.port(), 1000);
+  ASSERT_TRUE(c.ok()) << c.detail();
+  ASSERT_EQ(c.value().set_timeouts(500, 150), Status::kOk);
+
+  // Nothing was sent, so the server never answers: recv must come back
+  // kTimeout in bounded time instead of blocking forever (the pre-PR-9
+  // behaviour this satellite fixes).
+  const auto t0 = std::chrono::steady_clock::now();
+  JsonValue resp;
+  std::string why;
+  EXPECT_EQ(c.value().recv(&resp, &why), Status::kTimeout) << why;
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(waited, 0.1);
+  EXPECT_LT(waited, 5.0);
+
+  // After a timeout the stream is unsynced by contract: reconnect and the
+  // server is still perfectly serviceable.
+  Client fresh = connect_to(server);
+  JsonValue ping = JsonValue::object();
+  ping.set("op", "ping");
+  EXPECT_TRUE(fresh.call(ping).ok());
+  server.stop();
+  // Connect with a deadline against a dead port fails typed, not forever.
+  rt::guard::Expected<Client> dead = Client::connect(server.port(), 200);
+  EXPECT_FALSE(dead.ok());
+}
+
+TEST_F(ServeFixture, WatermarkRejectionCarriesRetryAfterHint) {
+  ServerOptions opts = base_options();
+  opts.executors = 1;
+  opts.queue_depth = 4;
+  opts.queue_watermark = 0.5;  // shed at 2 queued, not 4
+  opts.retry_after_ms = 70;
+  opts.batching = false;
+  Server server(opts);
+  ASSERT_EQ(server.start(), Status::kOk);
+  Client c = connect_to(server);
+
+  rt::guard::FaultInjector::instance().arm(rt::guard::FaultKind::kHang, 0, 1);
+  ASSERT_EQ(c.send(solve_req(1, "JACOBI", 12, 1)), Status::kOk);
+  bool wedged = false;
+  for (int i = 0; i < 500 && !wedged; ++i) {
+    wedged = rt::guard::FaultInjector::instance().fired(
+                 rt::guard::FaultKind::kHang) >= 1;
+    if (!wedged) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(wedged);
+  // Head is wedged; the watermark admits 2 of these 4, rejects 2 — and
+  // every queue-pressure rejection must carry the configured hint.
+  for (long long id = 2; id <= 5; ++id) {
+    ASSERT_EQ(c.send(solve_req(id, "JACOBI", 12, 1)), Status::kOk);
+  }
+  int hinted = 0;
+  for (int i = 0; i < 2; ++i) {
+    JsonValue resp;
+    std::string why;
+    ASSERT_EQ(c.recv(&resp, &why), Status::kOk) << why;
+    ASSERT_EQ(field(resp, "status"), "overloaded");
+    const JsonValue* hint = resp.find("retry_after_ms");
+    ASSERT_NE(hint, nullptr);
+    EXPECT_EQ(hint->as_int(), 70);
+    ++hinted;
+  }
+  EXPECT_EQ(hinted, 2);
+  rt::guard::FaultInjector::instance().cancel_hangs();
+  for (int i = 0; i < 3; ++i) {  // wedged head + 2 admitted
+    JsonValue resp;
+    std::string why;
+    ASSERT_EQ(c.recv(&resp, &why), Status::kOk) << why;
+    EXPECT_EQ(field(resp, "status"), "ok");
+  }
+  const JsonValue stats = server.stats_json();
+  EXPECT_EQ(stats.find("resilience")->find("retry_hints")->as_int(), 2);
+  server.stop();
+}
+
+TEST_F(ServeFixture, SupervisorRespawnsWedgedExecutorAndBreakerTripsResets) {
+  ServerOptions opts = base_options();
+  opts.executors = 1;
+  opts.batching = false;
+  opts.supervise_interval_ms = 10;
+  opts.executor_wedge_ms = 100;
+  opts.max_respawns = 2;
+  opts.breaker_threshold = 1;
+  opts.breaker_window_ms = 500;
+  opts.breaker_retry_after_ms = 123;
+  Server server(opts);
+  ASSERT_EQ(server.start(), Status::kOk);
+  Client victim = connect_to(server);
+  Client probe = connect_to(server);
+
+  // Wedge the only executor inline (no deadline → run_batch runs the work
+  // on the executor thread itself).
+  rt::guard::FaultInjector::instance().arm(rt::guard::FaultKind::kHang, 0, 1);
+  ASSERT_EQ(victim.send(solve_req(1, "JACOBI", 16, 1)), Status::kOk);
+
+  // The supervisor must retire the wedged executor and spawn a fresh one.
+  bool respawned = false;
+  for (int i = 0; i < 800 && !respawned; ++i) {
+    const JsonValue stats = server.stats_json();
+    const JsonValue* rz = stats.find("resilience");
+    ASSERT_NE(rz, nullptr);
+    respawned = rz->find("executors_wedged")->as_int() >= 1 &&
+                rz->find("executors_respawned")->as_int() >= 1;
+    if (!respawned) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(respawned) << server.stats_json().dump();
+
+  // One wedge event >= threshold 1: the breaker trips into degraded mode;
+  // solves are rejected with the breaker's retry hint, health says so.
+  bool degraded = false;
+  for (int i = 0; i < 400 && !degraded; ++i) {
+    degraded = server.degraded();
+    if (!degraded) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(degraded);
+  {
+    rt::guard::Expected<JsonValue> r = probe.call(solve_req(50, "JACOBI", 16, 1));
+    ASSERT_TRUE(r.ok()) << r.detail();
+    EXPECT_EQ(field(r.value(), "status"), "overloaded");
+    EXPECT_NE(field(r.value(), "detail").find("degraded"), std::string::npos);
+    ASSERT_NE(r.value().find("retry_after_ms"), nullptr);
+    EXPECT_EQ(r.value().find("retry_after_ms")->as_int(), 123);
+  }
+  {
+    JsonValue hreq = JsonValue::object();
+    hreq.set("op", "health");
+    rt::guard::Expected<JsonValue> r = probe.call(hreq);
+    ASSERT_TRUE(r.ok()) << r.detail();
+    EXPECT_EQ(r.value().find("health")->find("state")->as_string(),
+              "degraded");
+    EXPECT_FALSE(r.value().find("health")->find("ready")->as_bool());
+  }
+
+  // Release the wedge: the retired executor finishes its batch, answers
+  // the victim, and exits; the replacement owns the queue.
+  rt::guard::FaultInjector::instance().cancel_hangs();
+  {
+    JsonValue resp;
+    std::string why;
+    ASSERT_EQ(victim.recv(&resp, &why), Status::kOk) << why;
+    EXPECT_EQ(field(resp, "status"), "ok");
+    EXPECT_EQ(field(resp, "checksum"),
+              reference_kernel_checksum(ServeKernel::kJacobi, 16, 1,
+                                        rt::core::Transform::kGcdPad));
+  }
+
+  // Once the event ages out of the window the breaker resets on its own
+  // and the server serves correct results again — self-healed, verified.
+  bool healthy = false;
+  for (int i = 0; i < 800 && !healthy; ++i) {
+    healthy = !server.degraded();
+    if (!healthy) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(healthy) << server.stats_json().dump();
+  {
+    rt::guard::Expected<JsonValue> r = probe.call(solve_req(60, "JACOBI", 20, 2));
+    ASSERT_TRUE(r.ok()) << r.detail();
+    ASSERT_EQ(field(r.value(), "status"), "ok") << field(r.value(), "detail");
+    EXPECT_EQ(field(r.value(), "checksum"),
+              reference_kernel_checksum(ServeKernel::kJacobi, 20, 2,
+                                        rt::core::Transform::kGcdPad));
+  }
+  const JsonValue stats = server.stats_json();
+  const JsonValue* rz = stats.find("resilience");
+  EXPECT_GE(rz->find("breaker_trips")->as_int(), 1);
+  EXPECT_GE(rz->find("breaker_resets")->as_int(), 1);
+  EXPECT_GE(rz->find("degraded_rejections")->as_int(), 1);
+  server.stop();
+}
+
+TEST_F(ServeFixture, FrameFaultInjectionsAreTypedAndServerSurvives) {
+  Server server(base_options());
+  ASSERT_EQ(server.start(), Status::kOk);
+
+  {  // kSockDrop on the CLIENT's own send (trigger 0): typed kIoError.
+    Client c = connect_to(server);
+    rt::guard::FaultInjector::instance().arm(
+        rt::guard::FaultKind::kSockDrop, 0, 1);
+    JsonValue ping = JsonValue::object();
+    ping.set("op", "ping");
+    std::string why;
+    EXPECT_EQ(c.send(ping, &why), Status::kIoError);
+    EXPECT_NE(why.find("sockdrop"), std::string::npos);
+    rt::guard::FaultInjector::instance().disarm_all();
+  }
+  {  // kSockDrop on the SERVER's response (skip the client's send, fire on
+     // the next write_frame = the response): the client sees a torn frame.
+    Client c = connect_to(server);
+    rt::guard::FaultInjector::instance().arm(
+        rt::guard::FaultKind::kSockDrop, 1, 1);
+    JsonValue ping = JsonValue::object();
+    ping.set("op", "ping");
+    ASSERT_EQ(c.send(ping), Status::kOk);
+    JsonValue resp;
+    std::string why;
+    const Status st = c.recv(&resp, &why);
+    EXPECT_TRUE(st == Status::kCorrupt || st == Status::kIoError) << why;
+    rt::guard::FaultInjector::instance().disarm_all();
+  }
+  {  // kPartialWrite on the server's response: short frame then hangup →
+     // kTruncated at the client, mapped to kCorrupt.
+    Client c = connect_to(server);
+    rt::guard::FaultInjector::instance().arm(
+        rt::guard::FaultKind::kPartialWrite, 1, 1);
+    rt::guard::Expected<JsonValue> r = c.call(solve_req(9, "JACOBI", 12, 1));
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status() == Status::kCorrupt ||
+                r.status() == Status::kIoError)
+        << r.detail();
+    rt::guard::FaultInjector::instance().disarm_all();
+  }
+
+  // The server survived all three storms and still serves bit-identical
+  // results on a fresh connection.
+  Client c = connect_to(server);
+  rt::guard::Expected<JsonValue> r = c.call(solve_req(10, "JACOBI", 20, 2));
+  ASSERT_TRUE(r.ok()) << r.detail();
+  ASSERT_EQ(field(r.value(), "status"), "ok") << field(r.value(), "detail");
+  EXPECT_EQ(field(r.value(), "checksum"),
+            reference_kernel_checksum(ServeKernel::kJacobi, 20, 2,
+                                      rt::core::Transform::kGcdPad));
+  const JsonValue stats = server.stats_json();
+  EXPECT_GE(stats.find("io_errors")->as_int(), 1);
+  server.stop();
+}
+
+TEST_F(ServeFixture, BufferArenaHoldsIdleBytesCapUnderConcurrentChurn) {
+  // Satellite coverage: the idle-bytes cap is a *concurrent* invariant —
+  // eight threads hammering acquire/release must never leave the arena
+  // caching more than max_cached_bytes when the dust settles, and every
+  // release must either cache or drop (no leaks, no double-counting).
+  const Dims3 small = Dims3::padded(12, 12, 12, 13, 14);
+  const Dims3 big = Dims3::padded(24, 24, 24, 26, 25);
+  const std::size_t big_bytes = static_cast<std::size_t>(
+      *big.checked_alloc_elems() * static_cast<long>(sizeof(double)));
+  // Room for ~3 big buffers: far fewer than 8 threads churn through.
+  BufferArena arena(3 * big_bytes);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&arena, &small, &big, t] {
+      for (int i = 0; i < 100; ++i) {
+        // Hold a batch of four before releasing any: a returning batch of
+        // big buffers always overflows the 3-buffer idle cap, so drops
+        // happen even when the scheduler serializes the threads.
+        std::vector<Array3D<double>> held;
+        for (int b = 0; b < 4; ++b) {
+          const Dims3& d = ((i + t + b) % 3 == 0) ? small : big;
+          held.push_back(arena.acquire(d));
+          held.back()(1, 1, 1) = static_cast<double>(i);  // really ours
+        }
+        for (Array3D<double>& a : held) arena.release(std::move(a));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const BufferArena::Stats s = arena.stats();
+  EXPECT_LE(s.cached_bytes, 3 * big_bytes);
+  EXPECT_EQ(s.hits + s.misses, 8u * 100u * 4u);
+  EXPECT_EQ(s.returns, 8u * 100u * 4u);  // every buffer came home
+  EXPECT_LE(s.dropped, s.returns);
+  // The cap was genuinely exercised: with 8 threads and room for 3 big
+  // buffers, some releases must have been dropped.
+  EXPECT_GT(s.dropped, 0u);
+}
+
 }  // namespace
 }  // namespace rt::serve

@@ -9,14 +9,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "rt/core/plan.hpp"
 #include "rt/core/plan_cache.hpp"
@@ -662,6 +667,203 @@ TEST(PlanStoreTest, SaveLoadRoundTripAndMissingFileIsInvalidArgument) {
   EXPECT_EQ(save_store(sample_store(), "/proc/definitely/not/writable.json"),
             Status::kInvalidArgument);
   fs::remove_all(fs::path(::testing::TempDir()) / "rt_tune_store_test", ec);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe persistence (PR 9): torn-file sweep, .bak fallback, fsync
+// failure containment, and a real kill-9 storm over save_store.
+
+namespace {
+
+/// Fresh scratch dir for one crash-safety test; removed on destruction.
+struct StoreScratch {
+  fs::path dir;
+  std::string path;
+  explicit StoreScratch(const char* name) {
+    dir = fs::path(::testing::TempDir()) / name;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    path = (dir / "plans.json").string();
+  }
+  ~StoreScratch() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+};
+
+/// A sample store whose single distinguishing mark is @p origin — the
+/// kill-9 test uses it to tell which generation a recovered store is.
+PlanStore marked_store(const std::string& origin) {
+  PlanStore s = sample_store();
+  for (StoreEntry& e : s.entries) e.origin = origin;
+  return s;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f << bytes;
+}
+
+}  // namespace
+
+TEST(PlanStoreCrashSafety, TornFileSweepIsTypedAtEveryByteOffset) {
+  StoreScratch sc("rt_tune_torn_sweep");
+  const std::string good = store_to_json(sample_store());
+  ASSERT_GT(good.size(), 2u);
+
+  // A file torn at ANY offset (the classic crash-mid-write artifact that
+  // the atomic-rename save makes impossible, but which a pre-PR-9 store —
+  // or a hostile edit — can still present) must come back typed, never
+  // crash, and never yield a half-trusted store.  There is no .bak here,
+  // so no fallback can mask the rejection.  The single valid prefix is
+  // good.size()-1: everything but the trailing newline is complete JSON.
+  for (std::size_t cut = 0; cut + 1 < good.size(); ++cut) {
+    write_file(sc.path, good.substr(0, cut));
+    const auto r = load_store(sc.path, kFp);
+    ASSERT_FALSE(r.ok()) << "cut at " << cut << " parsed";
+    ASSERT_TRUE(r.status() == Status::kCorrupt ||
+                r.status() == Status::kStale)
+        << "cut at " << cut << ": "
+        << rt::guard::status_name(r.status());
+  }
+  write_file(sc.path, good);
+  EXPECT_TRUE(load_store(sc.path, kFp).ok());
+}
+
+TEST(PlanStoreCrashSafety, SaveKeepsBakAndFallbackRecoversTornPrimary) {
+  StoreScratch sc("rt_tune_bak_recover");
+  ASSERT_EQ(save_store(marked_store("gen1"), sc.path), Status::kOk);
+  ASSERT_EQ(save_store(marked_store("gen2"), sc.path), Status::kOk);
+
+  // The second save demoted the first to .bak.
+  const std::string bak = store_bak_path(sc.path);
+  ASSERT_TRUE(fs::exists(bak));
+  const auto bak_loaded = load_store(bak, kFp);
+  ASSERT_TRUE(bak_loaded.ok()) << bak_loaded.detail();
+  EXPECT_EQ(bak_loaded.value().entries[0].origin, "gen1");
+
+  // Tear the primary: load_store falls back to the last-good generation
+  // and says so in LoadInfo.
+  const std::string gen2 = store_to_json(marked_store("gen2"));
+  write_file(sc.path, gen2.substr(0, gen2.size() / 2));
+  LoadInfo info;
+  const auto recovered = load_store(sc.path, kFp, &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.detail();
+  EXPECT_TRUE(info.recovered_from_bak);
+  EXPECT_EQ(info.primary_status, Status::kCorrupt);
+  EXPECT_FALSE(info.primary_detail.empty());
+  EXPECT_EQ(recovered.value().entries[0].origin, "gen1");
+}
+
+TEST(PlanStoreCrashSafety, FallbackCoversTheCrashWindowBetweenRenames) {
+  StoreScratch sc("rt_tune_rename_window");
+  ASSERT_EQ(save_store(marked_store("gen1"), sc.path), Status::kOk);
+  // Simulate a crash after "demote primary to .bak" but before "rename
+  // temp into place": the primary name is vacant, the .bak holds gen1.
+  fs::rename(sc.path, store_bak_path(sc.path));
+  LoadInfo info;
+  const auto r = load_store(sc.path, kFp, &info);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_TRUE(info.recovered_from_bak);
+  EXPECT_EQ(info.primary_status, Status::kInvalidArgument);
+  EXPECT_EQ(r.value().entries[0].origin, "gen1");
+
+  // But a store that never existed at all is a plain kInvalidArgument:
+  // no .bak, no fallback, no false "recovered" claim.
+  const std::string missing = (sc.dir / "never_saved.json").string();
+  LoadInfo none;
+  EXPECT_EQ(load_store(missing, kFp, &none).status(),
+            Status::kInvalidArgument);
+  EXPECT_FALSE(none.recovered_from_bak);
+}
+
+TEST(PlanStoreCrashSafety, StaleNeverFallsBackToBak) {
+  StoreScratch sc("rt_tune_stale_no_bak");
+  ASSERT_EQ(save_store(marked_store("gen1"), sc.path), Status::kOk);
+  ASSERT_EQ(save_store(marked_store("gen2"), sc.path), Status::kOk);
+  // A version-bumped primary is kStale — a *newer* writer owns the file.
+  // Serving the older .bak would resurrect plans that writer retired.
+  PlanStore future = marked_store("gen3");
+  future.version = kPlanStoreVersion + 1;
+  write_file(sc.path, store_to_json(future));
+  LoadInfo info;
+  const auto r = load_store(sc.path, kFp, &info);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kStale);
+  EXPECT_FALSE(info.recovered_from_bak);
+}
+
+TEST(PlanStoreCrashSafety, InjectedFsyncFailureLeavesBothGenerationsIntact) {
+  StoreScratch sc("rt_tune_fsync_fail");
+  ASSERT_EQ(save_store(marked_store("gen1"), sc.path), Status::kOk);
+  ASSERT_EQ(save_store(marked_store("gen2"), sc.path), Status::kOk);
+
+  rt::guard::FaultInjector::instance().arm(
+      rt::guard::FaultKind::kFsyncFail, 0, 1);
+  std::string why;
+  EXPECT_EQ(save_store(marked_store("gen3"), sc.path, &why),
+            Status::kIoError);
+  EXPECT_NE(why.find("fsyncfail"), std::string::npos) << why;
+  rt::guard::FaultInjector::instance().disarm_all();
+
+  // The failed save changed NOTHING: primary still gen2, .bak still gen1,
+  // and the half-written temp was unlinked.
+  const auto primary = load_store(sc.path, kFp);
+  ASSERT_TRUE(primary.ok()) << primary.detail();
+  EXPECT_EQ(primary.value().entries[0].origin, "gen2");
+  const auto bak = load_store(store_bak_path(sc.path), kFp);
+  ASSERT_TRUE(bak.ok()) << bak.detail();
+  EXPECT_EQ(bak.value().entries[0].origin, "gen1");
+  for (const fs::directory_entry& e : fs::directory_iterator(sc.dir)) {
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+        << "leaked temp file: " << e.path();
+  }
+}
+
+TEST(PlanStoreCrashSafety, Kill9DuringSaveStormNeverLosesLastGoodStore) {
+  StoreScratch sc("rt_tune_kill9");
+  // Seed a last-good generation so there is always something to lose.
+  ASSERT_EQ(save_store(marked_store("seed"), sc.path), Status::kOk);
+
+  // Five rounds: fork a child that rewrites the store as fast as it can,
+  // SIGKILL it at a different point in its write loop each round, and
+  // require that the survivors on disk still load — directly or via the
+  // .bak fallback.  This is the acceptance test for the durability order:
+  // data-fsync before rename, demote before promote.
+  for (int round = 0; round < 5; ++round) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: alternate two generations forever; killed mid-flight.
+      for (unsigned long long i = 0;; ++i) {
+        (void)save_store(marked_store(i % 2 == 0 ? "even" : "odd"), sc.path);
+      }
+      _exit(0);  // unreachable
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 + 7 * round));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+    LoadInfo info;
+    const auto r = load_store(sc.path, kFp, &info);
+    ASSERT_TRUE(r.ok()) << "round " << round << ": " << r.detail()
+                        << " (primary: " << info.primary_detail << ")";
+    const std::string& origin = r.value().entries[0].origin;
+    EXPECT_TRUE(origin == "seed" || origin == "even" || origin == "odd")
+        << origin;
+    // Leftover .tmp.<child-pid> files are expected debris of the kill —
+    // prove they never shadow the store, then clear them for round+1.
+    std::error_code ec;
+    for (const fs::directory_entry& e : fs::directory_iterator(sc.dir)) {
+      if (e.path().string().find(".tmp.") != std::string::npos) {
+        fs::remove(e.path(), ec);
+      }
+    }
+  }
 }
 
 TEST(PlanStoreTest, DefaultStorePathHonoursTheEnvOverride) {
