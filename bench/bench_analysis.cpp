@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   rt::bench::RunOptions ro;
   ro.time_steps = bo.steps;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   std::vector<std::string> header{"N",
                                   "Orig sim",

@@ -127,6 +127,7 @@ int main(int argc, char** argv) {
   ro.simd = bo.simd;
   ro.simd_align = bo.simd_align;
   ro.timeout_seconds = bo.timeout_seconds;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   // Load (or start) the store.  Corrupt / stale stores degrade to the
   // model plan with the typed reason recorded; --tune=on starts fresh.
@@ -174,19 +175,19 @@ int main(int argc, char** argv) {
     for (long n : sizes) {
       const rt::core::StencilSpec& spec =
           rt::kernels::kernel_info(kn.id).spec;
-      const long cs = ro.cs_elems();
       rt::tune::TuneKey key;
       key.kernel = kn.name;
       key.n = n;
       key.n3 = ro.k_dim;
       key.transform = tr;
+      key.backend = ro.backend;
       key.threads = ro.threads;
       key.simd = rt::simd::simd_mode_name(ro.simd);
-      const rt::core::PlanKey pkey =
-          rt::core::PlanCache::make_key(tr, cs, n, n, spec, ro.k_dim);
+      const rt::core::PlanKey pkey = rt::core::PlanCache::make_backend_key(
+          ro.backend, tr, ro.geom(), n, n, spec, ro.k_dim);
 
-      const rt::core::PlanReport model_rep =
-          rt::core::plan_for_checked(tr, cs, n, n, spec, ro.k_dim);
+      const rt::core::PlanReport model_rep = rt::core::plan_with_backend(
+          ro.backend, tr, ro.geom(), n, n, spec, ro.k_dim);
 
       const auto emit_row = [&](const char* variant, const std::string& origin,
                                 const RunResult& r,
@@ -242,7 +243,7 @@ int main(int argc, char** argv) {
       // winner/model/worst rows reuse the sweep's own measurements.
       const std::vector<rt::tune::Candidate> cands =
           rt::tune::spatial_candidates(model_rep.plan, n, n, spec.halo,
-                                       cfg.max_candidates);
+                                       ro.geom(), spec, cfg.max_candidates);
       struct Trace {
         std::mutex m;
         std::vector<std::pair<rt::core::TilingPlan, RunResult>> runs;

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   rt::bench::RunOptions ro;
   ro.time_steps = bo.steps;
   ro.perf = rt::cachesim::PerfModelParams::ultrasparc2_450();
+  ro.backend = bo.resolved_backend(ro.geom());
 
   const std::vector<Transform> all = {
       Transform::kOrig,   Transform::kTile, Transform::kEuc3d,

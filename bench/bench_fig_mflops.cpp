@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   ro.time_steps = bo.steps;
   ro.time_host = bo.host;
   if (bo.threads > 0) ro.threads = bo.threads;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   const std::vector<Transform> all = {
       Transform::kOrig,   Transform::kTile, Transform::kEuc3d,

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   rt::bench::RunOptions ro;
   ro.time_steps = bo.steps;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   const std::vector<Transform> all = {
       Transform::kOrig,   Transform::kTile, Transform::kEuc3d,

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   ro.simd = bo.simd;
   ro.verify = bo.verify;
   ro.timeout_seconds = bo.timeout_seconds;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   std::cout << rt::obs::describe_counter_support() << "\n";
   if (ro.counters == rt::obs::CounterMode::kOff) {

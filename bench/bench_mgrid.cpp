@@ -307,6 +307,7 @@ int main(int argc, char** argv) {
     rt::bench::RunOptions ro;
     ro.k_dim = n;
     ro.time_steps = 1;
+    ro.backend = bo.resolved_backend(ro.geom());
     const auto r_orig = rt::bench::run_kernel(
         rt::kernels::KernelId::kResid, rt::core::Transform::kOrig, n, ro);
     const auto r_gcd = rt::bench::run_kernel(

@@ -463,6 +463,20 @@ int main(int argc, char** argv) {
       if (r.scenario == "open") rec.set("rate_per_client", cfg.rate);
       rec.set("completed", r.completed).set("overloaded", r.overloaded);
       rec.set("errors", r.errors);
+      // Resilience outcomes are their own columns, not folded into
+      // "errors": a breaker trip or a degraded-mode rejection is the
+      // server protecting itself, and drowning those in the error count
+      // hides exactly the signal a load run exists to surface.
+      {
+        const JsonValue* resil = r.server_stats.find("resilience");
+        const auto counter = [&](const char* key) -> long long {
+          if (resil == nullptr) return 0;
+          const JsonValue* v = resil->find(key);
+          return v != nullptr ? v->as_int() : 0;
+        };
+        rec.set("breaker_trips", counter("breaker_trips"));
+        rec.set("degraded_rejections", counter("degraded_rejections"));
+      }
       rec.set("wall_s", r.wall_s).set("req_per_s", r.req_per_s());
       rec.set("lat_mean_ms", r.mean() * 1e3);
       rec.set("lat_p50_ms", r.percentile(0.50) * 1e3);

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   ro.time_host = bo.host;
   ro.simulate = bo.simulate;
   if (bo.threads > 0) ro.threads = bo.threads;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   std::cout << "Table 3: average improvements over problem sizes " <<
       sizes.front() << "-" << sizes.back() << " (NxNx30, "

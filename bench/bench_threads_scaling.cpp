@@ -170,6 +170,7 @@ int main(int argc, char** argv) {
   ro.time_host = true;
   ro.verify = bo.verify;
   ro.timeout_seconds = bo.timeout_seconds;
+  ro.backend = bo.resolved_backend(ro.geom());
 
   const int vthreads = std::max(threads.back(), 4);
   if (!verify_bit_identical(n, ro.k_dim, vthreads)) return 1;

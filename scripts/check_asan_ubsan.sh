@@ -24,8 +24,9 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DRT_BUILD_BENCH=ON -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
   --target guard_test guard_fault_injection_test array_test core_plan_test \
-           plan_cache_test mg_fastpath_test temporal_test tune_test \
-           serve_test resil_test bench_chaos_soak
+           core_backend_test cachesim_lattice_test plan_cache_test \
+           mg_fastpath_test temporal_test tune_test serve_test resil_test \
+           bench_chaos_soak
 
 # halt_on_error turns the first finding into a hard failure.  Abandonment
 # tests deliberately detach a wedged worker, but always wait for it to
@@ -38,6 +39,11 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/guard_fault_injection_test"
 "${BUILD_DIR}/tests/array_test"
 "${BUILD_DIR}/tests/core_plan_test"
+# Backend driver negative paths (overflow gate, fallback restore, unknown
+# backend) plus the lattice occupancy math cross-checked against the cache
+# simulator — the new planner code's failure paths under ASan+UBSan.
+"${BUILD_DIR}/tests/core_backend_test"
+"${BUILD_DIR}/tests/cachesim_lattice_test"
 "${BUILD_DIR}/tests/plan_cache_test"
 "${BUILD_DIR}/tests/mg_fastpath_test"
 "${BUILD_DIR}/tests/temporal_test"
@@ -50,6 +56,7 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 # clients) and the invariants checked.
 "${BUILD_DIR}/bench/bench_chaos_soak"
 echo "ASan+UBSan clean: guard_test + guard_fault_injection_test +" \
-     "array_test + core_plan_test + plan_cache_test + mg_fastpath_test" \
+     "array_test + core_plan_test + core_backend_test" \
+     "+ cachesim_lattice_test + plan_cache_test + mg_fastpath_test" \
      "+ temporal_test + tune_test + serve_test + resil_test" \
      "+ bench_chaos_soak reported no findings."

@@ -23,8 +23,9 @@ cmake -B "${BUILD_DIR}" -S . "${GEN_FLAG[@]}" \
   -DRT_BUILD_BENCH=ON -DRT_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j \
   --target par_pool_test par_kernels_test simd_kernels_test \
-           simd_mg_kernels_test plan_cache_test mg_fastpath_test obs_test \
-           temporal_test tune_test serve_test resil_test bench_chaos_soak
+           simd_mg_kernels_test plan_cache_test core_backend_test \
+           mg_fastpath_test obs_test temporal_test tune_test serve_test \
+           resil_test bench_chaos_soak
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/par_pool_test"
@@ -32,6 +33,9 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "${BUILD_DIR}/tests/simd_kernels_test"
 "${BUILD_DIR}/tests/simd_mg_kernels_test"
 "${BUILD_DIR}/tests/plan_cache_test"
+# The backend registry is a process-wide singleton read from every planning
+# thread; the driver suite exercises registration + concurrent lookup paths.
+"${BUILD_DIR}/tests/core_backend_test"
 "${BUILD_DIR}/tests/mg_fastpath_test"
 "${BUILD_DIR}/tests/obs_test"
 "${BUILD_DIR}/tests/temporal_test"
@@ -47,6 +51,6 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # under injected failure, with invariants checked.
 "${BUILD_DIR}/bench/bench_chaos_soak"
 echo "TSan clean: par_pool_test + par_kernels_test + simd_kernels_test" \
-     "+ simd_mg_kernels_test + plan_cache_test + mg_fastpath_test" \
-     "+ obs_test + temporal_test + tune_test + serve_test + resil_test" \
-     "+ bench_chaos_soak reported no races."
+     "+ simd_mg_kernels_test + plan_cache_test + core_backend_test" \
+     "+ mg_fastpath_test + obs_test + temporal_test + tune_test" \
+     "+ serve_test + resil_test + bench_chaos_soak reported no races."

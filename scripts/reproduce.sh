@@ -58,6 +58,17 @@ build/bench/bench_serve_load ${FULL_FLAG} --json=results/BENCH_8.json
 # violation or if retry+self-heal does not strictly improve goodput.
 build/bench/bench_chaos_soak ${FULL_FLAG} --json=results/BENCH_9.json
 
+# Planner-backend ablation (PR 10): model vs associativity-lattice vs
+# cache-oblivious backends on JACOBI/RESID/PSINV across sizes, under a
+# direct-mapped and a 2-way simulated cache.  The run itself asserts the
+# acceptance criteria: every backend's result is bit-identical to the
+# serial reference, the lattice backend strictly beats the model on
+# simulated conflict misses for at least one set-associative geometry,
+# and the oblivious backend plans a recursive schedule with no cache
+# parameters at all.
+build/bench/bench_backend_ablation ${FULL_FLAG} --steps=1 \
+  --json=results/BENCH_10.json
+
 echo "Done: test_output.txt, bench_output.txt, results/BENCH_3.json," \
      "results/BENCH_6.json, results/BENCH_7.json, results/BENCH_8.json," \
-     "results/BENCH_9.json"
+     "results/BENCH_9.json, results/BENCH_10.json"

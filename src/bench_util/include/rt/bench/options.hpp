@@ -18,6 +18,11 @@
 //   --verify=M      post-run NaN/Inf sweep: off | post | para (rt::guard)
 //   --timeout=SECS  per-run watchdog deadline; a hung run becomes a
 //                   recorded "timeout" row instead of wedging the sweep
+//   --backend=B     planner backend (rt/core/backend.hpp): model (the
+//                   paper's searches; default) | lattice (associativity-
+//                   aware tiles) | oblivious (cache-parameter-free
+//                   recursive schedule) | auto (probed geometry -> lattice,
+//                   unprobed -> oblivious)
 //   --tune=M        measurement-driven plan autotuning (rt::tune):
 //                   off | load (serve persisted winners, never calibrate) |
 //                   on (serve winners, calibrate + persist missing keys)
@@ -37,13 +42,17 @@
 // schedule with nothing to fuse), `--tune=load` when the resolved plan
 // store file does not exist (nothing to load — a silent model-plan run
 // would masquerade as a tuned one), an explicit `--retry-budget-ms=0`
-// while retries are enabled (retrying with zero time to retry in), and
+// while retries are enabled (retrying with zero time to retry in),
 // `--backoff-ms=N` alongside an explicit `--retries=0` (a backoff curve
-// no retry will ever walk).
+// no retry will ever walk), and an explicit `--backend=` combined with
+// `--tune=load` against a pre-backend (version < 2) plan store — v1
+// winners carry no backend id, so serving them under a named backend
+// would silently answer with another planner's plans.
 
 #include <string>
 #include <vector>
 
+#include "rt/core/backend.hpp"
 #include "rt/core/temporal.hpp"
 #include "rt/guard/verify.hpp"
 #include "rt/obs/perf_counters.hpp"
@@ -74,6 +83,13 @@ struct BenchOptions {
   rt::guard::VerifyMode verify = rt::guard::VerifyMode::kOff;
   /// --timeout=SECS per-run watchdog deadline (0 = off).
   double timeout_seconds = 0;
+  /// --backend=model|lattice|oblivious|auto planner backend selection
+  /// (rt/core/backend.hpp).  "auto" keeps backend at kModel here and sets
+  /// backend_auto; benches resolve it against the probed cache geometry
+  /// via rt::core::auto_backend once they know it.
+  rt::core::Backend backend = rt::core::Backend::kModel;
+  bool backend_given = false;  ///< --backend= was on the command line
+  bool backend_auto = false;   ///< --backend=auto: resolve against geometry
   /// --tune=off|load|on autotuning policy (rt::tune).
   rt::tune::TuneMode tune = rt::tune::TuneMode::kOff;
   /// --plan-store=FILE tuned-plan store ("" = rt::tune default path).
@@ -98,6 +114,12 @@ struct BenchOptions {
   /// The store file --tune=load/on will use: plan_store if given, else
   /// rt::tune::default_store_path().
   std::string resolved_plan_store() const;
+
+  /// The backend a bench should plan with: the named one, or — for
+  /// --backend=auto — rt::core::auto_backend over @p geom (typically
+  /// RunOptions::geom()), so probed hosts get the lattice backend and
+  /// unprobed ones degrade to the cache-oblivious planner.
+  rt::core::Backend resolved_backend(const rt::core::CacheGeom& geom) const;
 
   /// Sweep of problem sizes honouring the defaults and overrides.
   std::vector<long> sweep(long def_min, long def_max, long def_step,

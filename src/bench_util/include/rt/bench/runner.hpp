@@ -62,6 +62,16 @@ struct RunOptions {
   /// rt::tune are served ahead of the model plan.  nullptr (the default)
   /// keeps the direct planner path.
   rt::core::PlanCache* plan_cache = nullptr;
+  /// Planner backend (rt/core/backend.hpp) run_kernel routes planning
+  /// through: kModel (the default) is the paper's searches and the
+  /// historical behaviour; kLattice plans conflict-aware tiles for the
+  /// set-associative geometry of `l1`; kOblivious ignores the geometry and
+  /// emits the recursive schedule.
+  rt::core::Backend backend = rt::core::Backend::kModel;
+  /// Whether the cache geometry is real (probed / configured) rather than
+  /// a fallback guess.  Only consulted by --backend=auto style selection
+  /// (rt::core::auto_backend) and recorded into CacheGeom::probed.
+  bool cache_probed = true;
   long k_dim = 30;  ///< third array dimension (paper fixes it at 30)
   rt::cachesim::CacheConfig l1 = rt::cachesim::CacheConfig::ultrasparc2_l1();
   rt::cachesim::CacheConfig l2 = rt::cachesim::CacheConfig::ultrasparc2_l2();
@@ -70,6 +80,16 @@ struct RunOptions {
 
   /// Planner target: L1 capacity in doubles (2048 for the 16K L1).
   long cs_elems() const { return static_cast<long>(l1.size_bytes / 8); }
+
+  /// Backend planning geometry, derived from `l1` (elements of double).
+  rt::core::CacheGeom geom() const {
+    rt::core::CacheGeom g;
+    g.cs_elems = cs_elems();
+    g.line_elems = static_cast<long>(l1.line_bytes / 8);
+    g.assoc = static_cast<long>(l1.assoc);
+    g.probed = cache_probed;
+    return g;
+  }
 };
 
 /// Hardware-counter measurements of the host timing loop (rt::obs).

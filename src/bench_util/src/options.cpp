@@ -1,13 +1,16 @@
 #include "rt/bench/options.hpp"
 
 #include "rt/bench/table.hpp"
+#include "rt/obs/metrics_writer.hpp"
 #include "rt/tune/plan_store.hpp"
 
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 namespace rt::bench {
 
@@ -25,6 +28,11 @@ std::vector<long> BenchOptions::sweep(long def_min, long def_max,
 
 std::string BenchOptions::resolved_plan_store() const {
   return plan_store.empty() ? rt::tune::default_store_path() : plan_store;
+}
+
+rt::core::Backend BenchOptions::resolved_backend(
+    const rt::core::CacheGeom& geom) const {
+  return backend_auto ? rt::core::auto_backend(geom) : backend;
 }
 
 BenchOptions parse_options(int argc, char** argv) {
@@ -112,6 +120,18 @@ BenchOptions parse_options(int argc, char** argv) {
         std::exit(2);
       }
       o.timeout_seconds = v;
+    } else if (a.rfind("--backend=", 0) == 0) {
+      const std::string v = a.substr(10);
+      if (v == "auto") {
+        o.backend = rt::core::Backend::kModel;  // resolved against geometry
+        o.backend_auto = true;
+      } else if (!rt::core::parse_backend(v, &o.backend)) {
+        std::cerr << "bad --backend value (want model|lattice|oblivious|"
+                     "auto): "
+                  << a << "\n";
+        std::exit(2);
+      }
+      o.backend_given = true;
     } else if (a.rfind("--tune=", 0) == 0) {
       if (!rt::tune::parse_tune_mode(a.substr(7), &o.tune)) {
         std::cerr << "bad --tune value (want off|load|on): " << a << "\n";
@@ -159,6 +179,7 @@ BenchOptions parse_options(int argc, char** argv) {
                    "--temporal=off|skew|diamond --bk=N --tsteps=N "
                    "--csv=FILE --counters=off|auto|on --json=FILE "
                    "--verify=off|post|para --timeout=SECS "
+                   "--backend=model|lattice|oblivious|auto "
                    "--tune=off|load|on --plan-store=FILE "
                    "--retries=N --retry-budget-ms=N --backoff-ms=N\n";
       std::exit(0);
@@ -196,6 +217,33 @@ BenchOptions parse_options(int argc, char** argv) {
                 << " does not exist (run --tune=on first, or pass "
                    "--plan-store=FILE)\n";
       std::exit(2);
+    }
+    // A named backend served from a pre-backend store is a contradiction:
+    // v1 winners carry no backend id, so "--backend=lattice --tune=load"
+    // would silently answer with plans another planner produced.  Peek the
+    // store's schema version here (full validation stays in rt::tune).
+    if (o.backend_given) {
+      std::ifstream in(store);
+      std::ostringstream text;
+      text << in.rdbuf();
+      rt::obs::JsonValue doc;
+      if (in && rt::obs::json_parse(text.str(), &doc) && doc.is_object()) {
+        const rt::obs::JsonValue* ver = doc.find("version");
+        if (ver != nullptr && ver->is_number() &&
+            ver->as_int() < rt::tune::kPlanStoreVersion) {
+          std::cerr << "contradictory flags: --backend="
+                    << rt::core::backend_name(o.backend)
+                    << (o.backend_auto ? " (auto)" : "")
+                    << " names a planner backend, but " << store
+                    << " is a pre-backend plan store (version "
+                    << ver->as_int() << " < " << rt::tune::kPlanStoreVersion
+                    << ") whose winners carry no backend id; re-tune with "
+                       "--tune=on to regenerate it\n";
+          std::exit(2);
+        }
+      }
+      // Unreadable/corrupt stores fall through: rt::tune degrades those
+      // to the model plan with a typed kCorrupt reason at load time.
     }
   }
   return o;

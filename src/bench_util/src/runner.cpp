@@ -21,6 +21,7 @@
 #include "rt/cachesim/traced_array.hpp"
 #include "rt/kernels/jacobi2d.hpp"
 #include "rt/kernels/jacobi3d.hpp"
+#include "rt/kernels/oblivious.hpp"
 #include "rt/kernels/redblack.hpp"
 #include "rt/kernels/resid.hpp"
 #include "rt/multigrid/operators.hpp"
@@ -74,11 +75,19 @@ double now_seconds() {
 }
 
 /// One full measured time step of a kernel, templated over accessors.
+/// Plans with LoopSchedule::kRecursive (the oblivious backend) run the
+/// cache-oblivious recursive forms with plan.tile as the base case; tiled
+/// flat plans run the paper's strip-mined nests.
 struct JacobiStep {
   double c = 1.0 / 6.0;
   TilingPlan plan;
   template <class A, class B>
   void operator()(A& a, B& b) const {
+    if (plan.schedule == rt::core::LoopSchedule::kRecursive) {
+      rt::kernels::jacobi3d_oblivious(a, b, c, plan.tile);
+      rt::kernels::copy_interior_oblivious(b, a, plan.tile);
+      return;
+    }
     if (plan.tiled) {
       rt::kernels::jacobi3d_tiled(a, b, c, plan.tile);
     } else {
@@ -93,7 +102,9 @@ struct RedBlackStep {
   TilingPlan plan;
   template <class A>
   void operator()(A& a) const {
-    if (plan.tiled) {
+    if (plan.schedule == rt::core::LoopSchedule::kRecursive) {
+      rt::kernels::redblack_oblivious(a, c1, c2, plan.tile);
+    } else if (plan.tiled) {
       rt::kernels::redblack_tiled(a, c1, c2, plan.tile);
     } else {
       rt::kernels::redblack_naive(a, c1, c2);
@@ -106,7 +117,9 @@ struct ResidStep {
   TilingPlan plan;
   template <class R, class V, class U>
   void operator()(R& r, V& v, U& u) const {
-    if (plan.tiled) {
+    if (plan.schedule == rt::core::LoopSchedule::kRecursive) {
+      rt::kernels::resid_oblivious(r, v, u, a, plan.tile);
+    } else if (plan.tiled) {
       rt::kernels::resid_tiled(r, v, u, a, plan.tile);
     } else {
       rt::kernels::resid(r, v, u, a);
@@ -119,7 +132,9 @@ struct PsinvStep {
   TilingPlan plan;
   template <class U, class R>
   void operator()(U& u, R& r) const {
-    if (plan.tiled) {
+    if (plan.schedule == rt::core::LoopSchedule::kRecursive) {
+      rt::multigrid::psinv_oblivious(u, r, c, plan.tile);
+    } else if (plan.tiled) {
       rt::multigrid::psinv_tiled(u, r, c, plan.tile);
     } else {
       rt::multigrid::psinv(u, r, c);
@@ -291,6 +306,11 @@ RunResult run_with_plan_impl(KernelId id, const rt::core::TilingPlan& plan,
     // the JI tile grid (or over K planes for untiled plans); --simd=auto/
     // avx2 swaps the accessor loops for the rt::simd row sweeps in both
     // the serial and the parallel case (bit-identical either way).
+    // Recursive (oblivious) plans carry tiled = true with the base tile,
+    // so the SIMD/pool fast paths run them as flat tiles of the base case
+    // — the same block set the recursion bottoms out at, still
+    // bit-identical; only the serial-scalar path (and simulation) walks
+    // the true recursion.
     using rt::simd::SimdLevel;
     res.threads_requested = opts.threads > 1 ? opts.threads : 1;
     res.simd_requested = opts.simd;
@@ -481,12 +501,16 @@ RunResult run_with_plan_impl(KernelId id, const rt::core::TilingPlan& plan,
 RunResult run_kernel(KernelId id, Transform tr, long n, const RunOptions& opts) {
   // Through the PlanCache when the caller provides one (pinned autotuned
   // winners are served ahead of the model search); direct otherwise.
+  // Either way planning routes through opts.backend — kModel against the
+  // same geometry keys and plans exactly as the historical direct path.
   const rt::core::StencilSpec& spec = rt::kernels::kernel_info(id).spec;
+  const rt::core::CacheGeom geom = opts.geom();
   const rt::core::PlanReport rep =
       opts.plan_cache != nullptr
-          ? opts.plan_cache->plan(tr, opts.cs_elems(), n, n, spec, opts.k_dim)
-          : rt::core::plan_for_checked(tr, opts.cs_elems(), n, n, spec,
-                                       opts.k_dim);
+          ? opts.plan_cache->plan_backend(opts.backend, tr, geom, n, n, spec,
+                                          opts.k_dim)
+          : rt::core::plan_with_backend(opts.backend, tr, geom, n, n, spec,
+                                        opts.k_dim);
   if (rep.status == rt::guard::Status::kOverflow) {
     // The planned allocation cannot be represented: skip-and-record, the
     // fallback plan would overflow just the same.
@@ -597,6 +621,7 @@ rt::obs::JsonValue& append_json_record(rt::obs::MetricsWriter& w,
       .set("n", n)
       .set("transform",
            std::string(rt::core::transform_name(r.plan.transform)))
+      .set("backend", std::string(rt::core::backend_name(r.plan.backend)))
       .set("tile", r.plan.tiled
                        ? JsonValue(std::to_string(r.plan.tile.ti) + "x" +
                                    std::to_string(r.plan.tile.tj))

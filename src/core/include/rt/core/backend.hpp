@@ -1,0 +1,138 @@
+#pragma once
+// Pluggable tiling-strategy framework: spatial planning split into three
+// steps — strategy selection, tile-shape optimization, loop-nest schedule —
+// behind a backend registry, so new planners drop in without touching
+// solvers, PlanCache or rt::tune.
+//
+// Backends:
+//   model      the paper's direct-mapped searches (Euc3D/GcdPad/Pad/Tile),
+//              re-homed from the old monolithic plan_for_checked — which is
+//              now a thin wrapper over this backend, so every existing call
+//              site transparently goes through the framework.
+//   lattice    associativity-lattice planner ("Model-Driven Automatic
+//              Tiling with Cache Associativity Lattices"): picks the
+//              min-cost tile whose worst-case per-set footprint fits the
+//              cache's ways, so conflict misses vanish on set-associative
+//              caches the direct-mapped model either over-restricts (tiny
+//              DM-safe tiles) or under-protects (capacity-only tiles).
+//   oblivious  cache-oblivious recursive bisection per PCOT: needs no cache
+//              parameters at all, emits LoopSchedule::kRecursive with a
+//              fixed overhead-amortizing base case — the clean degradation
+//              path on hosts whose cache geometry cannot be probed.
+//
+// Every backend's plan executes bit-identically to the serial untiled nest:
+// backends only reorder independent (i, j) iterations.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/core/plan.hpp"
+#include "rt/core/stencil_spec.hpp"
+#include "rt/guard/status.hpp"
+
+namespace rt::core {
+
+/// Cache geometry a backend plans against.  The model backend reads only
+/// cs_elems (its searches assume direct-mapped); the lattice backend uses
+/// all of it; the oblivious backend ignores it entirely (that is the
+/// point).  `probed = false` marks guessed parameters — an unprobed host —
+/// which the `auto` selection policy routes to the oblivious backend.
+struct CacheGeom {
+  long cs_elems = 2048;  ///< capacity in doubles (16KB L1 default)
+  long line_elems = 4;   ///< line size in doubles (32B lines default)
+  long assoc = 1;        ///< ways: 1 = direct-mapped, 0 = fully associative
+  bool probed = true;    ///< false: parameters are fallback guesses
+
+  friend bool operator==(const CacheGeom&, const CacheGeom&) = default;
+};
+
+/// One planning request: everything the three steps may consult.
+struct PlanRequest {
+  Transform transform = Transform::kOrig;
+  CacheGeom geom{};
+  long di = 0;
+  long dj = 0;
+  long n3 = 0;  ///< third array extent for the overflow gate (0 = unknown)
+  StencilSpec spec{};
+};
+
+/// A planning strategy.  plan() is the template-method driver: it runs
+/// select_strategy -> optimize_shape -> schedule, resets the plan to the
+/// untiled unpadded fallback on any failure (exactly what the old
+/// plan_for_checked returned), and applies the shared overflow gate on the
+/// planned allocation size.  Backends implement the three steps only.
+class TilingBackend {
+ public:
+  virtual ~TilingBackend() = default;
+
+  virtual Backend id() const = 0;
+  std::string_view name() const { return backend_name(id()); }
+
+  /// Step 1 — strategy selection: can this backend answer @p req, and is
+  /// the request itself well-formed?  Non-kOk rejects the whole request
+  /// with the typed reason (the fallback plan is still returned).
+  virtual rt::guard::Status select_strategy(const PlanRequest& req,
+                                            std::string* detail) const = 0;
+
+  /// Step 2 — tile-shape optimization: fill @p plan's tiled/tile/dip/djp.
+  /// @p plan arrives as the untiled unpadded fallback; on a non-kOk return
+  /// the driver restores that fallback (kFellBackUntiled keeps running).
+  virtual rt::guard::Status optimize_shape(const PlanRequest& req,
+                                           TilingPlan* plan,
+                                           std::string* detail) const = 0;
+
+  /// Step 3 — loop-nest schedule for the optimized shape.
+  virtual LoopSchedule schedule(const PlanRequest& req,
+                                const TilingPlan& plan) const = 0;
+
+  /// The driver (non-virtual): three steps + fallback + overflow gate.
+  PlanReport plan(const PlanRequest& req) const;
+};
+
+/// Process-wide backend registry.  instance() pre-registers the three
+/// built-in backends; register_backend replaces any existing entry with the
+/// same id, so tests can substitute instrumented backends.
+class BackendRegistry {
+ public:
+  /// Registered backend for @p id (never nullptr for built-in ids on the
+  /// shared instance; nullptr if a custom registry lacks the id).
+  const TilingBackend* find(Backend id) const;
+  /// Lookup by stable token ("model", "lattice", "oblivious").
+  const TilingBackend* find(std::string_view name) const;
+  /// Ids in registration order.
+  std::vector<Backend> ids() const;
+
+  void register_backend(std::unique_ptr<TilingBackend> b);
+
+  /// Shared registry with the built-ins pre-registered.
+  static BackendRegistry& instance();
+
+ private:
+  std::vector<std::unique_ptr<TilingBackend>> backends_;
+};
+
+/// Convenience: plan @p transform on DI x DJ x n3 arrays through the
+/// registered backend @p id against geometry @p geom.  The backbone of
+/// plan_for_checked (model backend, direct-mapped geometry) and of the
+/// backend-aware bench/solver paths.
+PlanReport plan_with_backend(Backend id, Transform transform,
+                             const CacheGeom& geom, long di, long dj,
+                             const StencilSpec& spec, long n3 = 0);
+
+/// Selection policy for `--backend=auto`: probed geometry -> lattice
+/// (measurement-grade parameters exist), unprobed -> oblivious (no
+/// parameters needed, degrades cleanly, never untiled).
+Backend auto_backend(const CacheGeom& geom);
+
+/// Worst-case number of lines of a (ati x atj x atd)-element array tile
+/// that map to the fullest cache set, maximized over all line phases the
+/// tile can start at.  dip/djp are the allocated leading dimensions (set
+/// geometry of row starts).  The lattice backend accepts a tile iff this
+/// is <= the cache's ways — exposed so tests can pin the prediction
+/// against rt::cachesim's arbitrary-associativity mode.
+long lattice_worst_occupancy(const CacheGeom& geom, long dip, long djp,
+                             long ati, long atj, int atd);
+
+}  // namespace rt::core

@@ -27,13 +27,43 @@ std::string_view transform_name(Transform t);
 /// All transforms in the paper's presentation order.
 const std::vector<Transform>& all_transforms();
 
+/// Which planner backend produced a plan (rt/core/backend.hpp).  The paper's
+/// direct-mapped searches are the `model` backend; `lattice` plans
+/// conflict-aware tiles for set-associative caches; `oblivious` emits a
+/// recursive decomposition that needs no cache parameters at all.
+enum class Backend {
+  kModel,      ///< Euc3D/GcdPad/Pad/Tile direct-mapped searches (the paper)
+  kLattice,    ///< associativity-lattice conflict-aware tile search
+  kOblivious,  ///< cache-oblivious recursive bisection (no cache params)
+};
+
+/// Stable token ("model", "lattice", "oblivious").
+std::string_view backend_name(Backend b);
+bool parse_backend(const std::string& s, Backend* out);
+/// All backends in registry order.
+const std::vector<Backend>& all_backends();
+
+/// How the loop nest executes the plan (the third step of the pluggable
+/// tiling interface: strategy -> shape -> schedule).
+enum class LoopSchedule {
+  kFlat,       ///< untiled K/J/I nest
+  kTiled,      ///< JI strip-mined, tile loops outermost (paper Fig. 6)
+  kRecursive,  ///< cache-oblivious bisection down to the plan's base tile
+};
+
+/// Stable token ("flat", "tiled", "recursive").
+std::string_view schedule_name(LoopSchedule s);
+bool parse_schedule(const std::string& s, LoopSchedule* out);
+
 /// Concrete tiling/padding decision for one (transform, kernel, size).
 struct TilingPlan {
   Transform transform = Transform::kOrig;
   bool tiled = false;
-  IterTile tile{};  ///< valid when tiled
+  IterTile tile{};  ///< valid when tiled (the recursive schedule's base case)
   long dip = 0;     ///< leading dimension to allocate (>= DI)
   long djp = 0;     ///< second dimension to allocate (>= DJ)
+  Backend backend = Backend::kModel;  ///< which planner produced this plan
+  LoopSchedule schedule = LoopSchedule::kFlat;  ///< loop-nest execution form
 };
 
 /// Compute the plan for @p transform on a DI x DJ x M array of a kernel

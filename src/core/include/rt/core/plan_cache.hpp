@@ -17,17 +17,26 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "rt/core/backend.hpp"
 #include "rt/core/plan.hpp"
 #include "rt/core/stencil_spec.hpp"
 #include "rt/core/temporal.hpp"
 
 namespace rt::core {
 
-/// Full input tuple of plan_for_checked.  The StencilSpec contributes its
-/// numeric fields only (trim_i/trim_j/atd/halo): specs with equal
+/// Full input tuple of the spatial planners.  The StencilSpec contributes
+/// its numeric fields only (trim_i/trim_j/atd/halo): specs with equal
 /// parameters produce equal plans whatever their display name.  Threads
 /// and SIMD level are correctly absent — the spatial search does not take
 /// them, so keying on them would only duplicate entries.
+///
+/// The backend id and the geometry fields it actually reads are part of
+/// the key, so plans from different backends never collide: the model
+/// backend reads only `cs` (its canonical keys zero line_elems and pin
+/// assoc = 1 — the historical key shape, so pre-backend pins still hit),
+/// the oblivious backend reads no geometry at all (same canonical shape),
+/// and the lattice backend keys its full (line_elems, assoc) geometry.
+/// make_backend_key() applies this canonicalization.
 struct PlanKey {
   Transform transform = Transform::kOrig;
   long cs = 0;
@@ -38,6 +47,9 @@ struct PlanKey {
   int atd = 0;
   long halo = 0;
   long n3 = 0;
+  Backend backend = Backend::kModel;
+  long line_elems = 0;  ///< 0 unless the backend reads the line size
+  long assoc = 1;       ///< 1 unless the backend reads the associativity
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
 
@@ -89,6 +101,15 @@ class PlanCache {
   PlanReport plan(Transform transform, long cs, long di, long dj,
                   const StencilSpec& spec, long n3 = 0);
 
+  /// Cached plan_with_backend: same memoization contract as plan(), keyed
+  /// by make_backend_key so different backends (and different geometries,
+  /// where the backend reads them) never share an entry.  plan() is
+  /// exactly plan_backend(Backend::kModel, ...) with direct-mapped
+  /// geometry.
+  PlanReport plan_backend(Backend backend, Transform transform,
+                          const CacheGeom& geom, long di, long dj,
+                          const StencilSpec& spec, long n3 = 0);
+
   /// Cached temporal_plan_checked, same contract: degraded reports are
   /// memoized with their status/detail.  Shares the hit/miss counters
   /// with the spatial map (one redundancy figure per cache).
@@ -100,6 +121,11 @@ class PlanCache {
   /// reports key them exactly the way plan()/temporal() will look them up.
   static PlanKey make_key(Transform transform, long cs, long di, long dj,
                           const StencilSpec& spec, long n3 = 0);
+  /// PlanKey for a backend-routed lookup, with the geometry fields the
+  /// backend does not read canonicalized away (see PlanKey).
+  static PlanKey make_backend_key(Backend backend, Transform transform,
+                                  const CacheGeom& geom, long di, long dj,
+                                  const StencilSpec& spec, long n3 = 0);
   static TemporalKey make_temporal_key(TemporalMode mode, long cs, long n1,
                                        long n2, long n3, int tsteps, long bk,
                                        int threads, long halo = 1);

@@ -1,0 +1,221 @@
+// Pluggable tiling framework: the three-step plan() driver, the `model`
+// backend (the paper's searches, re-homed from the old monolithic
+// plan_for_checked), and the backend registry.
+
+#include "rt/core/backend.hpp"
+
+#include <string>
+#include <utility>
+
+#include "backend_builtin.hpp"
+#include "plan_validate.hpp"
+#include "rt/core/euc3d.hpp"
+#include "rt/core/gcdpad.hpp"
+#include "rt/core/pad.hpp"
+#include "rt/core/square_tile.hpp"
+
+namespace rt::core {
+
+using rt::guard::Status;
+
+PlanReport TilingBackend::plan(const PlanRequest& req) const {
+  PlanReport rep;
+  // The fallback plan every failure path returns: untiled, unpadded —
+  // exactly what the unchecked plan_for silently degrades to.
+  rep.plan.transform = req.transform;
+  rep.plan.dip = req.di;
+  rep.plan.djp = req.dj;
+  rep.plan.backend = id();
+  const TilingPlan fallback = rep.plan;
+
+  std::string detail;
+  Status s = select_strategy(req, &detail);
+  if (s == Status::kOk) s = optimize_shape(req, &rep.plan, &detail);
+  if (s != Status::kOk) {
+    // kFellBackUntiled (and every harder failure) runs the fallback; a
+    // partially-filled shape from a failing backend must not leak out.
+    rep.plan = fallback;
+    rep.status = s;
+    rep.detail = std::move(detail);
+    return rep;
+  }
+  rep.plan.schedule = schedule(req, rep.plan);
+
+  // Overflow-checked allocation size for the planned (padded) dims: the
+  // same product Dims3::checked_alloc_elems guards, checked here so the
+  // caller learns before allocating (and without rt::core depending on
+  // rt::array).
+  long plane = 0, total = 0;
+  if (__builtin_mul_overflow(rep.plan.dip, rep.plan.djp, &plane) ||
+      (req.n3 > 0 && __builtin_mul_overflow(plane, req.n3, &total))) {
+    rep.status = Status::kOverflow;
+    rep.detail = "padded allocation size ";
+    rep.detail += std::to_string(rep.plan.dip);
+    rep.detail += "*";
+    rep.detail += std::to_string(rep.plan.djp);
+    if (req.n3 > 0) {
+      rep.detail += "*";
+      rep.detail += std::to_string(req.n3);
+    }
+    rep.detail += " overflows long";
+  }
+  return rep;
+}
+
+namespace {
+
+/// The paper's planners (Euc3D/GcdPad/Pad/Tile) as a backend.  Strategy
+/// selection always accepts — the model answers every Table 2 transform —
+/// and the per-transform input validation lives in the shape step so the
+/// typed reasons match the original monolithic planner byte for byte.
+class ModelBackend final : public TilingBackend {
+ public:
+  Backend id() const override { return Backend::kModel; }
+
+  Status select_strategy(const PlanRequest&, std::string*) const override {
+    return Status::kOk;
+  }
+
+  Status optimize_shape(const PlanRequest& req, TilingPlan* plan,
+                        std::string* detail) const override {
+    const long cs = req.geom.cs_elems;
+    const long di = req.di;
+    const long dj = req.dj;
+    const StencilSpec& spec = req.spec;
+    switch (req.transform) {
+      case Transform::kOrig: {
+        // No tiling, no padding: only the halo matters (an interior must
+        // exist for the kernel itself to be well-defined).
+        if (di <= spec.trim_i || dj <= spec.trim_j) {
+          *detail = "dimensions at or below the stencil halo";
+          return Status::kInvalidArgument;
+        }
+        return Status::kOk;
+      }
+      case Transform::kTile: {
+        const Status s =
+            rt::core::detail::validate_tiling_inputs(cs, di, dj, spec, detail);
+        if (s != Status::kOk) return s;
+        const IterTile t = square_tile(cs, spec).tile;
+        if (t.ti <= 0 || t.tj <= 0) {
+          *detail = "square tile trims to nothing at cs = " +
+                    std::to_string(cs) + "; running untiled";
+          return Status::kFellBackUntiled;
+        }
+        plan->tiled = true;
+        plan->tile = t;
+        return Status::kOk;
+      }
+      case Transform::kEuc3d: {
+        auto r = euc3d_checked(cs, di, dj, spec);
+        if (!r.ok()) {
+          // Invalid inputs stay invalid; an infeasible search is the
+          // planner falling back to untiled execution — the case the
+          // paper's tiles are meant to never silently hit.
+          *detail = r.detail();
+          return r.status() == Status::kInfeasible ? Status::kFellBackUntiled
+                                                   : r.status();
+        }
+        plan->tiled = true;
+        plan->tile = r.value().tile;
+        return Status::kOk;
+      }
+      case Transform::kGcdPad:
+      case Transform::kPad:
+      case Transform::kGcdPadNT: {
+        auto r = req.transform == Transform::kPad
+                     ? pad_checked(cs, di, dj, spec)
+                     : gcd_pad_checked(cs, di, dj, spec);
+        if (!r.ok()) {
+          *detail = r.detail();
+          return r.status();
+        }
+        plan->dip = r.value().dip;
+        plan->djp = r.value().djp;
+        if (req.transform != Transform::kGcdPadNT) {
+          plan->tiled = true;
+          plan->tile = r.value().tile;
+        }
+        return Status::kOk;
+      }
+    }
+    *detail = "unknown transform";
+    return Status::kInvalidArgument;
+  }
+
+  LoopSchedule schedule(const PlanRequest&,
+                        const TilingPlan& plan) const override {
+    return plan.tiled ? LoopSchedule::kTiled : LoopSchedule::kFlat;
+  }
+};
+
+}  // namespace
+
+const TilingBackend* BackendRegistry::find(Backend id) const {
+  for (const auto& b : backends_) {
+    if (b->id() == id) return b.get();
+  }
+  return nullptr;
+}
+
+const TilingBackend* BackendRegistry::find(std::string_view name) const {
+  for (const auto& b : backends_) {
+    if (b->name() == name) return b.get();
+  }
+  return nullptr;
+}
+
+std::vector<Backend> BackendRegistry::ids() const {
+  std::vector<Backend> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->id());
+  return out;
+}
+
+void BackendRegistry::register_backend(std::unique_ptr<TilingBackend> b) {
+  for (auto& e : backends_) {
+    if (e->id() == b->id()) {
+      e = std::move(b);
+      return;
+    }
+  }
+  backends_.push_back(std::move(b));
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  // Leaked singleton: backends are stateless, planning happens from
+  // arbitrary threads (the solve server), and destruction order at exit
+  // must not matter.  Registration after first use is test-only.
+  static BackendRegistry* reg = [] {
+    auto* r = new BackendRegistry;
+    r->register_backend(std::make_unique<ModelBackend>());
+    r->register_backend(rt::core::detail::make_lattice_backend());
+    r->register_backend(rt::core::detail::make_oblivious_backend());
+    return r;
+  }();
+  return *reg;
+}
+
+PlanReport plan_with_backend(Backend id, Transform transform,
+                             const CacheGeom& geom, long di, long dj,
+                             const StencilSpec& spec, long n3) {
+  const TilingBackend* b = BackendRegistry::instance().find(id);
+  if (b == nullptr) {
+    PlanReport rep;
+    rep.plan.transform = transform;
+    rep.plan.dip = di;
+    rep.plan.djp = dj;
+    rep.plan.backend = id;
+    rep.status = Status::kInvalidArgument;
+    rep.detail =
+        "no registered backend named " + std::string(backend_name(id));
+    return rep;
+  }
+  return b->plan(PlanRequest{transform, geom, di, dj, n3, spec});
+}
+
+Backend auto_backend(const CacheGeom& geom) {
+  return geom.probed ? Backend::kLattice : Backend::kOblivious;
+}
+
+}  // namespace rt::core

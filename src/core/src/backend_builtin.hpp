@@ -1,0 +1,17 @@
+#pragma once
+// Internal (non-installed) factories for the built-in planner backends that
+// live in their own translation units; BackendRegistry::instance()
+// pre-registers them.
+
+#include <memory>
+
+namespace rt::core {
+class TilingBackend;
+}
+
+namespace rt::core::detail {
+
+std::unique_ptr<TilingBackend> make_lattice_backend();
+std::unique_ptr<TilingBackend> make_oblivious_backend();
+
+}  // namespace rt::core::detail

@@ -1,0 +1,181 @@
+// Associativity-lattice backend: conflict-aware tile selection for
+// set-associative caches ("Model-Driven Automatic Tiling with Cache
+// Associativity Lattices").  The paper's Euc3D search assumes a
+// direct-mapped cache: it either over-restricts on associative hardware
+// (tiny DM-safe tiles) or — via the capacity-only Tile transform —
+// under-protects (rows of a power-of-two-strided tile land in the same set
+// and thrash W ways).  This backend accepts exactly the tiles whose
+// worst-case per-set line footprint fits the cache's ways, then picks the
+// min-cost one under the paper's cost function.  No padding: dip/djp stay
+// DI/DJ, so the plan composes with any allocation policy.
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend_builtin.hpp"
+#include "plan_validate.hpp"
+#include "rt/core/backend.hpp"
+#include "rt/core/cost.hpp"
+
+namespace rt::core {
+
+namespace {
+
+using rt::guard::Status;
+
+/// (sets, ways, line) resolved from a CacheGeom with the degenerate cases
+/// clamped: assoc = 0 means fully associative (one set, all lines are
+/// ways); assoc >= lines likewise collapses to a single set.
+struct SetGeom {
+  long line_elems = 1;
+  long sets = 1;
+  long ways = 1;
+};
+
+SetGeom resolve_sets(const CacheGeom& g) {
+  SetGeom sg;
+  sg.line_elems = std::max<long>(1, g.line_elems);
+  const long lines = std::max<long>(1, g.cs_elems / sg.line_elems);
+  sg.ways = g.assoc == 0 ? lines : std::max<long>(1, std::min(g.assoc, lines));
+  sg.sets = std::max<long>(1, lines / sg.ways);
+  return sg;
+}
+
+}  // namespace
+
+long lattice_worst_occupancy(const CacheGeom& geom, long dip, long djp,
+                             long ati, long atj, int atd) {
+  if (ati <= 0 || atj <= 0 || atd <= 0) return 0;
+  const SetGeom sg = resolve_sets(geom);
+  // Shifting the tile's base address by q*Le + b rotates every line index
+  // by q (a set permutation that preserves per-set counts) and then
+  // applies the intra-line phase b — so maximizing over b in [0, Le)
+  // covers every base address the tile can start at.
+  std::vector<long> counts(static_cast<size_t>(sg.sets));
+  long worst = 0;
+  for (long b = 0; b < sg.line_elems; ++b) {
+    std::fill(counts.begin(), counts.end(), 0L);
+    for (int k = 0; k < atd; ++k) {
+      for (long j = 0; j < atj; ++j) {
+        const long off = b + j * dip + k * dip * djp;
+        const long l0 = off / sg.line_elems;
+        const long l1 = (off + ati - 1) / sg.line_elems;
+        for (long l = l0; l <= l1; ++l) {
+          const long c = ++counts[static_cast<size_t>(l % sg.sets)];
+          worst = std::max(worst, c);
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+class LatticeBackend final : public TilingBackend {
+ public:
+  Backend id() const override { return Backend::kLattice; }
+
+  Status select_strategy(const PlanRequest& req,
+                         std::string* detail) const override {
+    const StencilSpec& spec = req.spec;
+    if (req.transform == Transform::kOrig) {
+      // No tiling requested: pass through untiled, like the model.
+      if (req.di <= spec.trim_i || req.dj <= spec.trim_j) {
+        *detail = "dimensions at or below the stencil halo";
+        return Status::kInvalidArgument;
+      }
+      return Status::kOk;
+    }
+    if (req.transform == Transform::kGcdPadNT) {
+      *detail =
+          "the lattice backend does not pad: GcdPadNT has no lattice plan";
+      return Status::kInvalidArgument;
+    }
+    // Every tiling transform maps onto the same lattice search.
+    return rt::core::detail::validate_tiling_inputs(
+        req.geom.cs_elems, req.di, req.dj, spec, detail);
+  }
+
+  Status optimize_shape(const PlanRequest& req, TilingPlan* plan,
+                        std::string* detail) const override {
+    if (req.transform == Transform::kOrig) return Status::kOk;
+
+    const StencilSpec& spec = req.spec;
+    const SetGeom sg = resolve_sets(req.geom);
+    const long max_ti = req.di - spec.trim_i;
+    const long max_tj = req.dj - spec.trim_j;
+    // Per-set occupancy <= ways across all sets already implies the tile
+    // fits the cache (sum over sets <= sets*ways = lines); the explicit
+    // capacity bound just prunes the search.
+    const long cap = req.geom.cs_elems / std::max(1, spec.atd);
+
+    IterTile best{0, 0};
+    double best_cost = std::numeric_limits<double>::infinity();
+    // Dense scan for small TJ, then geometric steps: the cost function is
+    // smooth in TJ once TJ is large, and the occupancy constraint only
+    // tightens, so coarse sampling of the tail loses nothing material.
+    for (long tj = 1; tj <= max_tj; tj += tj <= 256 ? 1 : std::max<long>(1, tj / 4)) {
+      const long atj = tj + spec.trim_j;
+      if (atj > cap) break;
+      const long hi =
+          std::min(max_ti, cap / atj - spec.trim_i);  // iteration-tile TI
+      if (hi < 1) continue;
+      if (lattice_worst_occupancy(req.geom, req.di, req.dj, 1 + spec.trim_i,
+                                  atj, spec.atd) > sg.ways) {
+        continue;  // even a one-column tile of this height conflicts
+      }
+      // Occupancy is monotone in ATI (widening rows only adds lines), so
+      // binary-search the widest feasible TI for this TJ.
+      long lo = 1, feasible = 1, probe_hi = hi;
+      while (lo <= probe_hi) {
+        const long mid = lo + (probe_hi - lo) / 2;
+        if (lattice_worst_occupancy(req.geom, req.di, req.dj,
+                                    mid + spec.trim_i, atj,
+                                    spec.atd) <= sg.ways) {
+          feasible = mid;
+          lo = mid + 1;
+        } else {
+          probe_hi = mid - 1;
+        }
+      }
+      const double c = cost(feasible, tj, spec);
+      if (c < best_cost) {
+        best_cost = c;
+        best = IterTile{feasible, tj};
+      }
+    }
+
+    if (best.ti <= 0 || best.tj <= 0) {
+      *detail = "lattice found no tile of depth " +
+                std::to_string(spec.atd) + " with per-set occupancy <= " +
+                std::to_string(sg.ways) + " ways for " +
+                std::to_string(req.di) + "x" + std::to_string(req.dj) +
+                "; running untiled";
+      return Status::kFellBackUntiled;
+    }
+    plan->tiled = true;
+    plan->tile = best;
+    return Status::kOk;
+  }
+
+  LoopSchedule schedule(const PlanRequest&,
+                        const TilingPlan& plan) const override {
+    return plan.tiled ? LoopSchedule::kTiled : LoopSchedule::kFlat;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<TilingBackend> make_lattice_backend() {
+  return std::make_unique<LatticeBackend>();
+}
+
+}  // namespace detail
+
+}  // namespace rt::core

@@ -1,0 +1,83 @@
+// Cache-oblivious backend (PCOT / inncabs-style recursive Jacobi): no
+// cache parameters consulted at all.  The plan carries a fixed
+// overhead-amortizing base tile and LoopSchedule::kRecursive; the executor
+// bisects the larger of the I/J extents until blocks fit the base case, so
+// every cache level is exploited without knowing any of their sizes.  This
+// is the clean degradation path on hosts whose cache geometry cannot be
+// probed — the plan stays tiled (recursive), never untiled.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "backend_builtin.hpp"
+#include "rt/core/backend.hpp"
+#include "rt/core/cost.hpp"
+
+namespace rt::core {
+
+namespace {
+
+using rt::guard::Status;
+
+/// Base-case extents the recursion stops at: a long unit-stride run in I
+/// to keep the inner loop vectorizable, a few rows of J so the base block
+/// still reuses loaded lines.  Deliberately cache-size-free.
+constexpr long kBaseTi = 64;
+constexpr long kBaseTj = 8;
+
+class ObliviousBackend final : public TilingBackend {
+ public:
+  Backend id() const override { return Backend::kOblivious; }
+
+  Status select_strategy(const PlanRequest& req,
+                         std::string* detail) const override {
+    const StencilSpec& spec = req.spec;
+    if (spec.halo < 0) {
+      *detail = "stencil halo must be >= 0 (halo = " +
+                std::to_string(spec.halo) + ")";
+      return Status::kInvalidArgument;
+    }
+    if (req.di <= spec.trim_i || req.dj <= spec.trim_j) {
+      *detail = "dimensions " + std::to_string(req.di) + "x" +
+                std::to_string(req.dj) + " at or below the stencil halo (" +
+                std::to_string(spec.trim_i) + "," +
+                std::to_string(spec.trim_j) + "): no interior to tile";
+      return Status::kInvalidArgument;
+    }
+    if (req.transform == Transform::kGcdPadNT) {
+      *detail =
+          "the oblivious backend does not pad: GcdPadNT has no oblivious plan";
+      return Status::kInvalidArgument;
+    }
+    // Note: no cache checks — this backend ignores req.geom entirely.
+    return Status::kOk;
+  }
+
+  Status optimize_shape(const PlanRequest& req, TilingPlan* plan,
+                        std::string*) const override {
+    if (req.transform == Transform::kOrig) return Status::kOk;
+    const StencilSpec& spec = req.spec;
+    plan->tiled = true;
+    plan->tile = IterTile{std::min(kBaseTi, req.di - spec.trim_i),
+                          std::min(kBaseTj, req.dj - spec.trim_j)};
+    return Status::kOk;
+  }
+
+  LoopSchedule schedule(const PlanRequest&,
+                        const TilingPlan& plan) const override {
+    return plan.tiled ? LoopSchedule::kRecursive : LoopSchedule::kFlat;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<TilingBackend> make_oblivious_backend() {
+  return std::make_unique<ObliviousBackend>();
+}
+
+}  // namespace detail
+
+}  // namespace rt::core

@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "plan_validate.hpp"
+#include "rt/core/backend.hpp"
 #include "rt/core/euc3d.hpp"
 #include "rt/core/gcdpad.hpp"
 #include "rt/core/pad.hpp"
@@ -15,12 +17,10 @@
 
 namespace rt::core {
 
-namespace {
-
 using rt::guard::Status;
 
-/// Shared input validation: the conditions under which *no* tiling
-/// transform can answer.  Returns kOk when the inputs are askable.
+namespace detail {
+
 Status validate_tiling_inputs(long cs, long di, long dj,
                               const StencilSpec& spec, std::string* detail) {
   if (cs <= 0) {
@@ -46,7 +46,6 @@ Status validate_tiling_inputs(long cs, long di, long dj,
   return Status::kOk;
 }
 
-/// GCD-family validation on top of the shared rules.
 Status validate_gcd_inputs(long cs, long di, long dj, const StencilSpec& spec,
                            std::string* detail) {
   const Status s = validate_tiling_inputs(cs, di, dj, spec, detail);
@@ -65,12 +64,13 @@ Status validate_gcd_inputs(long cs, long di, long dj, const StencilSpec& spec,
   return Status::kOk;
 }
 
-}  // namespace
+}  // namespace detail
 
 rt::guard::Expected<Euc3dResult> euc3d_checked(long cs, long di, long dj,
                                                const StencilSpec& spec) {
   std::string detail;
-  const Status s = validate_tiling_inputs(cs, di, dj, spec, &detail);
+  const Status s =
+      rt::core::detail::validate_tiling_inputs(cs, di, dj, spec, &detail);
   if (s != Status::kOk) return {s, std::move(detail)};
   Euc3dResult r = euc3d(cs, di, dj, spec);
   if (r.tile.ti <= 0 || r.tile.tj <= 0) {
@@ -86,7 +86,8 @@ rt::guard::Expected<Euc3dResult> euc3d_checked(long cs, long di, long dj,
 rt::guard::Expected<PadPlan> gcd_pad_checked(long cs, long di, long dj,
                                              const StencilSpec& spec) {
   std::string detail;
-  const Status s = validate_gcd_inputs(cs, di, dj, spec, &detail);
+  const Status s =
+      rt::core::detail::validate_gcd_inputs(cs, di, dj, spec, &detail);
   if (s != Status::kOk) return {s, std::move(detail)};
   return gcd_pad(cs, di, dj, spec);
 }
@@ -94,95 +95,21 @@ rt::guard::Expected<PadPlan> gcd_pad_checked(long cs, long di, long dj,
 rt::guard::Expected<PadPlan> pad_checked(long cs, long di, long dj,
                                          const StencilSpec& spec) {
   std::string detail;
-  const Status s = validate_gcd_inputs(cs, di, dj, spec, &detail);
+  const Status s =
+      rt::core::detail::validate_gcd_inputs(cs, di, dj, spec, &detail);
   if (s != Status::kOk) return {s, std::move(detail)};
   return pad(cs, di, dj, spec);
 }
 
 PlanReport plan_for_checked(Transform transform, long cs, long di, long dj,
                             const StencilSpec& spec, long n3) {
-  PlanReport rep;
-  // The fallback plan every failure path returns: untiled, unpadded —
-  // exactly what the unchecked plan_for silently degrades to.
-  rep.plan.transform = transform;
-  rep.plan.dip = di;
-  rep.plan.djp = dj;
-
-  const auto fail = [&rep](Status s, std::string detail) -> PlanReport& {
-    rep.status = s;
-    rep.detail = std::move(detail);
-    return rep;
-  };
-
-  std::string detail;
-  switch (transform) {
-    case Transform::kOrig: {
-      // No tiling, no padding: only the halo matters (an interior must
-      // exist for the kernel itself to be well-defined).
-      if (di <= spec.trim_i || dj <= spec.trim_j) {
-        return fail(Status::kInvalidArgument,
-                    "dimensions at or below the stencil halo");
-      }
-      break;
-    }
-    case Transform::kTile: {
-      const Status s = validate_tiling_inputs(cs, di, dj, spec, &detail);
-      if (s != Status::kOk) return fail(s, std::move(detail));
-      const IterTile t = square_tile(cs, spec).tile;
-      if (t.ti <= 0 || t.tj <= 0) {
-        return fail(Status::kFellBackUntiled,
-                    "square tile trims to nothing at cs = " +
-                        std::to_string(cs) + "; running untiled");
-      }
-      rep.plan.tiled = true;
-      rep.plan.tile = t;
-      break;
-    }
-    case Transform::kEuc3d: {
-      auto r = euc3d_checked(cs, di, dj, spec);
-      if (!r.ok()) {
-        // Invalid inputs stay invalid; an infeasible search is the planner
-        // falling back to untiled execution — the case the paper's tiles
-        // are meant to never silently hit.
-        return fail(r.status() == Status::kInfeasible
-                        ? Status::kFellBackUntiled
-                        : r.status(),
-                    r.detail());
-      }
-      rep.plan.tiled = true;
-      rep.plan.tile = r.value().tile;
-      break;
-    }
-    case Transform::kGcdPad:
-    case Transform::kPad:
-    case Transform::kGcdPadNT: {
-      auto r = transform == Transform::kPad ? pad_checked(cs, di, dj, spec)
-                                            : gcd_pad_checked(cs, di, dj, spec);
-      if (!r.ok()) return fail(r.status(), r.detail());
-      rep.plan.dip = r.value().dip;
-      rep.plan.djp = r.value().djp;
-      if (transform != Transform::kGcdPadNT) {
-        rep.plan.tiled = true;
-        rep.plan.tile = r.value().tile;
-      }
-      break;
-    }
-  }
-
-  // Overflow-checked allocation size for the planned (padded) dims: the
-  // same product Dims3::checked_alloc_elems guards, checked here so the
-  // caller learns before allocating (and without rt::core depending on
-  // rt::array).
-  long plane = 0, total = 0;
-  if (__builtin_mul_overflow(rep.plan.dip, rep.plan.djp, &plane) ||
-      (n3 > 0 && __builtin_mul_overflow(plane, n3, &total))) {
-    return fail(Status::kOverflow,
-                "padded allocation size " + std::to_string(rep.plan.dip) +
-                    "*" + std::to_string(rep.plan.djp) +
-                    (n3 > 0 ? "*" + std::to_string(n3) : "") +
-                    " overflows long");
-  }
-  return rep;
+  // Thin wrapper over the model backend (rt/core/backend.hpp): the paper's
+  // searches only read the capacity, so the rest of the geometry is the
+  // direct-mapped default.  Every historical call site transparently goes
+  // through the pluggable framework this way.
+  CacheGeom geom;
+  geom.cs_elems = cs;
+  return plan_with_backend(Backend::kModel, transform, geom, di, dj, spec, n3);
 }
 
 }  // namespace rt::core

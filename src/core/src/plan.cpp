@@ -29,6 +29,54 @@ const std::vector<Transform>& all_transforms() {
   return kAll;
 }
 
+std::string_view backend_name(Backend b) {
+  switch (b) {
+    case Backend::kModel: return "model";
+    case Backend::kLattice: return "lattice";
+    case Backend::kOblivious: return "oblivious";
+  }
+  return "?";
+}
+
+bool parse_backend(const std::string& s, Backend* out) {
+  for (Backend b : all_backends()) {
+    if (s == backend_name(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<Backend>& all_backends() {
+  static const std::vector<Backend> kAll = {
+      Backend::kModel,
+      Backend::kLattice,
+      Backend::kOblivious,
+  };
+  return kAll;
+}
+
+std::string_view schedule_name(LoopSchedule s) {
+  switch (s) {
+    case LoopSchedule::kFlat: return "flat";
+    case LoopSchedule::kTiled: return "tiled";
+    case LoopSchedule::kRecursive: return "recursive";
+  }
+  return "?";
+}
+
+bool parse_schedule(const std::string& s, LoopSchedule* out) {
+  for (LoopSchedule l :
+       {LoopSchedule::kFlat, LoopSchedule::kTiled, LoopSchedule::kRecursive}) {
+    if (s == schedule_name(l)) {
+      *out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
 TilingPlan plan_for(Transform transform, long cs, long di, long dj,
                     const StencilSpec& spec) {
   TilingPlan p;
@@ -40,6 +88,7 @@ TilingPlan plan_for(Transform transform, long cs, long di, long dj,
     if (t.ti > 0 && t.tj > 0) {
       p.tiled = true;
       p.tile = t;
+      p.schedule = LoopSchedule::kTiled;
     }
   };
 

@@ -19,6 +19,9 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   combine(seed, static_cast<std::size_t>(k.atd));
   combine(seed, static_cast<std::size_t>(k.halo));
   combine(seed, static_cast<std::size_t>(k.n3));
+  combine(seed, static_cast<std::size_t>(k.backend));
+  combine(seed, static_cast<std::size_t>(k.line_elems));
+  combine(seed, static_cast<std::size_t>(k.assoc));
   return seed;
 }
 
@@ -37,8 +40,27 @@ std::size_t TemporalKeyHash::operator()(const TemporalKey& k) const {
 
 PlanKey PlanCache::make_key(Transform transform, long cs, long di, long dj,
                             const StencilSpec& spec, long n3) {
+  // Defaults for the trailing fields are the model backend's canonical key
+  // shape (backend = kModel, line_elems = 0, assoc = 1) — identical to the
+  // pre-backend key, so historical pins keep hitting.
   return PlanKey{transform,   cs,          di,       dj,
                  spec.trim_i, spec.trim_j, spec.atd, spec.halo, n3};
+}
+
+PlanKey PlanCache::make_backend_key(Backend backend, Transform transform,
+                                    const CacheGeom& geom, long di, long dj,
+                                    const StencilSpec& spec, long n3) {
+  PlanKey key = make_key(transform, geom.cs_elems, di, dj, spec, n3);
+  key.backend = backend;
+  if (backend == Backend::kLattice) {
+    // The only backend that reads the set geometry; the model assumes
+    // direct-mapped and the oblivious backend ignores geometry entirely,
+    // so their keys stay canonical (line_elems = 0, assoc = 1) and equal
+    // geometries never fragment into duplicate entries.
+    key.line_elems = geom.line_elems;
+    key.assoc = geom.assoc;
+  }
+  return key;
 }
 
 TemporalKey PlanCache::make_temporal_key(TemporalMode mode, long cs, long n1,
@@ -49,7 +71,18 @@ TemporalKey PlanCache::make_temporal_key(TemporalMode mode, long cs, long n1,
 
 PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
                            const StencilSpec& spec, long n3) {
-  const PlanKey key = make_key(transform, cs, di, dj, spec, n3);
+  // The historical entry point is the model backend against direct-mapped
+  // geometry; make_backend_key canonicalizes to the identical key shape.
+  CacheGeom geom;
+  geom.cs_elems = cs;
+  return plan_backend(Backend::kModel, transform, geom, di, dj, spec, n3);
+}
+
+PlanReport PlanCache::plan_backend(Backend backend, Transform transform,
+                                   const CacheGeom& geom, long di, long dj,
+                                   const StencilSpec& spec, long n3) {
+  const PlanKey key =
+      make_backend_key(backend, transform, geom, di, dj, spec, n3);
   {
     std::lock_guard<std::mutex> lock(m_);
     // Pinned (autotuned) winners are served ahead of the memoized model
@@ -67,9 +100,10 @@ PlanReport PlanCache::plan(Transform transform, long cs, long di, long dj,
     }
   }
   // Search outside the lock: concurrent first queries of the same key may
-  // both run the planner, but plan_for_checked is pure, so both compute
-  // the identical report and the second insert is a no-op.
-  PlanReport rep = plan_for_checked(transform, cs, di, dj, spec, n3);
+  // both run the planner, but every backend's plan() is pure, so both
+  // compute the identical report and the second insert is a no-op.
+  PlanReport rep =
+      plan_with_backend(backend, transform, geom, di, dj, spec, n3);
   {
     std::lock_guard<std::mutex> lock(m_);
     ++stats_.misses;

@@ -1,0 +1,25 @@
+#pragma once
+// Internal (non-installed) declarations shared between checked.cpp and the
+// planner backends: the input validators the checked search primitives and
+// the model backend's strategy step both apply.
+
+#include <string>
+
+#include "rt/core/stencil_spec.hpp"
+#include "rt/guard/status.hpp"
+
+namespace rt::core::detail {
+
+/// Shared input validation: the conditions under which *no* tiling
+/// transform can answer.  Returns kOk when the inputs are askable.
+rt::guard::Status validate_tiling_inputs(long cs, long di, long dj,
+                                         const StencilSpec& spec,
+                                         std::string* detail);
+
+/// GCD-family validation on top of the shared rules (power-of-two cache,
+/// cache at least the fixed tile depth).
+rt::guard::Status validate_gcd_inputs(long cs, long di, long dj,
+                                      const StencilSpec& spec,
+                                      std::string* detail);
+
+}  // namespace rt::core::detail

@@ -1,0 +1,126 @@
+#pragma once
+// Cache-oblivious variants of the stencil kernels (PCOT-style recursive
+// spatial decomposition; cf. the inncabs cache-oblivious Jacobi).  The
+// (J, I) interior is bisected — always the dimension furthest from its
+// base extent — until blocks reach the plan's base tile, then the block
+// runs as a plain K/J/I nest.  No cache parameter is consulted anywhere:
+// every level of the recursion fits *some* cache level, which is the
+// whole point.
+//
+// Bit-identical guarantee: within one sweep (one parity, for red-black)
+// every (i, j, k) update is independent of the others, so visiting the
+// blocks in recursion order computes exactly what the flat nest computes.
+
+#include <utility>
+
+#include "rt/core/cost.hpp"
+#include "rt/kernels/redblack.hpp"
+#include "rt/kernels/resid.hpp"
+
+namespace rt::kernels {
+
+/// Recursive driver over the half-open region [ilo, ihi) x [jlo, jhi):
+/// bisect whichever dimension overshoots its base extent by the larger
+/// factor, stop when both fit, and hand the block to @p body as
+/// body(ilo, ihi, jlo, jhi).  Depth is O(log(N / base)).
+template <class Body>
+void co_over(long ilo, long ihi, long jlo, long jhi, long base_ti,
+             long base_tj, Body&& body) {
+  const long ni = ihi - ilo;
+  const long nj = jhi - jlo;
+  if (ni <= 0 || nj <= 0) return;
+  if (base_ti < 1) base_ti = 1;
+  if (base_tj < 1) base_tj = 1;
+  if (ni <= base_ti && nj <= base_tj) {
+    body(ilo, ihi, jlo, jhi);
+    return;
+  }
+  // ni/base_ti >= nj/base_tj, cross-multiplied to stay in integers.
+  if (ni * base_tj >= nj * base_ti) {
+    const long mid = ilo + ni / 2;
+    co_over(ilo, mid, jlo, jhi, base_ti, base_tj, body);
+    co_over(mid, ihi, jlo, jhi, base_ti, base_tj, std::forward<Body>(body));
+  } else {
+    const long mid = jlo + nj / 2;
+    co_over(ilo, ihi, jlo, mid, base_ti, base_tj, body);
+    co_over(ilo, ihi, mid, jhi, base_ti, base_tj, std::forward<Body>(body));
+  }
+}
+
+/// Cache-oblivious 3D Jacobi: recursive (J, I) decomposition down to
+/// @p base, K untiled inside each block (matching jacobi3d_tiled's nest).
+template <class Dst, class Src>
+void jacobi3d_oblivious(Dst& a, Src& b, double c, IterTile base) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  co_over(1, n1 - 1, 1, n2 - 1, base.ti, base.tj,
+          [&](long ilo, long ihi, long jlo, long jhi) {
+            for (long k = 1; k < n3 - 1; ++k) {
+              for (long j = jlo; j < jhi; ++j) {
+                for (long i = ilo; i < ihi; ++i) {
+                  a.store(i, j, k,
+                          c * (b.load(i - 1, j, k) + b.load(i + 1, j, k) +
+                               b.load(i, j - 1, k) + b.load(i, j + 1, k) +
+                               b.load(i, j, k - 1) + b.load(i, j, k + 1)));
+                }
+              }
+            }
+          });
+}
+
+/// Cache-oblivious interior copy-back (pairs with jacobi3d_oblivious in
+/// the realistic two-nest pattern).
+template <class Dst, class Src>
+void copy_interior_oblivious(Dst& dst, Src& src, IterTile base) {
+  const long n1 = dst.n1(), n2 = dst.n2(), n3 = dst.n3();
+  co_over(1, n1 - 1, 1, n2 - 1, base.ti, base.tj,
+          [&](long ilo, long ihi, long jlo, long jhi) {
+            for (long k = 1; k < n3 - 1; ++k) {
+              for (long j = jlo; j < jhi; ++j) {
+                for (long i = ilo; i < ihi; ++i) {
+                  dst.store(i, j, k, src.load(i, j, k));
+                }
+              }
+            }
+          });
+}
+
+/// Cache-oblivious RESID: recursive (I2, I1) decomposition, I3 untiled
+/// inside each block (matching resid_tiled's nest).
+template <class R, class V, class U>
+void resid_oblivious(R& r, V& v, U& u, const ResidCoeffs& a, IterTile base) {
+  const long n1 = r.n1(), n2 = r.n2(), n3 = r.n3();
+  co_over(1, n1 - 1, 1, n2 - 1, base.ti, base.tj,
+          [&](long i1lo, long i1hi, long i2lo, long i2hi) {
+            for (long i3 = 1; i3 < n3 - 1; ++i3) {
+              for (long i2 = i2lo; i2 < i2hi; ++i2) {
+                for (long i1 = i1lo; i1 < i1hi; ++i1) {
+                  resid_point(r, v, u, a, i1, i2, i3);
+                }
+              }
+            }
+          });
+}
+
+/// Cache-oblivious red-black SOR: color by color (all red blocks before
+/// any black block, like redblack_naive), each color's (J, I) region
+/// decomposed recursively.  Same-color points never neighbour each other,
+/// so block order within a color cannot change a single update.
+template <class Acc>
+void redblack_oblivious(Acc& a, double c1, double c2, IterTile base) {
+  const long n1 = a.n1(), n2 = a.n2(), n3 = a.n3();
+  for (long parity = 0; parity < 2; ++parity) {
+    co_over(1, n1 - 1, 1, n2 - 1, base.ti, base.tj,
+            [&](long ilo, long ihi, long jlo, long jhi) {
+              for (long k = 1; k < n3 - 1; ++k) {
+                for (long j = jlo; j < jhi; ++j) {
+                  for (long i = detail::first_with_parity(ilo, j, k, parity);
+                       i < ihi; i += 2) {
+                    rb_update(a, i, j, k, c1, c2);
+                  }
+                }
+              }
+            });
+  }
+}
+
+}  // namespace rt::kernels

@@ -14,6 +14,7 @@
 #include <cmath>
 
 #include "rt/core/cost.hpp"
+#include "rt/kernels/oblivious.hpp"
 
 namespace rt::multigrid {
 
@@ -92,6 +93,47 @@ void psinv_tiled(U& u, R& r, const SmootherCoeffs& c, rt::core::IterTile t) {
       }
     }
   }
+}
+
+/// Cache-oblivious psinv: recursive (I2, I1) decomposition down to
+/// @p base (rt::kernels::co_over), I3 untiled inside each block.  Pure
+/// gather from r, so block order cannot change a single update.
+template <class U, class R>
+void psinv_oblivious(U& u, R& r, const SmootherCoeffs& c,
+                     rt::core::IterTile base) {
+  const long n1 = u.n1(), n2 = u.n2(), n3 = u.n3();
+  rt::kernels::co_over(
+      1, n1 - 1, 1, n2 - 1, base.ti, base.tj,
+      [&](long i1lo, long i1hi, long i2lo, long i2hi) {
+        for (long i3 = 1; i3 < n3 - 1; ++i3) {
+          for (long i2 = i2lo; i2 < i2hi; ++i2) {
+            for (long i1 = i1lo; i1 < i1hi; ++i1) {
+              const double s1 =
+                  r.load(i1 - 1, i2, i3) + r.load(i1 + 1, i2, i3) +
+                  r.load(i1, i2 - 1, i3) + r.load(i1, i2 + 1, i3) +
+                  r.load(i1, i2, i3 - 1) + r.load(i1, i2, i3 + 1);
+              const double s2 =
+                  r.load(i1 - 1, i2 - 1, i3) + r.load(i1 + 1, i2 - 1, i3) +
+                  r.load(i1 - 1, i2 + 1, i3) + r.load(i1 + 1, i2 + 1, i3) +
+                  r.load(i1, i2 - 1, i3 - 1) + r.load(i1, i2 + 1, i3 - 1) +
+                  r.load(i1, i2 - 1, i3 + 1) + r.load(i1, i2 + 1, i3 + 1) +
+                  r.load(i1 - 1, i2, i3 - 1) + r.load(i1 - 1, i2, i3 + 1) +
+                  r.load(i1 + 1, i2, i3 - 1) + r.load(i1 + 1, i2, i3 + 1);
+              const double s3 = r.load(i1 - 1, i2 - 1, i3 - 1) +
+                                r.load(i1 + 1, i2 - 1, i3 - 1) +
+                                r.load(i1 - 1, i2 + 1, i3 - 1) +
+                                r.load(i1 + 1, i2 + 1, i3 - 1) +
+                                r.load(i1 - 1, i2 - 1, i3 + 1) +
+                                r.load(i1 + 1, i2 - 1, i3 + 1) +
+                                r.load(i1 - 1, i2 + 1, i3 + 1) +
+                                r.load(i1 + 1, i2 + 1, i3 + 1);
+              u.store(i1, i2, i3,
+                      u.load(i1, i2, i3) + c[0] * r.load(i1, i2, i3) +
+                          c[1] * s1 + c[2] * s2 + c[3] * s3);
+            }
+          }
+        }
+      });
 }
 
 /// Full-weighting restriction: fine residual r -> coarse residual s.

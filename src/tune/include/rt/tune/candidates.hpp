@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "rt/core/backend.hpp"
 #include "rt/core/plan.hpp"
+#include "rt/core/stencil_spec.hpp"
 #include "rt/core/temporal.hpp"
 
 namespace rt::tune {
@@ -31,6 +33,19 @@ struct Candidate {
 /// capped at @p max_candidates (generation order is preference order).
 std::vector<Candidate> spatial_candidates(const rt::core::TilingPlan& model,
                                           long di, long dj, long halo,
+                                          std::size_t max_candidates = 24);
+
+/// Backend-aware candidate set: everything the overload above generates,
+/// plus the alternative planner backends' answers for the same problem —
+/// the lattice backend's conflict-aware tile ("backend:lattice") and the
+/// oblivious backend's recursive plan ("backend:oblivious"), both planned
+/// against @p geom for @p spec — so calibration sweeps race backends
+/// against each other and the perturbation neighbourhood alike.  Backend
+/// plans that fail, degrade, or duplicate an existing shape are skipped.
+std::vector<Candidate> spatial_candidates(const rt::core::TilingPlan& model,
+                                          long di, long dj, long halo,
+                                          const rt::core::CacheGeom& geom,
+                                          const rt::core::StencilSpec& spec,
                                           std::size_t max_candidates = 24);
 
 /// One temporal candidate: a full validated report (the temporal planner

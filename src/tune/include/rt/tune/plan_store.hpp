@@ -23,8 +23,11 @@
 namespace rt::tune {
 
 /// Bumped whenever the serialized schema changes shape; a mismatch is
-/// kStale (regenerate by re-tuning), never reinterpreted.
-inline constexpr int kPlanStoreVersion = 1;
+/// kStale (regenerate by re-tuning), never reinterpreted.  v2: keys and
+/// plans carry the planner backend id (plus the geometry fields the
+/// backend reads, and the plan's loop schedule) — pre-backend v1 stores
+/// load as kStale, so a foreign backend's plan is never misapplied.
+inline constexpr int kPlanStoreVersion = 2;
 
 /// One persisted winner: the human-readable TuneKey it answers, the exact
 /// PlanCache key to pin it under, the winning plan, and the calibration

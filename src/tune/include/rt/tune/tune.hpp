@@ -52,6 +52,10 @@ struct TuneKey {
   long n = 0;          ///< problem size (N x N x n3 arrays)
   long n3 = 0;         ///< third dimension (the paper fixes it at 30)
   rt::core::Transform transform = rt::core::Transform::kOrig;
+  /// Planner backend the winner was calibrated against: a lattice-planned
+  /// winner must never be served for a model-planned configuration (plan
+  /// identity; see rt/core/backend.hpp).
+  rt::core::Backend backend = rt::core::Backend::kModel;
   int threads = 1;
   std::string simd = "off";  ///< SIMD mode token ("off" / "auto" / "avx2")
   rt::core::TemporalMode temporal = rt::core::TemporalMode::kOff;
@@ -60,7 +64,7 @@ struct TuneKey {
   friend bool operator==(const TuneKey&, const TuneKey&) = default;
 
   /// Stable one-line identity, e.g.
-  ///   "JACOBI/n400x30/GcdPad/t4/simd=avx2/temporal=off/ts0"
+  ///   "JACOBI/n400x30/GcdPad/model/t4/simd=avx2/temporal=off/ts0"
   /// — used as the table label and the store's de-duplication key.
   std::string str() const;
 };

@@ -116,6 +116,46 @@ std::vector<Candidate> spatial_candidates(const rt::core::TilingPlan& model,
   return out;
 }
 
+std::vector<Candidate> spatial_candidates(const rt::core::TilingPlan& model,
+                                          long di, long dj, long halo,
+                                          const rt::core::CacheGeom& geom,
+                                          const rt::core::StencilSpec& spec,
+                                          std::size_t max_candidates) {
+  // Leave room for the two backend candidates: they are the point of this
+  // overload, so the perturbation neighbourhood yields the last slots.
+  const std::size_t base_max =
+      max_candidates > 2 ? max_candidates - 2 : max_candidates;
+  std::vector<Candidate> out =
+      spatial_candidates(model, di, dj, halo, base_max);
+
+  // The lattice/oblivious backends answer every tiling transform the same
+  // way; ride the model's transform when it tiles, kTile otherwise.
+  rt::core::Transform tr = model.transform;
+  if (tr == rt::core::Transform::kOrig ||
+      tr == rt::core::Transform::kGcdPadNT) {
+    tr = rt::core::Transform::kTile;
+  }
+  const auto add_backend = [&](rt::core::Backend b, const char* origin) {
+    if (out.size() >= max_candidates) return;
+    const rt::core::PlanReport rep =
+        rt::core::plan_with_backend(b, tr, geom, di, dj, spec, 0);
+    if (!rep.ok()) return;  // degraded backend plans add nothing to race
+    for (const Candidate& c : out) {
+      // Schedule participates here: an oblivious plan with the same base
+      // tile as a flat candidate still executes differently.
+      if (c.plan.tiled == rep.plan.tiled && c.plan.tile == rep.plan.tile &&
+          c.plan.dip == rep.plan.dip && c.plan.djp == rep.plan.djp &&
+          c.plan.schedule == rep.plan.schedule) {
+        return;
+      }
+    }
+    out.push_back(Candidate{rep.plan, origin});
+  };
+  add_backend(rt::core::Backend::kLattice, "backend:lattice");
+  add_backend(rt::core::Backend::kOblivious, "backend:oblivious");
+  return out;
+}
+
 std::vector<TemporalCandidate> temporal_candidates(
     rt::core::TemporalMode mode, long cs, long n1, long n2, long n3,
     int tsteps, int threads, long halo, std::size_t max_candidates) {

@@ -58,6 +58,7 @@ JsonValue tune_key_json(const TuneKey& k) {
       .set("n", k.n)
       .set("n3", k.n3)
       .set("transform", std::string(rt::core::transform_name(k.transform)))
+      .set("backend", std::string(rt::core::backend_name(k.backend)))
       .set("threads", k.threads)
       .set("simd", k.simd)
       .set("temporal", rt::core::temporal_mode_name(k.temporal))
@@ -75,13 +76,18 @@ JsonValue plan_key_json(const rt::core::PlanKey& k) {
       .set("trim_j", k.trim_j)
       .set("atd", k.atd)
       .set("halo", k.halo)
-      .set("n3", k.n3);
+      .set("n3", k.n3)
+      .set("backend", std::string(rt::core::backend_name(k.backend)))
+      .set("line_elems", k.line_elems)
+      .set("assoc", k.assoc);
   return o;
 }
 
 JsonValue tiling_plan_json(const rt::core::TilingPlan& p) {
   JsonValue o = JsonValue::object();
   o.set("transform", std::string(rt::core::transform_name(p.transform)))
+      .set("backend", std::string(rt::core::backend_name(p.backend)))
+      .set("schedule", std::string(rt::core::schedule_name(p.schedule)))
       .set("tiled", p.tiled)
       .set("ti", p.tile.ti)
       .set("tj", p.tile.tj)
@@ -193,6 +199,24 @@ class Reader {
     return m;
   }
 
+  rt::core::Backend backend(const JsonValue& v, const char* key) {
+    const std::string tok = str(v, key);
+    rt::core::Backend b = rt::core::Backend::kModel;
+    if (!failed() && !rt::core::parse_backend(tok, &b)) {
+      why_ = "unknown backend token \"" + tok + "\"";
+    }
+    return b;
+  }
+
+  rt::core::LoopSchedule schedule(const JsonValue& v, const char* key) {
+    const std::string tok = str(v, key);
+    rt::core::LoopSchedule s = rt::core::LoopSchedule::kFlat;
+    if (!failed() && !rt::core::parse_schedule(tok, &s)) {
+      why_ = "unknown schedule token \"" + tok + "\"";
+    }
+    return s;
+  }
+
  private:
   const JsonValue* field(const JsonValue& v, const char* key) {
     if (failed()) return nullptr;
@@ -277,6 +301,7 @@ Expected<PlanStore> parse_store(const std::string& text,
       e.key.n = r.num(*key, "n");
       e.key.n3 = r.num(*key, "n3");
       e.key.transform = r.transform(*key, "transform");
+      e.key.backend = r.backend(*key, "backend");
       e.key.threads = static_cast<int>(r.num(*key, "threads"));
       e.key.simd = r.str(*key, "simd");
       e.key.temporal = r.temporal(*key, "temporal");
@@ -316,9 +341,14 @@ Expected<PlanStore> parse_store(const std::string& text,
         e.plan_key.atd = static_cast<int>(r.num(*pk, "atd"));
         e.plan_key.halo = r.num(*pk, "halo");
         e.plan_key.n3 = r.num(*pk, "n3");
+        e.plan_key.backend = r.backend(*pk, "backend");
+        e.plan_key.line_elems = r.num(*pk, "line_elems");
+        e.plan_key.assoc = r.num(*pk, "assoc");
       }
       if (const JsonValue* p = r.obj(o, "plan"); p != nullptr) {
         e.plan.transform = r.transform(*p, "transform");
+        e.plan.backend = r.backend(*p, "backend");
+        e.plan.schedule = r.schedule(*p, "schedule");
         e.plan.tiled = r.flag(*p, "tiled");
         e.plan.tile.ti = r.num(*p, "ti");
         e.plan.tile.tj = r.num(*p, "tj");

@@ -36,6 +36,8 @@ std::string TuneKey::str() const {
   out += "/n" + std::to_string(n) + "x" + std::to_string(n3);
   out += "/";
   out += rt::core::transform_name(transform);
+  out += "/";
+  out += rt::core::backend_name(backend);
   out += "/t" + std::to_string(threads);
   out += "/simd=" + simd;
   out += "/temporal=";

@@ -10,6 +10,7 @@
 
 #include "rt/bench/options.hpp"
 #include "rt/bench/table.hpp"
+#include "rt/tune/plan_store.hpp"
 
 namespace rt::bench {
 namespace {
@@ -202,6 +203,68 @@ TEST(Options, TuneLoadAcceptsAnExistingStoreFile) {
   const BenchOptions o = parse({"--tune=load", flag.c_str()});
   EXPECT_EQ(o.tune, rt::tune::TuneMode::kLoad);
   std::remove(path.c_str());
+}
+
+TEST(Options, BackendFlagParsesAndDefaultsToModel) {
+  const BenchOptions d = parse({});
+  EXPECT_EQ(d.backend, rt::core::Backend::kModel);
+  EXPECT_FALSE(d.backend_given);
+  EXPECT_FALSE(d.backend_auto);
+
+  EXPECT_EQ(parse({"--backend=model"}).backend, rt::core::Backend::kModel);
+  const BenchOptions lat = parse({"--backend=lattice"});
+  EXPECT_EQ(lat.backend, rt::core::Backend::kLattice);
+  EXPECT_TRUE(lat.backend_given);
+  EXPECT_FALSE(lat.backend_auto);
+  EXPECT_EQ(parse({"--backend=oblivious"}).backend,
+            rt::core::Backend::kOblivious);
+
+  // --backend=auto defers: resolution happens against the geometry the
+  // bench actually plans with (probed -> lattice, unprobed -> oblivious).
+  const BenchOptions au = parse({"--backend=auto"});
+  EXPECT_TRUE(au.backend_auto);
+  EXPECT_TRUE(au.backend_given);
+  rt::core::CacheGeom g;
+  g.probed = true;
+  EXPECT_EQ(au.resolved_backend(g), rt::core::Backend::kLattice);
+  g.probed = false;
+  EXPECT_EQ(au.resolved_backend(g), rt::core::Backend::kOblivious);
+  // A named backend resolves to itself regardless of the geometry.
+  EXPECT_EQ(lat.resolved_backend(g), rt::core::Backend::kLattice);
+}
+
+TEST(OptionsDeathTest, RejectsBadBackendAndPreBackendStore) {
+  EXPECT_EXIT(parse({"--backend=euclid"}), testing::ExitedWithCode(2),
+              "bad --backend value");
+
+  // A pre-backend (v1) plan store carries winners with no backend id:
+  // serving them under an explicit --backend= is a contradiction.
+  const std::string path = "/tmp/rt_bench_backend_v1_store_test.json";
+  std::ofstream(path) << "{\n  \"version\": 1,\n  \"fingerprint\": \"x\",\n"
+                         "  \"entries\": []\n}\n";
+  const std::string flag = "--plan-store=" + path;
+  EXPECT_EXIT(parse({"--backend=lattice", "--tune=load", flag.c_str()}),
+              testing::ExitedWithCode(2), "pre-backend plan store");
+  EXPECT_EXIT(parse({"--backend=auto", "--tune=load", flag.c_str()}),
+              testing::ExitedWithCode(2), "pre-backend plan store");
+
+  // Without an explicit backend the same store parses: rt::tune rejects it
+  // as kStale at load time and the bench keeps running on model plans.
+  EXPECT_EQ(parse({"--tune=load", flag.c_str()}).tune,
+            rt::tune::TuneMode::kLoad);
+  std::remove(path.c_str());
+
+  // A current-version store satisfies the explicit-backend combination.
+  const std::string path2 = "/tmp/rt_bench_backend_v2_store_test.json";
+  std::ofstream(path2) << "{\n  \"version\": "
+                       << rt::tune::kPlanStoreVersion
+                       << ",\n  \"fingerprint\": \"x\",\n  \"entries\": []\n"
+                          "}\n";
+  const std::string flag2 = "--plan-store=" + path2;
+  const BenchOptions ok = parse({"--backend=lattice", "--tune=load",
+                                 flag2.c_str()});
+  EXPECT_EQ(ok.backend, rt::core::Backend::kLattice);
+  std::remove(path2.c_str());
 }
 
 TEST(Table, FmtPrecision) {

@@ -1,0 +1,293 @@
+// Tests for the pluggable tiling-backend framework (rt/core/backend.hpp):
+// registry wiring, the three-step driver's fallback semantics, equivalence
+// of the model backend with the historical plan_for_checked, the
+// associativity-lattice occupancy bound and planner, the cache-oblivious
+// recursive planner, and the auto selection policy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rt/core/backend.hpp"
+#include "rt/core/plan.hpp"
+#include "rt/core/stencil_spec.hpp"
+
+namespace rt::core {
+namespace {
+
+using rt::guard::Status;
+
+const StencilSpec kJac = StencilSpec::jacobi3d();
+
+CacheGeom paper_l1() {
+  CacheGeom g;
+  g.cs_elems = 2048;  // 16KB of doubles
+  g.line_elems = 4;   // 32B lines
+  g.assoc = 1;        // direct-mapped
+  g.probed = true;
+  return g;
+}
+
+bool same_plan(const TilingPlan& a, const TilingPlan& b) {
+  return a.transform == b.transform && a.tiled == b.tiled &&
+         a.tile == b.tile && a.dip == b.dip && a.djp == b.djp;
+}
+
+// ---------------------------------------------------------------- enums --
+
+TEST(BackendEnum, NamesRoundTrip) {
+  for (Backend b : all_backends()) {
+    Backend parsed{};
+    EXPECT_TRUE(parse_backend(std::string(backend_name(b)), &parsed))
+        << backend_name(b);
+    EXPECT_EQ(parsed, b);
+  }
+  Backend b{};
+  EXPECT_FALSE(parse_backend("euclidean", &b));
+  EXPECT_FALSE(parse_backend("", &b));
+}
+
+TEST(BackendEnum, ScheduleNamesRoundTrip) {
+  for (LoopSchedule s :
+       {LoopSchedule::kFlat, LoopSchedule::kTiled, LoopSchedule::kRecursive}) {
+    LoopSchedule parsed{};
+    EXPECT_TRUE(parse_schedule(std::string(schedule_name(s)), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  LoopSchedule s{};
+  EXPECT_FALSE(parse_schedule("spiral", &s));
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(BackendRegistry, BuiltinsPreRegistered) {
+  BackendRegistry& reg = BackendRegistry::instance();
+  for (Backend b :
+       {Backend::kModel, Backend::kLattice, Backend::kOblivious}) {
+    const TilingBackend* tb = reg.find(b);
+    ASSERT_NE(tb, nullptr) << backend_name(b);
+    EXPECT_EQ(tb->id(), b);
+    EXPECT_EQ(reg.find(backend_name(b)), tb);
+  }
+  EXPECT_EQ(reg.find("no-such-backend"), nullptr);
+  const std::vector<Backend> ids = reg.ids();
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+// --------------------------------------------------------------- driver --
+
+TEST(BackendDriver, PlansStampTheirBackendAndSchedule) {
+  const CacheGeom g = paper_l1();
+  const PlanReport model =
+      plan_with_backend(Backend::kModel, Transform::kTile, g, 200, 200, kJac);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.plan.backend, Backend::kModel);
+  EXPECT_TRUE(model.plan.tiled);
+  EXPECT_EQ(model.plan.schedule, LoopSchedule::kTiled);
+
+  const PlanReport obl = plan_with_backend(Backend::kOblivious,
+                                           Transform::kTile, g, 200, 200, kJac);
+  ASSERT_TRUE(obl.ok());
+  EXPECT_EQ(obl.plan.backend, Backend::kOblivious);
+  EXPECT_EQ(obl.plan.schedule, LoopSchedule::kRecursive);
+}
+
+TEST(BackendDriver, FailureRestoresUntiledFallback) {
+  // Dimensions at the halo: every backend rejects, and the returned plan is
+  // the executable untiled fallback with the backend stamped.
+  const CacheGeom g = paper_l1();
+  for (Backend b :
+       {Backend::kModel, Backend::kLattice, Backend::kOblivious}) {
+    const PlanReport rep =
+        plan_with_backend(b, Transform::kTile, g, 2, 2, kJac);
+    EXPECT_EQ(rep.status, Status::kInvalidArgument) << backend_name(b);
+    EXPECT_FALSE(rep.plan.tiled);
+    EXPECT_EQ(rep.plan.dip, 2);
+    EXPECT_EQ(rep.plan.djp, 2);
+    EXPECT_EQ(rep.plan.backend, b);
+    EXPECT_EQ(rep.plan.schedule, LoopSchedule::kFlat);
+    EXPECT_FALSE(rep.detail.empty());
+  }
+}
+
+TEST(BackendDriver, OverflowGateSharedByAllBackends) {
+  const CacheGeom g = paper_l1();
+  const long huge = 4'000'000'000L;  // dip * djp overflows long
+  for (Backend b :
+       {Backend::kModel, Backend::kLattice, Backend::kOblivious}) {
+    const PlanReport rep =
+        plan_with_backend(b, Transform::kOrig, g, huge, huge, kJac);
+    EXPECT_EQ(rep.status, Status::kOverflow) << backend_name(b);
+  }
+}
+
+TEST(BackendDriver, UnknownBackendIsInvalidArgument) {
+  const PlanReport rep = plan_with_backend(
+      static_cast<Backend>(99), Transform::kTile, paper_l1(), 200, 200, kJac);
+  EXPECT_EQ(rep.status, Status::kInvalidArgument);
+  EXPECT_FALSE(rep.plan.tiled);
+}
+
+// ------------------------------------------------- model backend parity --
+
+TEST(ModelBackend, MatchesPlanForCheckedOnEveryTransform) {
+  // plan_for_checked is now a wrapper over the model backend; pin the
+  // equivalence the other way too: plan_with_backend(kModel) must
+  // reproduce the historical reports for every transform and size.
+  CacheGeom g = paper_l1();
+  for (Transform tr : {Transform::kOrig, Transform::kTile, Transform::kEuc3d,
+                       Transform::kGcdPad, Transform::kPad,
+                       Transform::kGcdPadNT}) {
+    for (long n : {100L, 200L, 256L, 330L, 400L}) {
+      const PlanReport a = plan_for_checked(tr, g.cs_elems, n, n, kJac, 30);
+      const PlanReport via =
+          plan_with_backend(Backend::kModel, tr, g, n, n, kJac, 30);
+      EXPECT_EQ(a.status, via.status) << transform_name(tr) << " n=" << n;
+      EXPECT_TRUE(same_plan(a.plan, via.plan))
+          << transform_name(tr) << " n=" << n;
+      EXPECT_EQ(a.detail, via.detail);
+    }
+  }
+}
+
+// ------------------------------------------------------ lattice backend --
+
+TEST(LatticeOccupancy, DirectMappedPow2IsPathological) {
+  // dip = 256 on a 2048-element DM cache: rows alias every 8 rows and the
+  // three K planes land on identical sets, so any multi-plane tile exceeds
+  // one way.
+  CacheGeom g = paper_l1();
+  EXPECT_GT(lattice_worst_occupancy(g, 256, 256, 1, 1, 3), 1);
+  // A single plane, single row segment fits.
+  EXPECT_EQ(lattice_worst_occupancy(g, 256, 256, 4, 1, 1), 1);
+}
+
+TEST(LatticeOccupancy, MoreWaysAdmitMoreRows) {
+  // Worst occupancy counts lines per set: it does not depend on ways, but
+  // feasibility (<= ways) does.  At dip=260 rows spread across sets.
+  CacheGeom g = paper_l1();
+  const long occ1 = lattice_worst_occupancy(g, 260, 260, 8, 4, 3);
+  const long occ2 = lattice_worst_occupancy(g, 260, 260, 8, 8, 3);
+  EXPECT_GE(occ2, occ1);  // more rows can only add set pressure
+}
+
+TEST(LatticeOccupancy, FullyAssociativeIsCapacityOnly) {
+  CacheGeom g = paper_l1();
+  g.assoc = 0;  // fully associative: one set, occupancy = total lines
+  const long occ = lattice_worst_occupancy(g, 260, 260, 8, 4, 3);
+  // 8-elem row segments can straddle a line boundary: 2-3 lines per row.
+  EXPECT_GE(occ, 4 * 3 * 2);
+  EXPECT_LE(occ, 4 * 3 * 3);
+}
+
+TEST(LatticeBackend, PlansFeasibleTileOnAssociativeCache) {
+  CacheGeom g = paper_l1();
+  g.assoc = 2;
+  const PlanReport rep =
+      plan_with_backend(Backend::kLattice, Transform::kTile, g, 330, 330, kJac);
+  ASSERT_EQ(rep.status, Status::kOk);
+  ASSERT_TRUE(rep.plan.tiled);
+  EXPECT_EQ(rep.plan.schedule, LoopSchedule::kTiled);
+  // The accepted tile's array footprint respects the way bound — the
+  // backend's defining invariant, checked via the exposed predicate.
+  const long ati = rep.plan.tile.ti + kJac.trim_i;
+  const long atj = rep.plan.tile.tj + kJac.trim_j;
+  EXPECT_LE(lattice_worst_occupancy(g, rep.plan.dip, rep.plan.djp, ati, atj,
+                                    kJac.atd),
+            g.assoc);
+}
+
+TEST(LatticeBackend, Pow2DirectMappedFallsBackUntiled) {
+  // N=256, DM: the K planes alias exactly — no tile of depth 3 can keep
+  // per-set occupancy <= 1, so the backend degrades to untiled (typed).
+  const PlanReport rep = plan_with_backend(Backend::kLattice, Transform::kTile,
+                                           paper_l1(), 256, 256, kJac);
+  EXPECT_EQ(rep.status, Status::kFellBackUntiled);
+  EXPECT_FALSE(rep.plan.tiled);
+  EXPECT_EQ(rep.plan.backend, Backend::kLattice);
+}
+
+TEST(LatticeBackend, RejectsGcdPadNT) {
+  const PlanReport rep = plan_with_backend(
+      Backend::kLattice, Transform::kGcdPadNT, paper_l1(), 200, 200, kJac);
+  EXPECT_EQ(rep.status, Status::kInvalidArgument);
+}
+
+TEST(LatticeBackend, OrigPassesThroughUntiled) {
+  const PlanReport rep = plan_with_backend(Backend::kLattice, Transform::kOrig,
+                                           paper_l1(), 200, 200, kJac);
+  EXPECT_EQ(rep.status, Status::kOk);
+  EXPECT_FALSE(rep.plan.tiled);
+  EXPECT_EQ(rep.plan.dip, 200);
+}
+
+TEST(LatticeBackend, NeverPads) {
+  // The lattice backend picks tiles, never leading dimensions: dip/djp stay
+  // at the array's own extents for every tiling transform.
+  CacheGeom g = paper_l1();
+  g.assoc = 4;
+  for (Transform tr :
+       {Transform::kTile, Transform::kEuc3d, Transform::kGcdPad,
+        Transform::kPad}) {
+    const PlanReport rep =
+        plan_with_backend(Backend::kLattice, tr, g, 300, 300, kJac);
+    EXPECT_EQ(rep.plan.dip, 300) << transform_name(tr);
+    EXPECT_EQ(rep.plan.djp, 300) << transform_name(tr);
+  }
+}
+
+// ---------------------------------------------------- oblivious backend --
+
+TEST(ObliviousBackend, IgnoresCacheGeometry) {
+  // Identical plans for wildly different geometries, including unprobed:
+  // the backend must not read the cache parameters at all.
+  CacheGeom small;
+  small.cs_elems = 64;
+  small.line_elems = 1;
+  small.assoc = 1;
+  CacheGeom huge;
+  huge.cs_elems = 1 << 22;
+  huge.line_elems = 16;
+  huge.assoc = 16;
+  huge.probed = false;
+  const PlanReport a = plan_with_backend(Backend::kOblivious, Transform::kTile,
+                                         small, 300, 300, kJac);
+  const PlanReport b = plan_with_backend(Backend::kOblivious, Transform::kTile,
+                                         huge, 300, 300, kJac);
+  ASSERT_EQ(a.status, Status::kOk);
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_TRUE(same_plan(a.plan, b.plan));
+  EXPECT_TRUE(a.plan.tiled);
+  EXPECT_EQ(a.plan.schedule, LoopSchedule::kRecursive);
+}
+
+TEST(ObliviousBackend, BaseCaseClampsToInterior) {
+  const PlanReport rep = plan_with_backend(Backend::kOblivious,
+                                           Transform::kTile, paper_l1(), 10,
+                                           10, kJac);
+  ASSERT_EQ(rep.status, Status::kOk);
+  ASSERT_TRUE(rep.plan.tiled);
+  EXPECT_LE(rep.plan.tile.ti, 10 - kJac.trim_i);
+  EXPECT_LE(rep.plan.tile.tj, 10 - kJac.trim_j);
+  EXPECT_GE(rep.plan.tile.ti, 1);
+  EXPECT_GE(rep.plan.tile.tj, 1);
+}
+
+TEST(ObliviousBackend, RejectsGcdPadNT) {
+  const PlanReport rep = plan_with_backend(
+      Backend::kOblivious, Transform::kGcdPadNT, paper_l1(), 200, 200, kJac);
+  EXPECT_EQ(rep.status, Status::kInvalidArgument);
+}
+
+// -------------------------------------------------------- auto policy --
+
+TEST(AutoBackend, ProbedGoesLatticeUnprobedGoesOblivious) {
+  CacheGeom g = paper_l1();
+  EXPECT_EQ(auto_backend(g), Backend::kLattice);
+  g.probed = false;
+  EXPECT_EQ(auto_backend(g), Backend::kOblivious);
+}
+
+}  // namespace
+}  // namespace rt::core

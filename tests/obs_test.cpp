@@ -276,6 +276,7 @@ std::string golden_document() {
     r.set("kernel", "JACOBI")
         .set("n", 200)
         .set("transform", "GcdPad")
+        .set("backend", "model")
         .set("tile", "34x34")
         .set("simd", "off")
         .set("simd_level", "scalar")
@@ -308,6 +309,7 @@ std::string golden_document() {
     r.set("kernel", "PSINV")
         .set("n", 200)
         .set("transform", "Orig")
+        .set("backend", "model")
         .set("tile", JsonValue())
         .set("simd", "auto")
         .set("simd_level", "scalar")
@@ -357,6 +359,7 @@ std::string golden_document() {
     r.set("kernel", "JACOBI")
         .set("n", 448)
         .set("transform", "Orig")
+        .set("backend", "model")
         .set("tile", JsonValue())
         .set("simd", "auto")
         .set("simd_level", "avx2")

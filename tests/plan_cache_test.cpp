@@ -60,6 +60,91 @@ TEST(PlanCache, EveryKeyComponentSeparatesEntries) {
   EXPECT_EQ(c.size(), 8u);
 }
 
+TEST(PlanCache, BackendSeparatesEntries) {
+  // Identical problems planned through different backends are different
+  // keys: a lattice winner must never be served for a model lookup (and
+  // vice versa), or a foreign backend's plan would masquerade as the
+  // model's.
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  CacheGeom g;
+  g.cs_elems = 2048;
+  g.line_elems = 4;
+  g.assoc = 2;
+  (void)c.plan_backend(Backend::kModel, Transform::kTile, g, 200, 200, spec);
+  (void)c.plan_backend(Backend::kLattice, Transform::kTile, g, 200, 200,
+                       spec);
+  (void)c.plan_backend(Backend::kOblivious, Transform::kTile, g, 200, 200,
+                       spec);
+  EXPECT_EQ(c.stats().misses, 3u);
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.size(), 3u);
+  // And the keys themselves are distinct under the hash/equality pair.
+  const PlanKey km =
+      PlanCache::make_backend_key(Backend::kModel, Transform::kTile, g, 200,
+                                  200, spec);
+  const PlanKey kl =
+      PlanCache::make_backend_key(Backend::kLattice, Transform::kTile, g,
+                                  200, 200, spec);
+  const PlanKey ko =
+      PlanCache::make_backend_key(Backend::kOblivious, Transform::kTile, g,
+                                  200, 200, spec);
+  EXPECT_FALSE(km == kl);
+  EXPECT_FALSE(km == ko);
+  EXPECT_FALSE(kl == ko);
+}
+
+TEST(PlanCache, LatticeKeysCarryTheGeometryModelKeysStayCanonical) {
+  // The lattice backend's answer depends on line size and ways, so its key
+  // carries them; the model backend reads only the capacity, so its key is
+  // canonicalized to the historical shape — pre-backend pinned entries
+  // (rt::tune stores) keep hitting after the upgrade.
+  const auto spec = StencilSpec::jacobi3d();
+  CacheGeom a;
+  a.cs_elems = 2048;
+  a.line_elems = 4;
+  a.assoc = 2;
+  CacheGeom b = a;
+  b.line_elems = 8;
+  b.assoc = 4;
+  const PlanKey la =
+      PlanCache::make_backend_key(Backend::kLattice, Transform::kTile, a,
+                                  200, 200, spec);
+  const PlanKey lb =
+      PlanCache::make_backend_key(Backend::kLattice, Transform::kTile, b,
+                                  200, 200, spec);
+  EXPECT_FALSE(la == lb);  // different geometry, different lattice answer
+
+  const PlanKey ma =
+      PlanCache::make_backend_key(Backend::kModel, Transform::kTile, a, 200,
+                                  200, spec);
+  const PlanKey mb =
+      PlanCache::make_backend_key(Backend::kModel, Transform::kTile, b, 200,
+                                  200, spec);
+  EXPECT_TRUE(ma == mb);  // model ignores line size/ways: same key
+  // ... and it equals the pre-backend key exactly (backend defaults to
+  // kModel, geometry fields to the canonical zeros).
+  const PlanKey old =
+      PlanCache::make_key(Transform::kTile, a.cs_elems, 200, 200, spec);
+  EXPECT_TRUE(ma == old);
+}
+
+TEST(PlanCache, PlanBackendModelPathMatchesPlan) {
+  // plan() delegates to plan_backend(kModel): both entry points must share
+  // one cache entry and return identical reports.
+  PlanCache c;
+  const auto spec = StencilSpec::jacobi3d();
+  CacheGeom g;
+  g.cs_elems = 2048;
+  const PlanReport a = c.plan(Transform::kGcdPad, 2048, 200, 200, spec);
+  const PlanReport b =
+      c.plan_backend(Backend::kModel, Transform::kGcdPad, g, 200, 200, spec);
+  EXPECT_TRUE(same_plan(a.plan, b.plan));
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
 // Counter width is part of the JSON contract (plan_cache.{hits,misses} are
 // emitted as 64-bit integers): a narrowing refactor must fail to compile.
 static_assert(std::is_same_v<decltype(PlanCacheStats::hits), std::uint64_t>);

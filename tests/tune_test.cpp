@@ -77,12 +77,21 @@ TEST(TuneKeyTest, StrIsTheDocumentedStableIdentity) {
   k.simd = "avx2";
   k.temporal = rt::core::TemporalMode::kOff;
   k.tsteps = 0;
-  EXPECT_EQ(k.str(), "JACOBI/n400x30/GcdPad/t4/simd=avx2/temporal=off/ts0");
+  EXPECT_EQ(k.str(),
+            "JACOBI/n400x30/GcdPad/model/t4/simd=avx2/temporal=off/ts0");
 
   TuneKey k2 = k;
   EXPECT_EQ(k, k2);
   k2.simd = "off";
   EXPECT_FALSE(k == k2);  // every field is identity
+
+  // The planner backend is part of the identity: a lattice winner is a
+  // different tuning problem (and str() shows which planner it answers).
+  TuneKey k3 = k;
+  k3.backend = rt::core::Backend::kLattice;
+  EXPECT_FALSE(k == k3);
+  EXPECT_EQ(k3.str(),
+            "JACOBI/n400x30/GcdPad/lattice/t4/simd=avx2/temporal=off/ts0");
 }
 
 // ---------------------------------------------------------------------------
@@ -603,6 +612,84 @@ TEST(PlanStoreTest, VersionMismatchIsStaleNotReinterpreted) {
   EXPECT_NE(parsed.detail().find("version"), std::string::npos);
 }
 
+TEST(PlanStoreTest, PreBackendV1StoreIsStaleNotMisapplied) {
+  // A store written before plans carried backend ids (schema v1) must load
+  // as kStale — its winners would otherwise be served for whichever
+  // backend asks, which is exactly the collision the version bump closes.
+  PlanStore s = sample_store();
+  s.version = 1;
+  const auto parsed = parse_store(store_to_json(s), kFp);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status(), Status::kStale);
+  EXPECT_NE(parsed.detail().find("version"), std::string::npos);
+}
+
+TEST(PlanStoreTest, BackendAndScheduleRoundTripInStoreJson) {
+  PlanStore s = sample_store();
+  StoreEntry e = spatial_entry();
+  e.key.kernel = "RESID";
+  e.key.backend = rt::core::Backend::kLattice;
+  rt::core::CacheGeom g;
+  g.cs_elems = 2048;
+  g.line_elems = 4;
+  g.assoc = 2;
+  e.plan_key = rt::core::PlanCache::make_backend_key(
+      rt::core::Backend::kLattice, Transform::kTile, g, 400, 400,
+      StencilSpec::jacobi3d(), 30);
+  e.plan.transform = Transform::kTile;
+  e.plan.backend = rt::core::Backend::kLattice;
+  e.plan.schedule = rt::core::LoopSchedule::kTiled;
+  e.plan.dip = 400;
+  e.origin = "backend:lattice";
+  s.put(e);
+
+  const std::string text = store_to_json(s);
+  EXPECT_NE(text.find("\"backend\": \"lattice\""), std::string::npos);
+  const auto parsed = parse_store(text, kFp);
+  ASSERT_TRUE(parsed.ok()) << parsed.detail();
+  const StoreEntry* back = parsed.value().find(e.key);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->key.backend, rt::core::Backend::kLattice);
+  EXPECT_EQ(back->plan.backend, rt::core::Backend::kLattice);
+  EXPECT_EQ(back->plan.schedule, rt::core::LoopSchedule::kTiled);
+  EXPECT_EQ(back->plan_key, e.plan_key);  // line_elems/assoc survived
+
+  // An unknown backend token is corruption, not a silent default.
+  std::string bad = text;
+  const auto pos = bad.find("\"backend\": \"lattice\"");
+  bad.replace(pos, std::string("\"backend\": \"lattice\"").size(),
+              "\"backend\": \"quantum\"");
+  const auto rejected = parse_store(bad, kFp);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status(), Status::kCorrupt);
+}
+
+TEST(SpatialCandidates, BackendCandidatesJoinTheRace) {
+  rt::core::CacheGeom g;
+  g.cs_elems = 2048;
+  g.line_elems = 4;
+  g.assoc = 2;
+  const auto cands = spatial_candidates(tiled_model(), 400, 400, 1, g,
+                                        StencilSpec::jacobi3d());
+  EXPECT_EQ(cands[0].origin, "model");
+  EXPECT_TRUE(has_origin(cands, "backend:lattice"));
+  EXPECT_TRUE(has_origin(cands, "backend:oblivious"));
+  for (const Candidate& c : cands) {
+    if (c.origin == "backend:oblivious") {
+      EXPECT_EQ(c.plan.schedule, rt::core::LoopSchedule::kRecursive);
+    }
+    if (c.origin == "backend:lattice") {
+      EXPECT_TRUE(c.plan.tiled);
+      EXPECT_EQ(c.plan.dip, 400);  // the lattice backend never pads
+    }
+  }
+  // The overload still respects the cap.
+  EXPECT_LE(spatial_candidates(tiled_model(), 400, 400, 1, g,
+                               StencilSpec::jacobi3d(), 4)
+                .size(),
+            4u);
+}
+
 TEST(PlanStoreTest, FingerprintMismatchIsStaleWithBothValuesNamed) {
   const auto parsed =
       parse_store(store_to_json(sample_store()), "L1D:16384/4w/32B");
@@ -628,8 +715,9 @@ TEST(PlanStoreTest, CorruptInputsAreTypedNeverFatal) {
   EXPECT_EQ(parse_store("{\"fingerprint\":\"x\",\"entries\":[]}", kFp)
                 .status(),
             Status::kCorrupt);  // version missing
-  const std::string base = "{\"version\":1,\"fingerprint\":\"" +
-                           std::string(kFp) + "\",";
+  const std::string base = "{\"version\":" +
+                           std::to_string(kPlanStoreVersion) +
+                           ",\"fingerprint\":\"" + std::string(kFp) + "\",";
   EXPECT_EQ(parse_store(base + "\"entries\":{}}", kFp).status(),
             Status::kCorrupt);  // entries not an array
   auto bad_entry = parse_store(base + "\"entries\":[{}]}", kFp);
